@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	dir := t.TempDir()
+	for _, exp := range []string{"table1", "fig2", "fig4", "fig5", "projector", "degree", "scaling"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-exp", exp, "-out", dir}, &buf); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(buf.String(), "==== "+exp+" ====") {
+			t.Errorf("%s: banner missing", exp)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &buf); err == nil {
+		t.Errorf("unknown experiment should error")
+	}
+}
+
+func TestRunWritesSVG(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig4", "-out", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig4-shapes.svg") {
+		t.Errorf("SVG path not reported: %s", buf.String())
+	}
+}

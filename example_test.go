@@ -1,0 +1,53 @@
+package rpcrank_test
+
+import (
+	"fmt"
+
+	"rpcrank"
+)
+
+// ExampleRank ranks four phone plans on monthly price (cost), data volume
+// (benefit) and contract length (cost).
+func ExampleRank() {
+	plans := []string{"Basic", "Plus", "Max", "Overkill"}
+	rows := [][]float64{
+		{10, 5, 24},   // cheap, little data, long contract
+		{20, 20, 12},  // balanced
+		{35, 60, 12},  // lots of data
+		{80, 100, 24}, // everything, at a price
+	}
+	alpha := rpcrank.MustDirection(-1, +1, -1)
+	res, err := rpcrank.Rank(rows, rpcrank.Config{Alpha: alpha})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i, name := range plans {
+		fmt.Printf("%s: position %d\n", name, res.Positions[i])
+	}
+	// The model is strictly monotone: a plan that is better on every
+	// attribute always outranks the one it dominates.
+	fmt.Println("strictly monotone:", res.StrictlyMonotone())
+	// Output:
+	// Basic: position 3
+	// Plus: position 2
+	// Max: position 1
+	// Overkill: position 4
+	// strictly monotone: true
+}
+
+// ExampleMustDirection shows the benefit/cost encoding.
+func ExampleMustDirection() {
+	alpha := rpcrank.MustDirection(+1, -1)
+	fmt.Println(alpha.Dim(), alpha[0], alpha[1])
+	// Output: 2 1 -1
+}
+
+// ExampleKendallTau compares two score vectors.
+func ExampleKendallTau() {
+	a := []float64{0.1, 0.5, 0.9}
+	b := []float64{0.2, 0.4, 0.8} // same ordering
+	c := []float64{0.9, 0.5, 0.1} // reversed
+	fmt.Println(rpcrank.KendallTau(a, b), rpcrank.KendallTau(a, c))
+	// Output: 1 -1
+}

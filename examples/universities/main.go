@@ -1,0 +1,51 @@
+// Universities: the third application domain the paper's introduction names.
+// Ranks a synthetic ARWU-style table of 200 universities on six indicators,
+// then runs the bootstrap stability analysis to show *which* positions in
+// the list the data actually supports — the practical answer to the paper's
+// opening question ("how can we insure the ranking list is reasonable?").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpcrank"
+	"rpcrank/internal/dataset"
+	"rpcrank/internal/order"
+)
+
+func main() {
+	t := dataset.Universities()
+	res, err := rpcrank.Rank(t.Rows, rpcrank.Config{Alpha: t.Alpha})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("university ranking (%d objects, 6 indicators, explained variance %.1f%%)\n\n",
+		t.N(), 100*res.ExplainedVariance())
+	byRank := order.SortByScoreDesc(res.Scores)
+	for pos := 0; pos < 10; pos++ {
+		i := byRank[pos]
+		fmt.Printf("%4d  %-18s score %.4f\n", pos+1, t.Objects[i], res.Scores[i])
+	}
+
+	fmt.Println("\nbootstrap stability (20 refits on resampled data):")
+	stab, err := rpcrank.Stability(t.Rows, rpcrank.Config{Alpha: t.Alpha}, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  mean Kendall tau across resamples: %.3f\n", stab.MeanTau)
+	fmt.Println("  top-5 rank intervals (narrow = the data really supports the position):")
+	for pos := 0; pos < 5; pos++ {
+		i := byRank[pos]
+		o := stab.Objects[i]
+		fmt.Printf("    %-18s rank %d, bootstrap interval [%d, %d]\n",
+			t.Objects[i], pos+1, o.LowRank, o.HighRank)
+	}
+	least := stab.LeastStable(3)
+	fmt.Println("  least stable objects (ambiguous mid-list positions):")
+	for _, i := range least {
+		o := stab.Objects[i]
+		fmt.Printf("    %-18s interval [%d, %d], stddev %.1f\n",
+			t.Objects[i], o.LowRank, o.HighRank, o.RankStdDev)
+	}
+}

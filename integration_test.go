@@ -1,0 +1,113 @@
+package rpcrank
+
+// Integration tests: end-to-end flows crossing several modules (datasets →
+// fit → serialise → reload → score; stability through the public API; the
+// paper datasets through the facade).
+
+import (
+	"bytes"
+	"testing"
+
+	"rpcrank/internal/dataset"
+	"rpcrank/internal/order"
+)
+
+func TestIntegrationCountriesEndToEnd(t *testing.T) {
+	tab := dataset.Countries()
+	res, err := Rank(tab.Rows, Config{Alpha: tab.Alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The facade must agree with the experiment driver on the headline:
+	// Luxembourg first.
+	best := 0
+	for i, s := range res.Scores {
+		if s > res.Scores[best] {
+			best = i
+		}
+	}
+	if tab.Objects[best] != "Luxembourg" {
+		t.Errorf("facade ranking top = %s", tab.Objects[best])
+	}
+	// Save, reload, and verify identical scoring of fresh observations.
+	var buf bytes.Buffer
+	if err := res.Model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{30000, 78, 8, 6} // a mid-high country profile
+	if got, want := loaded.Score(probe), res.Model.Score(probe); got != want {
+		t.Errorf("reloaded model scores %.9f, original %.9f", got, want)
+	}
+}
+
+func TestIntegrationStabilityFacade(t *testing.T) {
+	rows, _ := dataset.SCurve(60, 0.03, 404)
+	stab, err := Stability(rows, Config{Alpha: MustDirection(1, 1)}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stab.Objects) != 60 {
+		t.Fatalf("want 60 object reports, got %d", len(stab.Objects))
+	}
+	if stab.MeanTau < 0.85 {
+		t.Errorf("MeanTau = %.3f on a clean skeleton", stab.MeanTau)
+	}
+	if len(stab.MostStable(5)) != 5 || len(stab.LeastStable(5)) != 5 {
+		t.Errorf("stability selectors broken")
+	}
+}
+
+func TestIntegrationCSVRoundTripThroughRanking(t *testing.T) {
+	// Generate a synthetic table, write CSV, read it back, rank it, and
+	// check the latent order survives the whole pipeline.
+	xs, latent := dataset.SCurve(100, 0.02, 405)
+	tab := dataset.ToTable("pipeline", []string{"x1", "x2"}, order.MustDirection(1, 1), xs)
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dataset.ReadCSV(&buf, "pipeline", tab.Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Rank(back.Rows, Config{Alpha: back.Alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau := KendallTau(res.Scores, latent); tau < 0.9 {
+		t.Errorf("pipeline tau = %.3f", tau)
+	}
+}
+
+func TestIntegrationJournalsFacade(t *testing.T) {
+	tab := dataset.Journals()
+	res, err := Rank(tab.Rows, Config{Alpha: tab.Alpha, Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StrictlyMonotone() {
+		t.Errorf("journal fit lost monotonicity")
+	}
+	// Strict monotonicity on the actual data: no violated dominance pairs.
+	if v, _ := order.ViolatedPairs(tab.Alpha, tab.Rows, res.Scores); v != 0 {
+		t.Errorf("journal ranking violates %d dominance pairs", v)
+	}
+}
+
+func TestIntegrationUniversitiesFacade(t *testing.T) {
+	tab := dataset.Universities()
+	res, err := Rank(tab.Rows, Config{Alpha: tab.Alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := order.ViolatedPairs(tab.Alpha, tab.Rows, res.Scores); v != 0 {
+		t.Errorf("university ranking violates %d dominance pairs", v)
+	}
+	if ev := res.ExplainedVariance(); ev < 0.8 {
+		t.Errorf("university fit explained variance %.3f", ev)
+	}
+}

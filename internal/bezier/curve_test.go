@@ -1,0 +1,214 @@
+package bezier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randCubic(rng *rand.Rand, d int) *Curve {
+	pts := make([][]float64, 4)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return MustNew(pts)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([][]float64{{0, 0}}); err == nil {
+		t.Errorf("one point should be rejected")
+	}
+	if _, err := New([][]float64{{}, {}}); err == nil {
+		t.Errorf("zero-dimensional points should be rejected")
+	}
+	if _, err := New([][]float64{{0, 0}, {1}}); err == nil {
+		t.Errorf("ragged points should be rejected")
+	}
+	if _, err := New([][]float64{{0}, {1}}); err != nil {
+		t.Errorf("valid linear curve rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	MustNew([][]float64{{0}})
+}
+
+func TestEvalEndpoints(t *testing.T) {
+	c := MustNew([][]float64{{0, 0}, {0.3, 0.8}, {0.7, 0.2}, {1, 1}})
+	p0 := c.Eval(0)
+	p1 := c.Eval(1)
+	if p0[0] != 0 || p0[1] != 0 {
+		t.Errorf("Eval(0) = %v, want first control point", p0)
+	}
+	if p1[0] != 1 || p1[1] != 1 {
+		t.Errorf("Eval(1) = %v, want last control point", p1)
+	}
+}
+
+func TestEvalMatchesBernstein(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		c := randCubic(rng, 3)
+		for _, s := range []float64{0, 0.13, 0.5, 0.77, 1} {
+			a := c.Eval(s)
+			b := c.EvalBernstein(s)
+			for j := range a {
+				if math.Abs(a[j]-b[j]) > 1e-13 {
+					t.Fatalf("trial %d s=%v: de Casteljau %v vs Bernstein %v", trial, s, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestLinearCurveIsLine(t *testing.T) {
+	c := MustNew([][]float64{{0, 0}, {2, 4}})
+	got := c.Eval(0.25)
+	if math.Abs(got[0]-0.5) > 1e-14 || math.Abs(got[1]-1) > 1e-14 {
+		t.Errorf("Eval(0.25) = %v, want (0.5,1)", got)
+	}
+}
+
+func TestDerivativeMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := randCubic(rng, 2)
+	dc := c.Derivative()
+	const h = 1e-6
+	for _, s := range []float64{0.1, 0.4, 0.9} {
+		fd0 := c.Eval(s - h)
+		fd1 := c.Eval(s + h)
+		want := []float64{(fd1[0] - fd0[0]) / (2 * h), (fd1[1] - fd0[1]) / (2 * h)}
+		got := dc.Eval(s)
+		got2 := c.TangentAt(s)
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-5 {
+				t.Errorf("s=%v coord %d: hodograph %v vs FD %v", s, j, got[j], want[j])
+			}
+			if math.Abs(got2[j]-got[j]) > 1e-12 {
+				t.Errorf("s=%v coord %d: TangentAt %v vs hodograph %v", s, j, got2[j], got[j])
+			}
+		}
+	}
+}
+
+func TestDerivativeOfLinear(t *testing.T) {
+	c := MustNew([][]float64{{0, 0}, {2, 4}})
+	g := c.Derivative().Eval(0.5)
+	if math.Abs(g[0]-2) > 1e-14 || math.Abs(g[1]-4) > 1e-14 {
+		t.Errorf("derivative of line = %v, want (2,4)", g)
+	}
+}
+
+func TestSplitContinuity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	c := randCubic(rng, 3)
+	for _, s := range []float64{0.25, 0.5, 0.8} {
+		l, r := c.Split(s)
+		// Left covers [0,s]: l(u) == c(u*s).
+		for _, u := range []float64{0, 0.3, 0.7, 1} {
+			want := c.Eval(u * s)
+			got := l.Eval(u)
+			for j := range want {
+				if math.Abs(got[j]-want[j]) > 1e-12 {
+					t.Fatalf("split left s=%v u=%v: %v vs %v", s, u, got, want)
+				}
+			}
+			// Right covers [s,1]: r(u) == c(s + u(1−s)).
+			want = c.Eval(s + u*(1-s))
+			got = r.Eval(u)
+			for j := range want {
+				if math.Abs(got[j]-want[j]) > 1e-12 {
+					t.Fatalf("split right s=%v u=%v: %v vs %v", s, u, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestArcLengthLine(t *testing.T) {
+	c := MustNew([][]float64{{0, 0}, {3, 4}})
+	if got := c.ArcLength(1e-9); math.Abs(got-5) > 1e-8 {
+		t.Errorf("ArcLength of 3-4-5 line = %v, want 5", got)
+	}
+}
+
+func TestArcLengthQuarterCircleApprox(t *testing.T) {
+	// Cubic Bézier approximation of a quarter circle of radius 1:
+	// control points (1,0),(1,k),(k,1),(0,1) with k = 0.5522847498.
+	k := 0.5522847498307936
+	c := MustNew([][]float64{{1, 0}, {1, k}, {k, 1}, {0, 1}})
+	got := c.ArcLength(1e-10)
+	want := math.Pi / 2
+	if math.Abs(got-want) > 3e-4 { // the Bézier approximation error itself
+		t.Errorf("ArcLength = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestArcLengthAtLeastChordProperty(t *testing.T) {
+	f := func(vals [8]float64) bool {
+		pts := [][]float64{
+			{clamp01(vals[0]), clamp01(vals[1])},
+			{clamp01(vals[2]), clamp01(vals[3])},
+			{clamp01(vals[4]), clamp01(vals[5])},
+			{clamp01(vals[6]), clamp01(vals[7])},
+		}
+		c := MustNew(pts)
+		chord := dist(pts[0], pts[3])
+		return c.ArcLength(1e-8) >= chord-1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01(v float64) float64 {
+	v = math.Mod(math.Abs(v), 1)
+	if math.IsNaN(v) {
+		return 0.5
+	}
+	return v
+}
+
+func TestDistanceTo(t *testing.T) {
+	c := MustNew([][]float64{{0, 0}, {1, 1}})
+	if got := c.DistanceTo([]float64{0.5, 0.5}, 0.5); got > 1e-14 {
+		t.Errorf("distance to a point on the curve = %v, want 0", got)
+	}
+	if got := c.DistanceTo([]float64{0, 1}, 0); math.Abs(got-1) > 1e-14 {
+		t.Errorf("squared distance = %v, want 1", got)
+	}
+}
+
+func TestElevateDegreePreservesCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c := randCubic(rng, 2)
+	e := c.ElevateDegree()
+	if e.Degree() != 4 {
+		t.Fatalf("elevated degree = %d, want 4", e.Degree())
+	}
+	for _, s := range []float64{0, 0.2, 0.5, 0.85, 1} {
+		a, b := c.Eval(s), e.Eval(s)
+		for j := range a {
+			if math.Abs(a[j]-b[j]) > 1e-12 {
+				t.Errorf("s=%v: original %v vs elevated %v", s, a, b)
+			}
+		}
+	}
+}
+
+func TestDegreeDim(t *testing.T) {
+	c := MustNew([][]float64{{0, 0, 0}, {1, 1, 1}, {2, 2, 2}})
+	if c.Degree() != 2 || c.Dim() != 3 {
+		t.Errorf("Degree=%d Dim=%d, want 2,3", c.Degree(), c.Dim())
+	}
+}

@@ -1,0 +1,46 @@
+package bezier
+
+// BernsteinToMonomial returns the (k+1)×(k+1) change-of-basis matrix M_k
+// from the monomial basis to the degree-k Bernstein basis, generalising the
+// cubic M of Eq. 15: f(s) = P·M_k·z with z = (1, s, ..., s^k)ᵀ.
+//
+// Row r holds the monomial coefficients of B_{k,r}(s):
+// B_{k,r}(s) = C(k,r)·s^r·(1−s)^{k−r} = Σ_i C(k,r)·C(k−r,i)·(−1)^i·s^{r+i}.
+func BernsteinToMonomial(k int) [][]float64 {
+	m := make([][]float64, k+1)
+	for r := 0; r <= k; r++ {
+		row := make([]float64, k+1)
+		ckr := Binomial(k, r)
+		sign := 1.0
+		for i := 0; i+r <= k; i++ {
+			row[r+i] = ckr * Binomial(k-r, i) * sign
+			sign = -sign
+		}
+		m[r] = row
+	}
+	return m
+}
+
+// MonomialCoeffs returns, for each coordinate j of the curve, the monomial
+// coefficients of f_j(s) in ascending order: f_j(s) = Σ_c out[j][c]·s^c.
+// This is P·M_k computed row-by-row and is what the quintic projector needs.
+func (c *Curve) MonomialCoeffs() [][]float64 {
+	k := c.Degree()
+	d := c.Dim()
+	m := BernsteinToMonomial(k)
+	out := make([][]float64, d)
+	for j := 0; j < d; j++ {
+		row := make([]float64, k+1)
+		for r := 0; r <= k; r++ {
+			pj := c.Points[r][j]
+			if pj == 0 {
+				continue
+			}
+			for col := 0; col <= k; col++ {
+				row[col] += pj * m[r][col]
+			}
+		}
+		out[j] = row
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package bezier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordStrictlyIncreasingBasics(t *testing.T) {
+	cases := []struct {
+		p0, p1, p2, p3 float64
+		want           bool
+		name           string
+	}{
+		{0, 1.0 / 3, 2.0 / 3, 1, true, "straight line"},
+		{0, 0.9, 0.1, 1, true, "extreme interior S is still nondecreasing (f'=3(1-2s)^2)"},
+		{0, 0.5, 0.5, 1, true, "plateau-ish"},
+		{1, 0.5, 0.5, 0, false, "decreasing"},
+		{0, 0, 0, 0, false, "constant"},
+		{0, -0.5, 0.5, 1, false, "dips below start"},
+		{0, 1.5, -0.5, 1, false, "overshoot then crash"},
+		{0.2, 0.4, 0.6, 0.8, true, "interior segment"},
+	}
+	for _, c := range cases {
+		if got := CoordStrictlyIncreasing(c.p0, c.p1, c.p2, c.p3); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCoordDecreasingMirror(t *testing.T) {
+	if !CoordStrictlyDecreasing(1, 0.7, 0.3, 0) {
+		t.Errorf("clearly decreasing coordinate rejected")
+	}
+	if CoordStrictlyDecreasing(0, 0.3, 0.7, 1) {
+		t.Errorf("increasing coordinate accepted as decreasing")
+	}
+}
+
+// TestHuInteriorTheorem verifies the paper's Proposition 1 empirically and
+// exactly: with end points at 0 and 1 and inner control values anywhere in
+// the open interval (0,1), the cubic coordinate is strictly increasing.
+func TestHuInteriorTheorem(t *testing.T) {
+	f := func(a, b float64) bool {
+		p1 := 0.001 + 0.998*fold01(a)
+		p2 := 0.001 + 0.998*fold01(b)
+		return CoordStrictlyIncreasing(0, p1, p2, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExactCheckAgainstSampling cross-validates the closed-form test against
+// dense sampling of the curve values for random (possibly non-interior)
+// control values.
+func TestExactCheckAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 400; trial++ {
+		p0 := rng.Float64()
+		p1 := rng.Float64()*3 - 1
+		p2 := rng.Float64()*3 - 1
+		p3 := p0 + rng.Float64() // ensure p3 > p0 so only shape matters
+		exact := CoordStrictlyIncreasing(p0, p1, p2, p3)
+		c := MustNew([][]float64{{p0}, {p1}, {p2}, {p3}})
+		sampled := true
+		prev := c.Eval(0)[0]
+		for i := 1; i <= 600; i++ {
+			v := c.Eval(float64(i) / 600)[0]
+			if v < prev-1e-12 {
+				sampled = false
+				break
+			}
+			prev = v
+		}
+		// The exact test implies the sampled one. (Sampling can miss tiny
+		// violations, so only check that direction.)
+		if exact && !sampled {
+			t.Errorf("trial %d: exact says increasing but samples decrease (p=%v,%v,%v,%v)",
+				trial, p0, p1, p2, p3)
+		}
+		// And on a coarse margin the converse: a clear sampled violation
+		// must be caught exactly (checked above); a clearly-increasing
+		// derivative everywhere must be accepted.
+		if !exact && sampled {
+			// Confirm there really is a derivative zero or negative region.
+			dc := c.Derivative()
+			minD := math.Inf(1)
+			for i := 0; i <= 600; i++ {
+				d := dc.Eval(float64(i) / 600)[0]
+				if d < minD {
+					minD = d
+				}
+			}
+			if minD > 1e-9 {
+				t.Errorf("trial %d: exact rejects but derivative min %.3g > 0 (p=%v,%v,%v,%v)",
+					trial, minD, p0, p1, p2, p3)
+			}
+		}
+	}
+}
+
+func TestStrictlyMonotoneMultiDim(t *testing.T) {
+	// Coordinate 0 increasing, coordinate 1 decreasing: α = (1,−1).
+	c := MustNew([][]float64{
+		{0, 1},
+		{0.3, 0.6},
+		{0.7, 0.4},
+		{1, 0},
+	})
+	if !StrictlyMonotone(c, []float64{1, -1}) {
+		t.Errorf("valid (inc,dec) curve rejected")
+	}
+	if StrictlyMonotone(c, []float64{1, 1}) {
+		t.Errorf("alpha (1,1) should fail on decreasing coordinate")
+	}
+	if StrictlyMonotone(c, []float64{1, 0}) {
+		t.Errorf("alpha with zero entry must be rejected")
+	}
+}
+
+func TestStrictlyMonotonePanics(t *testing.T) {
+	quad := MustNew([][]float64{{0}, {0.5}, {1}})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("non-cubic should panic")
+			}
+		}()
+		StrictlyMonotone(quad, []float64{1})
+	}()
+	cubic := MustNew([][]float64{{0}, {0.3}, {0.7}, {1}})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("alpha length mismatch should panic")
+			}
+		}()
+		StrictlyMonotone(cubic, []float64{1, 1})
+	}()
+}
+
+func TestInteriorBoxAndClamp(t *testing.T) {
+	c := MustNew([][]float64{
+		{0, 0},
+		{-0.2, 0.5},
+		{0.5, 1.4},
+		{1, 1},
+	})
+	if InteriorBox(c) {
+		t.Errorf("out-of-box control points accepted")
+	}
+	ClampInterior(c, 1e-3)
+	if !InteriorBox(c) {
+		t.Errorf("after clamping, control points should be interior: %v %v", c.Points[1], c.Points[2])
+	}
+	if c.Points[1][0] != 1e-3 || c.Points[2][1] != 1-1e-3 {
+		t.Errorf("clamp values wrong: %v %v", c.Points[1], c.Points[2])
+	}
+	// End points untouched.
+	if c.Points[0][0] != 0 || c.Points[3][0] != 1 {
+		t.Errorf("clamp must not move end points")
+	}
+}
+
+func TestInteriorBoxPanicsNonCubic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	InteriorBox(MustNew([][]float64{{0}, {1}}))
+}
+
+func TestClampPanicsNonCubic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	ClampInterior(MustNew([][]float64{{0}, {1}}), 1e-3)
+}
+
+func fold01(v float64) float64 {
+	v = math.Mod(math.Abs(v), 1)
+	if math.IsNaN(v) {
+		return 0.5
+	}
+	return v
+}

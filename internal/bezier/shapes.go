@@ -1,0 +1,66 @@
+package bezier
+
+// The four basic nonlinear shapes of an increasing monotone cubic Bézier
+// curve in 2-D (Fig. 4 of the paper, after Hu et al. [14]): the curve mimics
+// the shape of its control polyline, so the inner control points select
+// convex, concave, S-shaped, or reverse-S behaviour. These layouts are used
+// by the Fig. 4 experiment and as fitting initialisers.
+
+// Shape names the four canonical monotone layouts.
+type Shape int
+
+const (
+	// ShapeConvex bows below the diagonal (slow start, fast finish).
+	ShapeConvex Shape = iota
+	// ShapeConcave bows above the diagonal (fast start, slow finish).
+	ShapeConcave
+	// ShapeS rises slowly, accelerates through the middle, then flattens.
+	ShapeS
+	// ShapeReverseS is the mirrored S: fast, plateau, fast.
+	ShapeReverseS
+	numShapes
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case ShapeConvex:
+		return "convex"
+	case ShapeConcave:
+		return "concave"
+	case ShapeS:
+		return "s-shape"
+	case ShapeReverseS:
+		return "reverse-s"
+	}
+	return "unknown"
+}
+
+// Shapes lists all four canonical shapes.
+func Shapes() []Shape {
+	out := make([]Shape, numShapes)
+	for i := range out {
+		out[i] = Shape(i)
+	}
+	return out
+}
+
+// Canonical2D returns the canonical increasing 2-D cubic for the shape, with
+// end points (0,0) and (1,1) and inner control points strictly inside the
+// unit square, matching the four panels of Fig. 4.
+func Canonical2D(s Shape) *Curve {
+	var p1, p2 []float64
+	switch s {
+	case ShapeConvex:
+		p1, p2 = []float64{0.55, 0.05}, []float64{0.95, 0.45}
+	case ShapeConcave:
+		p1, p2 = []float64{0.05, 0.55}, []float64{0.45, 0.95}
+	case ShapeS:
+		p1, p2 = []float64{0.65, 0.05}, []float64{0.35, 0.95}
+	case ShapeReverseS:
+		p1, p2 = []float64{0.05, 0.65}, []float64{0.95, 0.35}
+	default:
+		panic("bezier: unknown shape")
+	}
+	return MustNew([][]float64{{0, 0}, p1, p2, {1, 1}})
+}

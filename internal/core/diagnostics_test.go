@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rpcrank/internal/order"
+)
+
+func TestDiagnoseHealthyFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	alpha := order.MustDirection(1, 1, -1)
+	xs, _ := genBezierCloud(rng, 120, alpha, 0.02)
+	m, err := Fit(xs, Options{Alpha: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Diagnose()
+	if d.N != 120 || d.Dim != 3 || d.Degree != 3 {
+		t.Errorf("shape fields wrong: %+v", d)
+	}
+	if d.DominanceViolations != 0 {
+		t.Errorf("healthy fit reports %d violations", d.DominanceViolations)
+	}
+	// Front consistency can dip slightly below 1 even for a strictly
+	// monotone scorer (fronts are coarser than dominance), but must stay
+	// near it.
+	if d.FrontConsistency < 0.95 {
+		t.Errorf("front consistency %.4f, want >= 0.95", d.FrontConsistency)
+	}
+	if !d.StrictlyMonotone {
+		t.Errorf("monotonicity flag wrong")
+	}
+	// Quantiles ordered.
+	for i := 1; i < 5; i++ {
+		if d.ResidualQuantiles[i] < d.ResidualQuantiles[i-1] {
+			t.Errorf("residual quantiles not ordered: %v", d.ResidualQuantiles)
+		}
+	}
+	if d.ScoreRange[0] > d.ScoreRange[1] {
+		t.Errorf("score range inverted")
+	}
+	s := d.String()
+	for _, want := range []string{"RPC fit", "explained variance", "Pareto front"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diagnostics report missing %q", want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if quantile(nil, 0.5) != 0 {
+		t.Errorf("empty quantile should be 0")
+	}
+	one := []float64{7}
+	if quantile(one, 0) != 7 || quantile(one, 1) != 7 {
+		t.Errorf("single-element quantiles wrong")
+	}
+	two := []float64{0, 10}
+	if got := quantile(two, 0.5); got != 5 {
+		t.Errorf("median of {0,10} = %v, want 5", got)
+	}
+	if got := quantile(two, 1); got != 10 {
+		t.Errorf("q=1 of {0,10} = %v, want 10", got)
+	}
+}

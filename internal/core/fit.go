@@ -1,0 +1,441 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"rpcrank/internal/bezier"
+	"rpcrank/internal/mat"
+	"rpcrank/internal/order"
+	"rpcrank/internal/stats"
+)
+
+// Fit learns an RPC from raw (unnormalised) observations, one row per
+// object, following Algorithm 1 of the paper:
+//
+//  1. normalise X into [0,1]^d (Eq. 29);
+//  2. initialise P with pinned end points p₀ = (1−α)/2, p_k = (1+α)/2 and
+//     jittered interior control points;
+//  3. repeat: project every row onto the curve to get scores (Eq. 22, GSS),
+//     update the control points (Eq. 27 Richardson step or Eq. 26
+//     pseudo-inverse), clamp the interior control points into the open box;
+//  4. stop when ΔJ < ξ, when J would increase, or at MaxIter.
+func Fit(xs [][]float64, opts Options) (*Model, error) {
+	opts = opts.withDefaults()
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("core: no observations")
+	}
+	if err := opts.validate(len(xs), len(xs[0])); err != nil {
+		return nil, err
+	}
+	if opts.Restarts > 1 {
+		return fitMultiStart(xs, opts)
+	}
+	return fitOnce(xs, opts)
+}
+
+// fitMultiStart runs fitOnce from several initialisations and returns the
+// model with the lowest final objective: restart 0 is the jittered-diagonal
+// default, restart 1 places the interior control points on the rows at the
+// interior quantiles of a rough weighted-sum ordering (a deterministic
+// version of Algorithm 1's sample-based init), and further restarts draw
+// random data rows.
+func fitMultiStart(xs [][]float64, opts Options) (*Model, error) {
+	restarts := opts.Restarts
+	rng := rand.New(rand.NewSource(opts.Seed + 1000003))
+
+	// Normalised rows for building inits (fitOnce re-normalises the data
+	// itself, so inits must live in the same unit box).
+	var u [][]float64
+	if opts.NoNormalize {
+		u = xs
+	} else {
+		norm, err := stats.FitNormalizer(xs)
+		if err != nil {
+			return nil, err
+		}
+		u = norm.ApplyAll(xs)
+	}
+	// Rough ordering by the oriented attribute sum.
+	rough := make([]float64, len(u))
+	for i, row := range u {
+		for j, s := range opts.Alpha {
+			rough[i] += s * row[j]
+		}
+	}
+	byRough := order.SortByScoreDesc(rough) // best-first
+
+	var best *Model
+	for r := 0; r < restarts; r++ {
+		o := opts
+		o.Restarts = 1
+		o.Seed = opts.Seed + int64(r)
+		switch {
+		case r == 1:
+			inner := make([][]float64, o.Degree-1)
+			for i := range inner {
+				// Interior quantile position, best-first reversed so
+				// inner[0] is the *low*-score row (near p₀'s corner).
+				q := float64(i+1) / float64(o.Degree)
+				pos := byRough[len(byRough)-1-int(q*float64(len(byRough)-1))]
+				inner[i] = append([]float64{}, u[pos]...)
+			}
+			o.InitInner = inner
+		case r > 1:
+			inner := make([][]float64, o.Degree-1)
+			for i := range inner {
+				inner[i] = append([]float64{}, u[rng.Intn(len(u))]...)
+			}
+			o.InitInner = inner
+		}
+		m, err := fitOnce(xs, o)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || sum(m.ResidualsSq) < sum(best.ResidualsSq) {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+// fitOnce is a single run of Algorithm 1.
+func fitOnce(xs [][]float64, opts Options) (*Model, error) {
+
+	var norm *stats.Normalizer
+	if opts.NoNormalize {
+		d := len(xs[0])
+		norm = &stats.Normalizer{Min: make([]float64, d), Max: make([]float64, d)}
+		for j := 0; j < d; j++ {
+			norm.Max[j] = 1
+		}
+		for i, row := range xs {
+			if len(row) != d {
+				return nil, fmt.Errorf("core: row %d has %d columns, want %d", i, len(row), d)
+			}
+			for j, v := range row {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					return nil, fmt.Errorf("core: NoNormalize requires data in [0,1]; row %d column %d is %v", i, j, v)
+				}
+			}
+		}
+	} else {
+		var err error
+		norm, err = stats.FitNormalizer(xs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	u := norm.ApplyAll(xs)
+	n := len(u)
+	d := len(u[0])
+	k := opts.Degree
+
+	curve := initCurve(opts, d, k)
+
+	// X as a d×n matrix (columns are observations), as in Eq. 23–27.
+	X := mat.Zeros(d, n)
+	for i, row := range u {
+		for j, v := range row {
+			X.Set(j, i, v)
+		}
+	}
+	// M_k as a mat.Dense.
+	M := mat.FromRows(bezier.BernsteinToMonomial(k))
+
+	m := &Model{
+		Alpha: opts.Alpha,
+		Norm:  norm,
+		opts:  opts,
+		data:  u,
+	}
+
+	scores := make([]float64, n)
+	resid := make([]float64, n)
+	prevJ := math.Inf(1)
+	var bestCurve *bezier.Curve
+	bestJ := math.Inf(1)
+	bestScores := make([]float64, n)
+	bestResid := make([]float64, n)
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// Score step (Eq. 22): project every observation onto the curve.
+		projectAll(curve, u, scores, resid, opts)
+		J := sum(resid)
+		if opts.KeepTrajectory {
+			m.Objective = append(m.Objective, J)
+		}
+		if J < bestJ {
+			bestJ = J
+			bestCurve = cloneCurve(curve)
+			copy(bestScores, scores)
+			copy(bestResid, resid)
+		}
+		m.Iterations = iter + 1
+		// Stopping rules of Algorithm 1: ΔJ < ξ converged; ΔJ < 0 (J rose)
+		// breaks and keeps the best iterate.
+		if J > prevJ {
+			break
+		}
+		if prevJ-J < opts.Tol {
+			m.Converged = true
+			break
+		}
+		prevJ = J
+
+		// Control-point step (Eq. 21).
+		Z := monomialMatrix(scores, k) // (k+1)×n
+		MZ := mat.Mul(M, Z)            // (k+1)×n
+		P := curveAsMatrix(curve)      // d×(k+1)
+		switch opts.Updater {
+		case UpdaterRichardson:
+			A := mat.Gram(MZ) // (MZ)(MZ)ᵀ, (k+1)×(k+1)
+			if opts.KeepTrajectory {
+				m.ConditionNumbers = append(m.ConditionNumbers, mat.ConditionNumber(A))
+			}
+			// Preconditioner D: diagonal of column L2 norms of A (Eq. 27).
+			dinv := mat.ColNorms(A)
+			for i, v := range dinv {
+				if v > 0 {
+					dinv[i] = 1 / v
+				} else {
+					dinv[i] = 1
+				}
+			}
+			// The step P ← P − γ(P·A − B)D⁻¹ contracts when γ is chosen
+			// from the spectrum of the *preconditioned* operator
+			// D^{-1/2}·A·D^{-1/2} (similar to A·D⁻¹); using the raw
+			// eigenvalues of A (the literal reading of Eq. 28) overshoots
+			// whenever D deviates from identity, so we apply Eq. 28 to the
+			// preconditioned matrix.
+			At := A.Clone()
+			for i := 0; i < At.Rows(); i++ {
+				for j := 0; j < At.Cols(); j++ {
+					At.Set(i, j, A.At(i, j)*math.Sqrt(dinv[i])*math.Sqrt(dinv[j]))
+				}
+			}
+			lo, hi := mat.EigenRange(At)
+			gamma := 0.0
+			if lo+hi > 0 {
+				gamma = 2 / (lo + hi)
+			}
+			grad := mat.Sub(mat.Mul(P, A), mat.Mul(X, mat.T(MZ)))
+			step := mat.MulDiagRight(grad, dinv)
+			// Backtracking safeguard: a single Richardson step must not
+			// increase the (fixed-Z) objective, otherwise Algorithm 1's
+			// ΔJ < 0 stop would fire spuriously on the next iteration.
+			base := fixedZObjective(X, P, MZ)
+			for try := 0; try < 40; try++ {
+				cand := mat.Sub(P, mat.Scale(gamma, step))
+				if fixedZObjective(X, cand, MZ) <= base || gamma == 0 {
+					P = cand
+					break
+				}
+				gamma /= 2
+			}
+		case UpdaterPseudoInverse:
+			// P = X·(MZ)⁺  (Eq. 26)
+			P = mat.Mul(X, mat.Pinv(MZ))
+		default:
+			return nil, fmt.Errorf("core: unknown updater %v", opts.Updater)
+		}
+		matIntoCurve(P, curve)
+		constrainCurve(curve, opts, d, k)
+	}
+
+	if bestCurve == nil { // MaxIter == 0 is rejected by validate; defensive
+		bestCurve = curve
+	}
+	// Final projection against the best curve so scores/residuals match it.
+	projectAll(bestCurve, u, bestScores, bestResid, opts)
+	m.Curve = bestCurve
+	m.Scores = bestScores
+	m.ResidualsSq = bestResid
+	if len(m.Objective) == 0 || !opts.KeepTrajectory {
+		m.Objective = append(m.Objective, sum(bestResid))
+	}
+	return m, nil
+}
+
+// Score projects a single raw observation onto the fitted curve and returns
+// its score in [0,1].
+func (m *Model) Score(x []float64) float64 {
+	u := m.Norm.Apply(x)
+	s, _ := projectOne(m.Curve, u, m.opts)
+	return s
+}
+
+// ScoreAll scores every row.
+func (m *Model) ScoreAll(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = m.Score(x)
+	}
+	return out
+}
+
+// Reconstruct returns the point on the curve at score s mapped back into
+// the original data space — the denoised observation f(s) of Eq. 11.
+func (m *Model) Reconstruct(s float64) []float64 {
+	return m.Norm.Invert(m.Curve.Eval(clamp01(s)))
+}
+
+// initCurve builds the initial Bézier layout: end points pinned by α, the
+// k−1 interior points spaced along the main diagonal with deterministic
+// seeded jitter (the paper initialises from random samples; a jittered
+// diagonal is its deterministic, reproducible analogue).
+func initCurve(opts Options, d, k int) *bezier.Curve {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	p0 := make([]float64, d)
+	pk := make([]float64, d)
+	for j, s := range opts.Alpha {
+		p0[j] = (1 - s) / 2
+		pk[j] = (1 + s) / 2
+	}
+	pts := make([][]float64, k+1)
+	pts[0] = p0
+	pts[k] = pk
+	for r := 1; r < k; r++ {
+		p := make([]float64, d)
+		if opts.InitInner != nil && r-1 < len(opts.InitInner) && len(opts.InitInner[r-1]) == d {
+			copy(p, opts.InitInner[r-1])
+			for j := range p {
+				p[j] = clampTo(p[j], opts.ClampEps, 1-opts.ClampEps)
+			}
+		} else {
+			t := float64(r) / float64(k)
+			for j := 0; j < d; j++ {
+				p[j] = p0[j] + t*(pk[j]-p0[j]) + 0.05*(rng.Float64()-0.5)
+				p[j] = clampTo(p[j], opts.ClampEps, 1-opts.ClampEps)
+			}
+		}
+		pts[r] = p
+	}
+	return bezier.MustNew(pts)
+}
+
+// constrainCurve re-pins the end points and clamps interior control points
+// into [eps, 1−eps]^d after an unconstrained update step.
+func constrainCurve(c *bezier.Curve, opts Options, d, k int) {
+	for j, s := range opts.Alpha {
+		c.Points[0][j] = (1 - s) / 2
+		c.Points[k][j] = (1 + s) / 2
+	}
+	for r := 1; r < k; r++ {
+		for j := 0; j < d; j++ {
+			c.Points[r][j] = clampTo(c.Points[r][j], opts.ClampEps, 1-opts.ClampEps)
+		}
+	}
+}
+
+func projectAll(c *bezier.Curve, u [][]float64, scores, resid []float64, opts Options) {
+	workers := opts.Workers
+	if workers == -1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || len(u) < 4*workers {
+		for i, row := range u {
+			s, r2 := projectOne(c, row, opts)
+			scores[i] = s
+			resid[i] = r2
+		}
+		return
+	}
+	// Each worker owns a disjoint index stripe, so no synchronisation
+	// beyond the WaitGroup is needed and the result is bit-identical to
+	// the serial loop.
+	var wg sync.WaitGroup
+	chunk := (len(u) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(u) {
+			hi = len(u)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				s, r2 := projectOne(c, u[i], opts)
+				scores[i] = s
+				resid[i] = r2
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func monomialMatrix(scores []float64, k int) *mat.Dense {
+	n := len(scores)
+	Z := mat.Zeros(k+1, n)
+	for i, s := range scores {
+		v := 1.0
+		for r := 0; r <= k; r++ {
+			Z.Set(r, i, v)
+			v *= s
+		}
+	}
+	return Z
+}
+
+func curveAsMatrix(c *bezier.Curve) *mat.Dense {
+	d := c.Dim()
+	k := c.Degree()
+	P := mat.Zeros(d, k+1)
+	for r, p := range c.Points {
+		for j, v := range p {
+			P.Set(j, r, v)
+		}
+	}
+	return P
+}
+
+func matIntoCurve(P *mat.Dense, c *bezier.Curve) {
+	for r := range c.Points {
+		for j := range c.Points[r] {
+			c.Points[r][j] = P.At(j, r)
+		}
+	}
+}
+
+func cloneCurve(c *bezier.Curve) *bezier.Curve {
+	pts := make([][]float64, len(c.Points))
+	for i, p := range c.Points {
+		pts[i] = append([]float64{}, p...)
+	}
+	return bezier.MustNew(pts)
+}
+
+// fixedZObjective evaluates ‖X − P·MZ‖²_F, the Eq. 24 objective with the
+// score matrix held fixed.
+func fixedZObjective(X, P, MZ *mat.Dense) float64 {
+	diff := mat.Sub(X, mat.Mul(P, MZ))
+	n := mat.FrobeniusNorm(diff)
+	return n * n
+}
+
+func sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+func clampTo(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clamp01(v float64) float64 { return clampTo(v, 0, 1) }

@@ -1,0 +1,289 @@
+// Package core implements the paper's primary contribution: the Ranking
+// Principal Curve (RPC) model of §4–5. An RPC is a degree-k Bézier curve
+// (cubic by default, Eq. 15) whose end points are pinned to opposite corners
+// of the unit hypercube by the direction vector α and whose inner control
+// points are confined to the interior of the hypercube, which makes every
+// coordinate of the curve strictly monotone (Proposition 1) and hence the
+// induced score map order-preserving. Fitting follows Algorithm 1:
+// alternating minimisation with Golden Section Search for the latent scores
+// (Eq. 22) and a preconditioned Richardson step for the control points
+// (Eq. 27–28).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rpcrank/internal/bezier"
+	"rpcrank/internal/order"
+	"rpcrank/internal/stats"
+)
+
+// Projector selects how the per-point latent score sᵢ (Eq. 20) is computed.
+type Projector int
+
+const (
+	// ProjectorGSS seeds with a coarse grid and refines by Golden Section
+	// Search, the method Algorithm 1 adopts. Default.
+	ProjectorGSS Projector = iota
+	// ProjectorBrent seeds with a coarse grid and refines by Brent's
+	// parabolic interpolation (fewer curve evaluations).
+	ProjectorBrent
+	// ProjectorQuintic solves the orthogonality condition (f(s)−x)·f′(s)=0
+	// exactly as a quintic polynomial (the Jenkins–Traub route the paper
+	// cites). Only valid for cubic curves.
+	ProjectorQuintic
+)
+
+// String implements fmt.Stringer.
+func (p Projector) String() string {
+	switch p {
+	case ProjectorGSS:
+		return "gss"
+	case ProjectorBrent:
+		return "brent"
+	case ProjectorQuintic:
+		return "quintic"
+	}
+	return "unknown"
+}
+
+// Updater selects the control-point update rule for Eq. 21.
+type Updater int
+
+const (
+	// UpdaterRichardson is the preconditioned Richardson iteration of
+	// Eq. 27–28 that the paper adopts to cope with the ill-conditioning of
+	// (MZ)(MZ)ᵀ. Default.
+	UpdaterRichardson Updater = iota
+	// UpdaterPseudoInverse applies the closed-form minimiser
+	// P = X·(MZ)⁺ of Eq. 26 directly. Offered as an ablation; the paper
+	// argues it is numerically fragile.
+	UpdaterPseudoInverse
+)
+
+// String implements fmt.Stringer.
+func (u Updater) String() string {
+	switch u {
+	case UpdaterRichardson:
+		return "richardson"
+	case UpdaterPseudoInverse:
+		return "pseudoinverse"
+	}
+	return "unknown"
+}
+
+// Options configures Fit. The zero value is not usable: Alpha is required.
+// Every other field has a sensible default applied by withDefaults.
+type Options struct {
+	// Alpha is the direction vector of Eq. 3: one ±1 entry per attribute
+	// (+1 benefit, −1 cost). Required.
+	Alpha order.Direction
+
+	// Degree of the Bézier curve. Default 3, the degree the paper argues is
+	// the right capacity/overfitting trade-off (§4.2). Values 2–6 are
+	// accepted for the degree ablation.
+	Degree int
+
+	// MaxIter bounds the outer alternating-minimisation loop. Default 200.
+	MaxIter int
+
+	// Tol is ξ of Algorithm 1: stop when the objective decreases by less
+	// than this between iterations. Default 1e-8.
+	Tol float64
+
+	// GridCells is the coarse-grid resolution used to seed the projector.
+	// Default 32.
+	GridCells int
+
+	// ProjTol is the bracket width at which 1-D refinement stops.
+	// Default 1e-10.
+	ProjTol float64
+
+	// Projector selects the score solver. Default ProjectorGSS.
+	Projector Projector
+
+	// Updater selects the control-point update. Default UpdaterRichardson.
+	Updater Updater
+
+	// ClampEps keeps inner control points inside [ClampEps, 1−ClampEps]
+	// so the Hu et al. monotonicity condition holds strictly. Default 1e-3.
+	ClampEps float64
+
+	// Seed drives the deterministic jitter of the control-point
+	// initialisation. Default 1.
+	Seed int64
+
+	// KeepTrajectory records the objective value after every iteration in
+	// Model.Objective (always records at least the final value).
+	KeepTrajectory bool
+
+	// NoNormalize skips the min–max normalisation of Eq. 29 and treats the
+	// input as already lying in [0,1]^d. Use when the unit box carries
+	// meaning of its own (the Table 1 / Fig. 6 toy data); Fit rejects rows
+	// outside [0,1] in this mode.
+	NoNormalize bool
+
+	// InitInner, when non-nil, supplies the initial interior control
+	// points (Degree−1 rows of dimension d, in normalised space) instead of
+	// the jittered-diagonal default. Algorithm 1 step 2 initialises from
+	// randomly selected samples; passing data rows here reproduces that.
+	// Values are clamped into the open box before use.
+	InitInner [][]float64
+
+	// Restarts > 1 runs the fit from multiple initialisations — the
+	// jittered diagonal plus Restarts−1 draws of random data rows as
+	// initial control points (the paper's sample-based init) — and keeps
+	// the solution with the lowest objective. The alternating minimisation
+	// only finds local minima (Eq. 21–22), so restarts materially improve
+	// small-n fits. Default 1.
+	Restarts int
+
+	// Workers parallelises the projection step (Eq. 22) across goroutines.
+	// Projections of distinct observations are independent, so the result
+	// is bit-identical to the serial fit. 0 or 1 = serial; −1 = one worker
+	// per CPU.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Degree == 0 {
+		o.Degree = 3
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 200
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-8
+	}
+	if o.GridCells == 0 {
+		o.GridCells = 32
+	}
+	if o.ProjTol == 0 {
+		o.ProjTol = 1e-10
+	}
+	if o.ClampEps == 0 {
+		o.ClampEps = 1e-3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Options) validate(nRows, dim int) error {
+	if len(o.Alpha) == 0 {
+		return errors.New("core: Options.Alpha is required")
+	}
+	if err := o.Alpha.Validate(); err != nil {
+		return err
+	}
+	if o.Alpha.Dim() != dim {
+		return fmt.Errorf("core: alpha has %d attributes but data has %d", o.Alpha.Dim(), dim)
+	}
+	if nRows < 2 {
+		return fmt.Errorf("core: need at least 2 observations, got %d", nRows)
+	}
+	if o.Degree < 2 || o.Degree > 6 {
+		return fmt.Errorf("core: degree %d out of supported range [2,6]", o.Degree)
+	}
+	if o.Projector == ProjectorQuintic && o.Degree != 3 {
+		return fmt.Errorf("core: quintic projector requires degree 3, got %d", o.Degree)
+	}
+	if o.MaxIter < 1 {
+		return fmt.Errorf("core: MaxIter must be positive, got %d", o.MaxIter)
+	}
+	if o.GridCells < 2 {
+		return fmt.Errorf("core: GridCells must be at least 2, got %d", o.GridCells)
+	}
+	if o.ClampEps <= 0 || o.ClampEps >= 0.5 {
+		return fmt.Errorf("core: ClampEps %v out of (0, 0.5)", o.ClampEps)
+	}
+	return nil
+}
+
+// Model is a fitted RPC. Scores live in [0,1] with 1 the "best" corner
+// (1+α)/2 of the hypercube and 0 the "worst".
+type Model struct {
+	// Curve is the fitted Bézier curve in normalised [0,1]^d space.
+	Curve *bezier.Curve
+	// Alpha is the direction vector the model was fitted with.
+	Alpha order.Direction
+	// Norm maps between the original data space and [0,1]^d.
+	Norm *stats.Normalizer
+	// Scores holds the training scores, parallel to the input rows.
+	Scores []float64
+	// ResidualsSq holds the squared orthogonal reconstruction error per row.
+	ResidualsSq []float64
+	// Objective is the recorded J trajectory (final value always present).
+	Objective []float64
+	// Iterations is the number of outer iterations performed.
+	Iterations int
+	// Converged reports whether the ΔJ < ξ criterion fired before MaxIter.
+	Converged bool
+	// ConditionNumbers records cond((MZ)(MZ)ᵀ) per iteration when the
+	// Richardson updater runs (used by the A2 ablation).
+	ConditionNumbers []float64
+
+	opts Options
+	data [][]float64 // normalised training rows, retained for diagnostics
+}
+
+// Dim returns the attribute dimension.
+func (m *Model) Dim() int { return m.Alpha.Dim() }
+
+// ExplainedVariance returns 1 − Σresidual²/total variance in normalised
+// space, the quality measure of §6.2.1.
+func (m *Model) ExplainedVariance() float64 {
+	return stats.ExplainedVariance(m.data, m.ResidualsSq)
+}
+
+// MSE returns the mean squared orthogonal residual in normalised space.
+func (m *Model) MSE() float64 { return stats.MSE(m.ResidualsSq) }
+
+// ControlPoints returns the control points in normalised space;
+// row r is point p_r.
+func (m *Model) ControlPoints() [][]float64 {
+	out := make([][]float64, len(m.Curve.Points))
+	for i, p := range m.Curve.Points {
+		out[i] = append([]float64{}, p...)
+	}
+	return out
+}
+
+// ControlPointsOriginal maps the control points back to the original data
+// space, which is how Table 2 reports them (its bottom rows).
+func (m *Model) ControlPointsOriginal() [][]float64 {
+	out := make([][]float64, len(m.Curve.Points))
+	for i, p := range m.Curve.Points {
+		out[i] = m.Norm.Invert(p)
+	}
+	return out
+}
+
+// StrictlyMonotone reports whether the fitted curve passes the exact
+// componentwise monotonicity test of Proposition 1 (always true for the
+// cubic fit with clamped control points; exposed so callers can assert it).
+func (m *Model) StrictlyMonotone() bool {
+	if m.Curve.Degree() != 3 {
+		return sampledMonotone(m.Curve, m.Alpha)
+	}
+	return bezier.StrictlyMonotone(m.Curve, m.Alpha)
+}
+
+// sampledMonotone is the fallback monotonicity check for non-cubic degrees
+// (where no closed form is implemented): dense sampling of each coordinate.
+func sampledMonotone(c *bezier.Curve, alpha order.Direction) bool {
+	const cells = 512
+	prev := c.Eval(0)
+	for i := 1; i <= cells; i++ {
+		cur := c.Eval(float64(i) / cells)
+		for j, s := range alpha {
+			if s*(cur[j]-prev[j]) < -1e-12 {
+				return false
+			}
+		}
+		prev = cur
+	}
+	return true
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"rpcrank/internal/bezier"
+	"rpcrank/internal/order"
+	"rpcrank/internal/stats"
+)
+
+// modelJSON is the stable on-disk representation of a fitted RPC: the
+// control points, the direction vector, and the normalisation ranges are
+// the complete ranking rule (that is the "explicitness" meta-rule made
+// operational — the whole model serialises to a few dozen numbers).
+type modelJSON struct {
+	Version       int         `json:"version"`
+	Alpha         []float64   `json:"alpha"`
+	ControlPoints [][]float64 `json:"control_points"`
+	NormMin       []float64   `json:"norm_min"`
+	NormMax       []float64   `json:"norm_max"`
+	Projector     string      `json:"projector"`
+	GridCells     int         `json:"grid_cells"`
+	ProjTol       float64     `json:"proj_tol"`
+}
+
+const modelVersion = 1
+
+// Save writes the fitted model as JSON. Training scores and diagnostics are
+// not persisted — the serialised rule re-scores any observation exactly.
+func (m *Model) Save(w io.Writer) error {
+	if m.Curve == nil || m.Norm == nil {
+		return fmt.Errorf("core: cannot save an unfitted model")
+	}
+	out := modelJSON{
+		Version:       modelVersion,
+		Alpha:         append([]float64{}, m.Alpha...),
+		ControlPoints: make([][]float64, len(m.Curve.Points)),
+		NormMin:       append([]float64{}, m.Norm.Min...),
+		NormMax:       append([]float64{}, m.Norm.Max...),
+		Projector:     m.opts.Projector.String(),
+		GridCells:     m.opts.GridCells,
+		ProjTol:       m.opts.ProjTol,
+	}
+	for i, p := range m.Curve.Points {
+		out.ControlPoints[i] = append([]float64{}, p...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Load reads a model saved by Save. The returned model scores observations
+// identically to the original; training-time diagnostics (Scores,
+// ResidualsSq, Objective) are empty.
+func Load(r io.Reader) (*Model, error) {
+	var in modelJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if in.Version != modelVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d (want %d)", in.Version, modelVersion)
+	}
+	alpha, err := order.NewDirection(in.Alpha...)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading model: %w", err)
+	}
+	if len(in.ControlPoints) < 2 {
+		return nil, fmt.Errorf("core: model has %d control points, need at least 2", len(in.ControlPoints))
+	}
+	d := alpha.Dim()
+	for i, p := range in.ControlPoints {
+		if len(p) != d {
+			return nil, fmt.Errorf("core: control point %d has dim %d, want %d", i, len(p), d)
+		}
+		for j, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("core: control point %d coordinate %d is not finite", i, j)
+			}
+		}
+	}
+	if len(in.NormMin) != d || len(in.NormMax) != d {
+		return nil, fmt.Errorf("core: normaliser dims %d/%d, want %d", len(in.NormMin), len(in.NormMax), d)
+	}
+	for j := range in.NormMin {
+		if !(in.NormMax[j] > in.NormMin[j]) {
+			return nil, fmt.Errorf("core: normaliser range for attribute %d is empty", j)
+		}
+	}
+	curve, err := bezier.New(in.ControlPoints)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading curve: %w", err)
+	}
+	opts := Options{
+		Alpha:     alpha,
+		GridCells: in.GridCells,
+		ProjTol:   in.ProjTol,
+	}
+	switch in.Projector {
+	case "brent":
+		opts.Projector = ProjectorBrent
+	case "quintic":
+		opts.Projector = ProjectorQuintic
+	default:
+		opts.Projector = ProjectorGSS
+	}
+	opts = opts.withDefaults()
+	return &Model{
+		Curve: curve,
+		Alpha: alpha,
+		Norm:  &stats.Normalizer{Min: in.NormMin, Max: in.NormMax},
+		opts:  opts,
+	}, nil
+}

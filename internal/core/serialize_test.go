@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rpcrank/internal/order"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	alpha := order.MustDirection(1, 1, -1)
+	xs, _ := genBezierCloud(rng, 100, alpha, 0.02)
+	m, err := Fit(xs, Options{Alpha: alpha, Projector: ProjectorBrent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded rule must score identically.
+	for i := 0; i < 20; i++ {
+		x := xs[i*5]
+		if got, want := loaded.Score(x), m.Score(x); got != want {
+			t.Fatalf("row %d: loaded score %.12f vs original %.12f", i, got, want)
+		}
+	}
+	if loaded.Alpha.Dim() != 3 || loaded.Curve.Degree() != 3 {
+		t.Errorf("loaded model shape wrong")
+	}
+	if !loaded.StrictlyMonotone() {
+		t.Errorf("loaded model lost monotonicity")
+	}
+}
+
+func TestSaveUnfitted(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Model{}).Save(&buf); err == nil {
+		t.Errorf("saving an unfitted model should error")
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, body string
+	}{
+		{"garbage", "not json"},
+		{"bad version", `{"version": 99}`},
+		{"bad alpha", `{"version":1,"alpha":[2],"control_points":[[0],[1]],"norm_min":[0],"norm_max":[1]}`},
+		{"too few points", `{"version":1,"alpha":[1],"control_points":[[0]],"norm_min":[0],"norm_max":[1]}`},
+		{"dim mismatch", `{"version":1,"alpha":[1,1],"control_points":[[0],[1]],"norm_min":[0,0],"norm_max":[1,1]}`},
+		{"nan point", `{"version":1,"alpha":[1],"control_points":[[0],["NaN"]],"norm_min":[0],"norm_max":[1]}`},
+		{"bad norm dims", `{"version":1,"alpha":[1],"control_points":[[0],[1]],"norm_min":[0,1],"norm_max":[1]}`},
+		{"empty norm range", `{"version":1,"alpha":[1],"control_points":[[0],[1]],"norm_min":[1],"norm_max":[1]}`},
+	}
+	for _, c := range cases {
+		if _, err := Load(strings.NewReader(c.body)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestLoadProjectorSelection(t *testing.T) {
+	base := `{"version":1,"alpha":[1],"control_points":[[0],[0.3],[0.7],[1]],"norm_min":[0],"norm_max":[1],"projector":%q}`
+	for spec, want := range map[string]Projector{
+		"gss":     ProjectorGSS,
+		"brent":   ProjectorBrent,
+		"quintic": ProjectorQuintic,
+		"bogus":   ProjectorGSS, // unknown falls back to the default
+	} {
+		m, err := Load(strings.NewReader(strings.Replace(base, "%q", `"`+spec+`"`, 1)))
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if m.opts.Projector != want {
+			t.Errorf("%s: projector %v, want %v", spec, m.opts.Projector, want)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package crossval validates a ranking principal curve out of sample with
+// k-fold cross-validation: each fold is held out, the model is fitted on
+// the remainder, and the held-out rows are scored by projection. Two
+// quantities come out: the out-of-sample reconstruction error (does the
+// skeleton generalise?) and the rank agreement between held-out scores and
+// the full-data scores (is the list stable under refitting?). Together with
+// the bootstrap of internal/stability this answers the paper's "is this
+// list reasonable?" question without any labels.
+package crossval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rpcrank/internal/core"
+	"rpcrank/internal/order"
+)
+
+// Options configures the cross-validation.
+type Options struct {
+	// Folds is k. Default 5.
+	Folds int
+	// Seed shuffles the fold assignment. Default 1.
+	Seed int64
+	// Fit holds the RPC options; Alpha is required.
+	Fit core.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Folds == 0 {
+		o.Folds = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// FoldResult is one fold's outcome.
+type FoldResult struct {
+	// Fold index, 0-based.
+	Fold int
+	// TestRows is the held-out row count.
+	TestRows int
+	// MSE is the mean squared orthogonal residual of held-out rows, in
+	// normalised units of the training fit.
+	MSE float64
+	// Tau is the Kendall agreement between held-out scores under this fold
+	// model and under the full-data model.
+	Tau float64
+}
+
+// Result aggregates the folds.
+type Result struct {
+	Folds []FoldResult
+	// MeanMSE and MeanTau average the folds.
+	MeanMSE, MeanTau float64
+	// TrainMSE is the full-data in-sample MSE, for the generalisation gap.
+	TrainMSE float64
+}
+
+// Run executes k-fold cross-validation.
+func Run(xs [][]float64, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n := len(xs)
+	if opts.Folds < 2 {
+		return nil, fmt.Errorf("crossval: need at least 2 folds, got %d", opts.Folds)
+	}
+	if n < 2*opts.Folds {
+		return nil, fmt.Errorf("crossval: %d rows is too few for %d folds", n, opts.Folds)
+	}
+	full, err := core.Fit(xs, opts.Fit)
+	if err != nil {
+		return nil, fmt.Errorf("crossval: full fit: %w", err)
+	}
+
+	perm := rand.New(rand.NewSource(opts.Seed)).Perm(n)
+	res := &Result{TrainMSE: full.MSE()}
+	for f := 0; f < opts.Folds; f++ {
+		var trainIdx, testIdx []int
+		for pos, i := range perm {
+			if pos%opts.Folds == f {
+				testIdx = append(testIdx, i)
+			} else {
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		train := make([][]float64, len(trainIdx))
+		for k, i := range trainIdx {
+			train[k] = xs[i]
+		}
+		m, err := core.Fit(train, opts.Fit)
+		if err != nil {
+			return nil, fmt.Errorf("crossval: fold %d: %w", f, err)
+		}
+		var sumSq float64
+		foldScores := make([]float64, len(testIdx))
+		fullScores := make([]float64, len(testIdx))
+		for k, i := range testIdx {
+			u := m.Norm.Apply(xs[i])
+			s := m.Score(xs[i])
+			foldScores[k] = s
+			fullScores[k] = full.Scores[i]
+			sumSq += distSq(u, m.Curve.Eval(s))
+		}
+		res.Folds = append(res.Folds, FoldResult{
+			Fold:     f,
+			TestRows: len(testIdx),
+			MSE:      sumSq / float64(len(testIdx)),
+			Tau:      order.KendallTau(foldScores, fullScores),
+		})
+	}
+	for _, fr := range res.Folds {
+		res.MeanMSE += fr.MSE
+		res.MeanTau += fr.Tau
+	}
+	res.MeanMSE /= float64(len(res.Folds))
+	res.MeanTau /= float64(len(res.Folds))
+	return res, nil
+}
+
+// GeneralizationGap is MeanMSE − TrainMSE: near zero means the skeleton is
+// not overfitting (the paper's k=3 capacity argument, quantified).
+func (r *Result) GeneralizationGap() float64 { return r.MeanMSE - r.TrainMSE }
+
+func distSq(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	if math.IsNaN(s) {
+		return math.Inf(1)
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package crossval
+
+import (
+	"testing"
+
+	"rpcrank/internal/core"
+	"rpcrank/internal/dataset"
+	"rpcrank/internal/order"
+)
+
+func TestRunValidation(t *testing.T) {
+	alpha := order.MustDirection(1, 1)
+	xs, _ := dataset.SCurve(6, 0.02, 1)
+	if _, err := Run(xs, Options{Folds: 5, Fit: core.Options{Alpha: alpha}}); err == nil {
+		t.Errorf("too few rows for folds should error")
+	}
+	if _, err := Run(xs, Options{Folds: 1, Fit: core.Options{Alpha: alpha}}); err == nil {
+		t.Errorf("one fold should error")
+	}
+	if _, err := Run(xs, Options{Folds: 2, Fit: core.Options{}}); err == nil {
+		t.Errorf("missing alpha should error")
+	}
+}
+
+func TestRunCleanSkeletonGeneralizes(t *testing.T) {
+	xs, _ := dataset.SCurve(150, 0.02, 2)
+	alpha := order.MustDirection(1, 1)
+	res, err := Run(xs, Options{Fit: core.Options{Alpha: alpha}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Folds) != 5 {
+		t.Fatalf("want 5 folds, got %d", len(res.Folds))
+	}
+	total := 0
+	for _, f := range res.Folds {
+		total += f.TestRows
+		if f.MSE < 0 {
+			t.Errorf("fold %d negative MSE", f.Fold)
+		}
+		if f.Tau < 0.85 {
+			t.Errorf("fold %d tau %.3f — held-out ranking should agree with the full list", f.Fold, f.Tau)
+		}
+	}
+	if total != 150 {
+		t.Errorf("folds cover %d rows, want 150", total)
+	}
+	// On a clean skeleton the generalisation gap should be small relative
+	// to the training error.
+	if res.GeneralizationGap() > 5*res.TrainMSE+1e-4 {
+		t.Errorf("generalisation gap %.6f suspicious (train MSE %.6f)",
+			res.GeneralizationGap(), res.TrainMSE)
+	}
+	if res.MeanTau < 0.85 {
+		t.Errorf("MeanTau = %.3f", res.MeanTau)
+	}
+}
+
+func TestRunDetectsOverfittingHighDegree(t *testing.T) {
+	// Few noisy points with a high-degree curve: the CV error should
+	// exceed the cubic's, or at least the gaps should be comparable —
+	// the k=3 argument of §4.2 measured out of sample.
+	xs, _ := dataset.SCurve(40, 0.08, 3)
+	alpha := order.MustDirection(1, 1)
+	cubic, err := Run(xs, Options{Seed: 4, Fit: core.Options{Alpha: alpha, Degree: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sextic, err := Run(xs, Options{Seed: 4, Fit: core.Options{Alpha: alpha, Degree: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sextic must not generalise clearly better than the cubic: its
+	// extra capacity buys nothing on a cubic-representable skeleton.
+	if sextic.MeanMSE < 0.7*cubic.MeanMSE {
+		t.Errorf("degree-6 CV MSE %.6f clearly beats cubic %.6f — unexpected",
+			sextic.MeanMSE, cubic.MeanMSE)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	xs, _ := dataset.SCurve(60, 0.03, 5)
+	alpha := order.MustDirection(1, 1)
+	opts := Options{Seed: 11, Fit: core.Options{Alpha: alpha}}
+	a, err := Run(xs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(xs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanMSE != b.MeanMSE || a.MeanTau != b.MeanTau {
+		t.Errorf("same seed must give identical CV results")
+	}
+}

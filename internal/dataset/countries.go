@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rpcrank/internal/order"
+)
+
+// CountryAttrs are the four GAPMINDER indicators of §6.2.1 / Example 2:
+// GDP per capita (PPP, $/person, benefit), life expectancy at birth (years,
+// benefit), infant mortality rate (per 1000 born, cost) and new infectious
+// tuberculosis cases (per 100k, cost).
+var CountryAttrs = []string{"GDP", "LEB", "IMR", "Tuberculosis"}
+
+// CountryAlpha is α = (1, 1, −1, −1), exactly as the paper states for the
+// life-quality task.
+func CountryAlpha() order.Direction { return order.MustDirection(1, 1, -1, -1) }
+
+// paperCountries holds the fifteen rows Table 2 prints verbatim, in the
+// paper's top/middle/bottom order. The quality field q is the latent
+// position used to interleave them with the generated countries: the three
+// blocks sit around ranks 1–5, 96–100 and 167–171 of 171.
+var paperCountries = []struct {
+	name string
+	row  [4]float64
+	q    float64
+}{
+	{"Luxembourg", [4]float64{70014, 79.56, 6, 4}, 0.995},
+	{"Norway", [4]float64{47551, 80.29, 3, 3}, 0.985},
+	{"Kuwait", [4]float64{44947, 77.258, 11, 10}, 0.975},
+	{"Singapore", [4]float64{41479, 79.627, 12, 2}, 0.968},
+	{"United States", [4]float64{41674, 77.93, 2, 7}, 0.962},
+	{"Moldova", [4]float64{2362, 67.923, 63, 17}, 0.44},
+	{"Vanuatu", [4]float64{3477, 69.257, 37, 31}, 0.435},
+	{"Suriname", [4]float64{7234, 68.425, 53, 30}, 0.43},
+	{"Morocco", [4]float64{3547, 70.443, 44, 36}, 0.425},
+	{"Iraq", [4]float64{3200, 68.495, 25, 37}, 0.41},
+	{"South Africa", [4]float64{8477, 51.803, 349, 55}, 0.045},
+	{"Sierra Leone", [4]float64{790, 46.365, 219, 160}, 0.032},
+	{"Djibouti", [4]float64{1964, 54.456, 330, 88}, 0.028},
+	{"Zimbabwe", [4]float64{538, 41.681, 311, 68}, 0.018},
+	{"Swaziland", [4]float64{4384, 44.99, 422, 110}, 0.006},
+}
+
+// CountriesN is the country count of the paper's experiment.
+const CountriesN = 171
+
+// Countries returns the 171-country life-quality table: the fifteen rows of
+// Table 2 verbatim plus 156 deterministically generated countries drawn from
+// the same S-shaped latent-quality model (see DESIGN.md, Substitutions).
+func Countries() *Table {
+	rng := rand.New(rand.NewSource(20160517)) // fixed: dataset is part of the spec
+	t := &Table{
+		Name:  "countries",
+		Attrs: append([]string{}, CountryAttrs...),
+		Alpha: CountryAlpha(),
+	}
+	for _, c := range paperCountries {
+		t.Objects = append(t.Objects, c.name)
+		t.Rows = append(t.Rows, c.row[:])
+	}
+	need := CountriesN - len(paperCountries)
+	for i := 0; i < need; i++ {
+		// Latent quality spread over (0.05, 0.93): the extremes belong to
+		// the named Table 2 rows (Luxembourg's GDP and Swaziland's IMR stay
+		// the dataset extremes, as in the paper's source table).
+		q := (float64(i) + 0.5) / float64(need)
+		q = 0.05 + 0.88*q
+		t.Objects = append(t.Objects, fmt.Sprintf("Country-%03d", i+1))
+		t.Rows = append(t.Rows, synthCountry(rng, q))
+	}
+	return t
+}
+
+// synthCountry draws one country's indicators from the latent-quality model.
+// The shapes mirror what Fig. 7 shows: GDP grows super-linearly with
+// quality and saturates LEB/IMR/TB improvements past the knee near
+// normalised GDP 0.2 ("when GDP exceeds $14300 ... little LEB increase").
+func synthCountry(rng *rand.Rand, q float64) []float64 {
+	// GDP: exponential in quality, lognormal noise, capped below the named
+	// top block (Singapore's 41479 is the weakest of the paper's top five)
+	// so the paper's leaders keep their positions.
+	gdp := 560 * math.Exp(4.2*q) * math.Exp(0.22*rng.NormFloat64())
+	gdp = clampF(gdp, 560, 38500)
+	// LEB: fast rise at low quality, flat near the human limit. Kept above
+	// Zimbabwe's 41.681 and below Norway's 80.29.
+	leb := 46 + 34*math.Pow(q, 0.45) + 1.0*rng.NormFloat64()
+	leb = clampF(leb, 45.5, 80.0)
+	// IMR: collapses quickly as quality rises; capped below Zimbabwe's 311
+	// so the named bottom block keeps the extreme values.
+	imr := 3 + 290*math.Pow(1-q, 3.0) + 5*math.Abs(rng.NormFloat64())
+	imr = clampF(imr, 3, 300)
+	// Tuberculosis: similar decay, capped below Sierra Leone's 160.
+	tb := 3 + 130*math.Pow(1-q, 2.2) + 4*math.Abs(rng.NormFloat64())
+	tb = clampF(tb, 3, 150)
+	return []float64{round1(gdp), round3(leb), math.Round(imr), math.Round(tb)}
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func round1(v float64) float64 { return math.Round(v*10) / 10 }
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }

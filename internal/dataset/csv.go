@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rpcrank/internal/order"
+)
+
+// WriteCSV renders the table as CSV: a header row of "object" plus the
+// attribute names, then one row per object. Floats use the shortest
+// round-trip representation.
+func WriteCSV(w io.Writer, t *Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"object"}, t.Attrs...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, t.Dim()+1)
+	for i, row := range t.Rows {
+		rec[0] = t.Objects[i]
+		for j, v := range row {
+			rec[j+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table written in the WriteCSV layout. alpha must match
+// the attribute count of the file.
+func ReadCSV(r io.Reader, name string, alpha order.Direction) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("dataset: CSV needs an object column plus at least one attribute")
+	}
+	if !strings.EqualFold(header[0], "object") {
+		return nil, fmt.Errorf("dataset: first CSV column must be %q, got %q", "object", header[0])
+	}
+	t := &Table{Name: name, Attrs: header[1:], Alpha: alpha}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: CSV line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		row := make([]float64, len(rec)-1)
+		for j, s := range rec[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d column %q: %w", line, header[j+1], err)
+			}
+			row[j] = v
+		}
+		t.Objects = append(t.Objects, rec[0])
+		t.Rows = append(t.Rows, row)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseAlpha parses a comma-separated direction spec such as "+,+,-,-" or
+// "1,1,-1,-1" into a Direction.
+func ParseAlpha(spec string) (order.Direction, error) {
+	parts := strings.Split(spec, ",")
+	signs := make([]float64, 0, len(parts))
+	for i, p := range parts {
+		switch strings.TrimSpace(p) {
+		case "+", "+1", "1":
+			signs = append(signs, 1)
+		case "-", "-1":
+			signs = append(signs, -1)
+		default:
+			return nil, fmt.Errorf("dataset: alpha component %d: %q is not +/-", i, p)
+		}
+	}
+	return order.NewDirection(signs...)
+}

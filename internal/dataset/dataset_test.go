@@ -1,0 +1,338 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"rpcrank/internal/order"
+)
+
+func TestTableValidate(t *testing.T) {
+	good := Table1A()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Table1A invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Table)
+	}{
+		{"no rows", func(x *Table) { x.Rows = nil; x.Objects = nil }},
+		{"object mismatch", func(x *Table) { x.Objects = x.Objects[:1] }},
+		{"bad alpha", func(x *Table) { x.Alpha = order.Direction{2, 1} }},
+		{"alpha dim", func(x *Table) { x.Alpha = order.MustDirection(1) }},
+		{"ragged", func(x *Table) { x.Rows[1] = []float64{1} }},
+	}
+	for _, c := range cases {
+		x := Table1A()
+		c.mut(x)
+		if err := x.Validate(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	tab := Table1A()
+	if tab.N() != 3 || tab.Dim() != 2 {
+		t.Errorf("N=%d Dim=%d", tab.N(), tab.Dim())
+	}
+	if tab.Index("B") != 1 || tab.Index("missing") != -1 {
+		t.Errorf("Index misbehaves")
+	}
+	sub := tab.Subset([]int{2, 0})
+	if sub.N() != 2 || sub.Objects[0] != "C" || sub.Rows[1][0] != 0.30 {
+		t.Errorf("Subset = %+v", sub)
+	}
+	// Subset rows are copies.
+	sub.Rows[0][0] = 99
+	if tab.Rows[2][0] == 99 {
+		t.Errorf("Subset must copy rows")
+	}
+}
+
+func TestTable1Variants(t *testing.T) {
+	a, b := Table1A(), Table1B()
+	if a.Rows[0][0] == b.Rows[0][0] {
+		t.Errorf("A and A' must differ")
+	}
+	// B and C are shared between the variants.
+	for i := 1; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Errorf("row %d must match across variants", i)
+			}
+		}
+	}
+}
+
+func TestCountriesShape(t *testing.T) {
+	c := Countries()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != CountriesN {
+		t.Errorf("N = %d, want %d", c.N(), CountriesN)
+	}
+	if c.Dim() != 4 {
+		t.Errorf("Dim = %d, want 4", c.Dim())
+	}
+	// The paper's printed rows are embedded verbatim.
+	lux := c.Index("Luxembourg")
+	if lux < 0 {
+		t.Fatalf("Luxembourg missing")
+	}
+	want := []float64{70014, 79.56, 6, 4}
+	for j, w := range want {
+		if c.Rows[lux][j] != w {
+			t.Errorf("Luxembourg[%d] = %v, want %v", j, c.Rows[lux][j], w)
+		}
+	}
+	if sw := c.Index("Swaziland"); sw < 0 || c.Rows[sw][2] != 422 {
+		t.Errorf("Swaziland row wrong")
+	}
+}
+
+func TestCountriesDeterministic(t *testing.T) {
+	a, b := Countries(), Countries()
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("Countries() not deterministic at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCountriesRangesPlausible(t *testing.T) {
+	c := Countries()
+	for i, row := range c.Rows {
+		gdp, leb, imr, tb := row[0], row[1], row[2], row[3]
+		if gdp < 400 || gdp > 75000 {
+			t.Errorf("row %d (%s): GDP %v out of range", i, c.Objects[i], gdp)
+		}
+		if leb < 40 || leb > 83 {
+			t.Errorf("row %d (%s): LEB %v out of range", i, c.Objects[i], leb)
+		}
+		if imr < 1 || imr > 450 {
+			t.Errorf("row %d (%s): IMR %v out of range", i, c.Objects[i], imr)
+		}
+		if tb < 1 || tb > 450 {
+			t.Errorf("row %d (%s): TB %v out of range", i, c.Objects[i], tb)
+		}
+	}
+}
+
+func TestCountriesDominanceDirection(t *testing.T) {
+	// Luxembourg must dominate Swaziland outright under α (sanity of the
+	// embedded extremes).
+	c := Countries()
+	lux := c.Rows[c.Index("Luxembourg")]
+	swz := c.Rows[c.Index("Swaziland")]
+	if !c.Alpha.StrictlyDominates(swz, lux) {
+		t.Errorf("Swaziland should be strictly dominated by Luxembourg")
+	}
+}
+
+func TestJournalsShape(t *testing.T) {
+	j := Journals()
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if j.N() != JournalsN {
+		t.Errorf("N = %d, want %d", j.N(), JournalsN)
+	}
+	if j.Dim() != 5 {
+		t.Errorf("Dim = %d, want 5", j.Dim())
+	}
+	// Paper rows verbatim, including the TKDE/SMCA pair §6.2.2 discusses.
+	tkde := j.Index("IEEE T KNOWL DATA EN")
+	smca := j.Index("IEEE T SYST MAN CY A")
+	if tkde < 0 || smca < 0 {
+		t.Fatalf("TKDE/SMCA missing")
+	}
+	if j.Rows[smca][0] <= j.Rows[tkde][0] {
+		t.Errorf("SMCA IF (%v) must exceed TKDE IF (%v) — that is the point of the example",
+			j.Rows[smca][0], j.Rows[tkde][0])
+	}
+	if j.Rows[tkde][4] <= j.Rows[smca][4] {
+		t.Errorf("TKDE influence (%v) must exceed SMCA (%v)", j.Rows[tkde][4], j.Rows[smca][4])
+	}
+}
+
+func TestJournalsPositiveIndicators(t *testing.T) {
+	j := Journals()
+	for i, row := range j.Rows {
+		for k, v := range row {
+			if v <= 0 || math.IsNaN(v) {
+				t.Errorf("row %d (%s) attr %s = %v", i, j.Objects[i], j.Attrs[k], v)
+			}
+		}
+	}
+}
+
+func TestSyntheticGenerators(t *testing.T) {
+	xs, latent := SCurve(100, 0.02, 1)
+	if len(xs) != 100 || len(latent) != 100 {
+		t.Fatalf("SCurve sizes wrong")
+	}
+	xs2, _ := SCurve(100, 0.02, 1)
+	if xs[0][0] != xs2[0][0] {
+		t.Errorf("SCurve not deterministic")
+	}
+	xs3, _ := SCurve(100, 0.02, 2)
+	if xs[0][0] == xs3[0][0] {
+		t.Errorf("different seed should differ")
+	}
+
+	cx, cl := Crescent(50, 0.01, 3)
+	if len(cx) != 50 || len(cl) != 50 {
+		t.Fatalf("Crescent sizes wrong")
+	}
+	// Crescent spans the half disc: y mostly nonnegative.
+	neg := 0
+	for _, p := range cx {
+		if p[1] < -0.2 {
+			neg++
+		}
+	}
+	if neg > 2 {
+		t.Errorf("crescent has %d far-negative y values", neg)
+	}
+
+	lx, ll := Linear(3, 80, 0.01, 4)
+	if len(lx) != 80 || len(lx[0]) != 3 || len(ll) != 80 {
+		t.Fatalf("Linear sizes wrong")
+	}
+}
+
+func TestBezierCloud(t *testing.T) {
+	alpha := order.MustDirection(1, -1, 1)
+	xs, latent, truth := BezierCloud(alpha, 120, 0.01, 5)
+	if len(xs) != 120 || len(latent) != 120 {
+		t.Fatalf("sizes wrong")
+	}
+	if truth.Degree() != 3 || truth.Dim() != 3 {
+		t.Fatalf("truth curve %dx%d", truth.Degree(), truth.Dim())
+	}
+	// The generating curve must itself be a valid RPC shape.
+	if truth.Points[0][1] != 1 || truth.Points[3][1] != 0 {
+		t.Errorf("cost coordinate endpoints should run 1→0: %v %v", truth.Points[0], truth.Points[3])
+	}
+	// Noiseless reconstruction: curve evaluated at latent equals data
+	// minus noise (noise=0.01 → close).
+	for i := 0; i < 5; i++ {
+		p := truth.Eval(latent[i])
+		for j := range p {
+			if math.Abs(p[j]-xs[i][j]) > 0.05 {
+				t.Errorf("row %d dim %d: |%.3f − %.3f| too large", i, j, p[j], xs[i][j])
+			}
+		}
+	}
+}
+
+func TestBezierCloudPanicsBadAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	BezierCloud(order.Direction{0}, 10, 0.01, 1)
+}
+
+func TestToTable(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3, 4}}
+	tab := ToTable("syn", []string{"a", "b"}, order.MustDirection(1, 1), rows)
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Objects[1] != "syn-0001" {
+		t.Errorf("object naming: %v", tab.Objects)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := Table1A()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "table1a", orig.Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != orig.N() || back.Dim() != orig.Dim() {
+		t.Fatalf("round-trip shape mismatch")
+	}
+	for i := range orig.Rows {
+		if back.Objects[i] != orig.Objects[i] {
+			t.Errorf("object %d: %q vs %q", i, back.Objects[i], orig.Objects[i])
+		}
+		for j := range orig.Rows[i] {
+			if back.Rows[i][j] != orig.Rows[i][j] {
+				t.Errorf("cell (%d,%d): %v vs %v", i, j, back.Rows[i][j], orig.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestCSVRoundTripCountries(t *testing.T) {
+	orig := Countries()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "countries", orig.Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Rows {
+		for j := range orig.Rows[i] {
+			if back.Rows[i][j] != orig.Rows[i][j] {
+				t.Fatalf("cell (%d,%d) changed in round trip", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	alpha := order.MustDirection(1, 1)
+	cases := []struct {
+		name, body string
+	}{
+		{"empty", ""},
+		{"no attrs", "object\nA\n"},
+		{"bad first column", "name,x1,x2\nA,1,2\n"},
+		{"non-numeric", "object,x1,x2\nA,1,zap\n"},
+		{"alpha mismatch", "object,x1,x2,x3\nA,1,2,3\n"},
+		{"no rows", "object,x1,x2\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.body), "t", alpha); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestParseAlpha(t *testing.T) {
+	a, err := ParseAlpha("+,+,-,-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := order.MustDirection(1, 1, -1, -1)
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("ParseAlpha = %v", a)
+		}
+	}
+	if _, err := ParseAlpha("1,-1"); err != nil {
+		t.Errorf("numeric spec should parse: %v", err)
+	}
+	if _, err := ParseAlpha("+,x"); err == nil {
+		t.Errorf("bad component should error")
+	}
+	if _, err := ParseAlpha(""); err == nil {
+		t.Errorf("empty spec should error")
+	}
+}

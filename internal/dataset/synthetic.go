@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rpcrank/internal/bezier"
+	"rpcrank/internal/order"
+)
+
+// SCurve samples n points around an S-shaped one-dimensional manifold in
+// 2-D (the Fig. 5(d) shape): x runs linearly with the latent parameter, y
+// follows a logistic ramp. Returns the observations and latent parameters.
+func SCurve(n int, noise float64, seed int64) (xs [][]float64, latent []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs = make([][]float64, n)
+	latent = make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := rng.Float64()
+		latent[i] = t
+		xs[i] = []float64{
+			t + noise*rng.NormFloat64(),
+			0.5 + 0.45*math.Tanh(6*(t-0.5)) + noise*rng.NormFloat64(),
+		}
+	}
+	return xs, latent
+}
+
+// Crescent samples n points around a half-moon (Fig. 5(a)): the shape the
+// first PCA cannot summarise. Latent parameter is the angle fraction.
+func Crescent(n int, noise float64, seed int64) (xs [][]float64, latent []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs = make([][]float64, n)
+	latent = make([]float64, n)
+	for i := 0; i < n; i++ {
+		u := rng.Float64()
+		latent[i] = u
+		theta := math.Pi * u
+		xs[i] = []float64{
+			math.Cos(theta) + noise*rng.NormFloat64(),
+			math.Sin(theta) + noise*rng.NormFloat64(),
+		}
+	}
+	return xs, latent
+}
+
+// Linear samples n points around a straight line through d-space (the
+// slender-ellipse case where first PCA already works).
+func Linear(d, n int, noise float64, seed int64) (xs [][]float64, latent []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	dir := make([]float64, d)
+	for j := range dir {
+		dir[j] = 0.5 + rng.Float64() // strictly positive slope per coordinate
+	}
+	xs = make([][]float64, n)
+	latent = make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := rng.Float64()
+		latent[i] = t
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = t*dir[j] + noise*rng.NormFloat64()
+		}
+		xs[i] = row
+	}
+	return xs, latent
+}
+
+// BezierCloud samples n points from a random strictly monotone cubic Bézier
+// curve in d dimensions oriented by alpha, plus isotropic noise: the
+// generative model of Eq. 11 with the true f an RPC. The latent scores are
+// returned as ground truth.
+func BezierCloud(alpha order.Direction, n int, noise float64, seed int64) (xs [][]float64, latent []float64, truth *bezier.Curve) {
+	if err := alpha.Validate(); err != nil {
+		panic(fmt.Sprintf("dataset: BezierCloud: %v", err))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := alpha.Dim()
+	pts := make([][]float64, 4)
+	for r := range pts {
+		pts[r] = make([]float64, d)
+	}
+	for j := 0; j < d; j++ {
+		inner1 := 0.15 + 0.7*rng.Float64()
+		inner2 := clampF(inner1+0.4*(rng.Float64()-0.35), 0.05, 0.95)
+		lo, hi := 0.0, 1.0
+		if alpha[j] < 0 {
+			lo, hi = 1, 0
+			inner1, inner2 = 1-inner1, 1-inner2
+		}
+		pts[0][j], pts[1][j], pts[2][j], pts[3][j] = lo, inner1, inner2, hi
+	}
+	truth = bezier.MustNew(pts)
+	xs = make([][]float64, n)
+	latent = make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := rng.Float64()
+		latent[i] = s
+		p := truth.Eval(s)
+		for j := range p {
+			p[j] += noise * rng.NormFloat64()
+		}
+		xs[i] = p
+	}
+	return xs, latent, truth
+}
+
+// ToTable wraps raw rows into a Table with generated object names.
+func ToTable(name string, attrs []string, alpha order.Direction, rows [][]float64) *Table {
+	t := &Table{Name: name, Attrs: attrs, Alpha: alpha, Rows: rows}
+	t.Objects = make([]string, len(rows))
+	for i := range rows {
+		t.Objects[i] = fmt.Sprintf("%s-%04d", name, i)
+	}
+	return t
+}

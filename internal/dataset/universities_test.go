@@ -1,0 +1,56 @@
+package dataset
+
+import "testing"
+
+func TestUniversitiesShape(t *testing.T) {
+	u := Universities()
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != UniversitiesN || u.Dim() != 6 {
+		t.Errorf("shape %dx%d, want %dx6", u.N(), u.Dim(), UniversitiesN)
+	}
+}
+
+func TestUniversitiesDeterministic(t *testing.T) {
+	a, b := Universities(), Universities()
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("not deterministic at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestUniversitiesPrizeSparsity(t *testing.T) {
+	// Prize indicators must be zero for a large fraction of the list —
+	// that heavy-tailed regime is the point of the dataset.
+	u := Universities()
+	zeroAlumni, zeroAwards := 0, 0
+	for _, row := range u.Rows {
+		if row[0] == 0 {
+			zeroAlumni++
+		}
+		if row[1] == 0 {
+			zeroAwards++
+		}
+		for j, v := range row {
+			if v < 0 || v > 100 {
+				t.Fatalf("indicator %s out of [0,100]: %v", u.Attrs[j], v)
+			}
+		}
+	}
+	if zeroAlumni < u.N()/3 || zeroAwards < u.N()/3 {
+		t.Errorf("prize indicators not sparse enough: %d / %d zeros", zeroAlumni, zeroAwards)
+	}
+}
+
+func TestUniversitiesTopDominatesBottom(t *testing.T) {
+	u := Universities()
+	first := u.Rows[0]
+	last := u.Rows[u.N()-1]
+	if !u.Alpha.StrictlyDominates(last, first) {
+		t.Errorf("the generated list extremes should be dominance-ordered")
+	}
+}

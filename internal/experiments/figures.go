@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rpcrank/internal/bezier"
+	"rpcrank/internal/core"
+	"rpcrank/internal/dataset"
+	"rpcrank/internal/order"
+	"rpcrank/internal/princurve"
+	"rpcrank/internal/svgplot"
+)
+
+// Fig2Result quantifies the failure modes Fig. 2 illustrates: the polyline
+// principal curve's non-strict monotonicity and a general (unconstrained)
+// principal curve's non-monotonicity, measured as dominance violations on a
+// crescent cloud — versus zero for the RPC.
+type Fig2Result struct {
+	N int
+	// Violations and Comparable pairs per model.
+	PolylineViolations, PolylineComparable int
+	HSViolations, HSComparable             int
+	RPCViolations, RPCComparable           int
+}
+
+// RunFig2 executes the monotonicity-failure experiment.
+func RunFig2() (*Fig2Result, error) {
+	xs, _ := dataset.Crescent(250, 0.03, 2016)
+	alpha := order.MustDirection(1, 1)
+	res := &Fig2Result{N: len(xs)}
+
+	kegl, err := princurve.FitKegl(xs, princurve.KeglOptions{Segments: 8})
+	if err != nil {
+		return nil, fmt.Errorf("fig2 polyline: %w", err)
+	}
+	res.PolylineViolations, res.PolylineComparable =
+		order.ViolatedPairs(alpha, xs, kegl.Scores(alpha))
+
+	hs, err := princurve.FitHS(xs, princurve.HSOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("fig2 HS: %w", err)
+	}
+	res.HSViolations, res.HSComparable =
+		order.ViolatedPairs(alpha, xs, hs.Scores(alpha))
+
+	m, err := core.Fit(xs, core.Options{Alpha: alpha})
+	if err != nil {
+		return nil, fmt.Errorf("fig2 RPC: %w", err)
+	}
+	res.RPCViolations, res.RPCComparable = order.ViolatedPairs(alpha, xs, m.Scores)
+	return res, nil
+}
+
+// Report prints the violation counts.
+func (r *Fig2Result) Report(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 2: strict-monotonicity violations on a %d-point crescent (alpha = (+,+))\n", r.N)
+	tw := newTable("Model", "Violated pairs", "Comparable pairs")
+	tw.addRowf("Polyline (Kegl)\t%d\t%d", r.PolylineViolations, r.PolylineComparable)
+	tw.addRowf("General curve (HS)\t%d\t%d", r.HSViolations, r.HSComparable)
+	tw.addRowf("RPC\t%d\t%d", r.RPCViolations, r.RPCComparable)
+	tw.writeTo(w)
+	fmt.Fprintln(w, "paper: unconstrained curves order dominated pairs incorrectly; the RPC never does")
+}
+
+// Fig4Result regenerates Fig. 4: the four basic monotone shapes of a cubic
+// Bézier curve, each verified strictly monotone by the exact test.
+type Fig4Result struct {
+	Shapes []bezier.Shape
+	// Monotone per shape (all must be true).
+	Monotone []bool
+	// Grid is the renderable four-panel figure.
+	Grid *svgplot.Grid
+}
+
+// RunFig4 executes the shape-gallery experiment.
+func RunFig4() *Fig4Result {
+	res := &Fig4Result{Shapes: bezier.Shapes()}
+	for _, s := range res.Shapes {
+		c := bezier.Canonical2D(s)
+		res.Monotone = append(res.Monotone, bezier.StrictlyMonotone(c, []float64{1, 1}))
+		panel := svgplot.Panel{
+			Title:      s.String(),
+			FixedRange: true, XMin: 0, XMax: 1, YMin: 0, YMax: 1,
+			Series: []svgplot.Series{
+				{Kind: "line", Color: "red", Width: 1,
+					XY: controlPolyline(c)},
+				{Kind: "line", Color: "blue", Width: 2,
+					XY: svgplot.CurvePoints(func(t float64) (float64, float64) {
+						p := c.Eval(t)
+						return p[0], p[1]
+					}, 100)},
+			},
+		}
+		if res.Grid == nil {
+			res.Grid = &svgplot.Grid{Cols: 2}
+		}
+		res.Grid.Panels = append(res.Grid.Panels, panel)
+	}
+	return res
+}
+
+func controlPolyline(c *bezier.Curve) [][2]float64 {
+	out := make([][2]float64, len(c.Points))
+	for i, p := range c.Points {
+		out[i] = [2]float64{p[0], p[1]}
+	}
+	return out
+}
+
+// Report prints the verification summary.
+func (r *Fig4Result) Report(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 4: four basic monotone cubic Bezier shapes (exact strict-monotonicity check)")
+	tw := newTable("Shape", "Strictly monotone")
+	for i, s := range r.Shapes {
+		tw.addRowf("%s\t%v", s, r.Monotone[i])
+	}
+	tw.writeTo(w)
+}
+
+// Fig6Result is the curve-level view of the Table 1 experiment: the two
+// fitted RPCs (before and after moving A to A′) rendered into one panel,
+// plus the orderings.
+type Fig6Result struct {
+	T1 *Table1Result
+	// Grid holds the single-panel rendering with both curves.
+	Grid *svgplot.Grid
+}
+
+// RunFig6 executes the sensitivity illustration.
+func RunFig6() (*Fig6Result, error) {
+	t1, err := RunTable1()
+	if err != nil {
+		return nil, err
+	}
+	fitCurve := func(t *dataset.Table) (*core.Model, error) {
+		return core.Fit(t.Rows, core.Options{
+			Alpha: t.Alpha, Seed: 3, NoNormalize: true,
+			Restarts: 8, MaxIter: 5000, Tol: 1e-12,
+		})
+	}
+	ma, err := fitCurve(dataset.Table1A())
+	if err != nil {
+		return nil, err
+	}
+	mb, err := fitCurve(dataset.Table1B())
+	if err != nil {
+		return nil, err
+	}
+	curveSeries := func(m *core.Model, color string) svgplot.Series {
+		return svgplot.Series{Kind: "line", Color: color, Width: 2,
+			XY: svgplot.CurvePoints(func(t float64) (float64, float64) {
+				p := m.Curve.Eval(t)
+				return p[0], p[1]
+			}, 120)}
+	}
+	pts := func(t *dataset.Table, color string) svgplot.Series {
+		xy := make([][2]float64, t.N())
+		for i, row := range t.Rows {
+			xy[i] = [2]float64{row[0], row[1]}
+		}
+		return svgplot.Series{Kind: "scatter", Color: color, Radius: 4, XY: xy}
+	}
+	panel := svgplot.Panel{
+		Title:      "Fig. 6: RPC before (green) and after (pink) moving A",
+		FixedRange: true, XMin: 0, XMax: 1, YMin: 0, YMax: 1,
+		Series: []svgplot.Series{
+			pts(dataset.Table1A(), "black"),
+			pts(dataset.Table1B(), "purple"),
+			curveSeries(ma, "green"),
+			curveSeries(mb, "deeppink"),
+		},
+	}
+	return &Fig6Result{
+		T1:   t1,
+		Grid: &svgplot.Grid{Panels: []svgplot.Panel{panel}, Cols: 1, CellW: 360, CellH: 360},
+	}, nil
+}
+
+// Report delegates to the Table 1 summary.
+func (r *Fig6Result) Report(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 6: a different observation of A gives a different RPC and a different ordering")
+	r.T1.Report(w)
+}
+
+// ProjectionGridResult is the pairwise 2-D projection figure shared by
+// Fig. 7 (countries) and Fig. 8 (journals): a d×d grid where panel (i,j)
+// scatters attribute j against attribute i with the fitted RPC projected
+// into the same plane.
+type ProjectionGridResult struct {
+	Name  string
+	Attrs []string
+	Grid  *svgplot.Grid
+	// Explained variance of the underlying fit.
+	Explained float64
+}
+
+// RunFig7 renders the country projection grid.
+func RunFig7() (*ProjectionGridResult, error) {
+	return projectionGrid("fig7-countries", dataset.Countries())
+}
+
+// RunFig8 renders the journal projection grid.
+func RunFig8() (*ProjectionGridResult, error) {
+	return projectionGrid("fig8-journals", dataset.Journals())
+}
+
+func projectionGrid(name string, t *dataset.Table) (*ProjectionGridResult, error) {
+	m, err := core.Fit(t.Rows, core.Options{Alpha: t.Alpha, Restarts: 3})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	u := m.Norm.ApplyAll(t.Rows)
+	d := t.Dim()
+	grid := &svgplot.Grid{Cols: d, CellW: 150, CellH: 130}
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			if i == j {
+				// Diagonal: histogram-like strip of the attribute values.
+				xy := make([][2]float64, len(u))
+				for k, row := range u {
+					xy[k] = [2]float64{row[i], float64(k%17) / 17}
+				}
+				grid.Panels = append(grid.Panels, svgplot.Panel{
+					Title:  t.Attrs[i],
+					Series: []svgplot.Series{{Kind: "scatter", Color: "green", Radius: 1, XY: xy}},
+				})
+				continue
+			}
+			xy := make([][2]float64, len(u))
+			for k, row := range u {
+				xy[k] = [2]float64{row[i], row[j]}
+			}
+			ii, jj := i, j
+			grid.Panels = append(grid.Panels, svgplot.Panel{
+				XLabel: t.Attrs[i],
+				YLabel: t.Attrs[j],
+				Series: []svgplot.Series{
+					{Kind: "scatter", Color: "green", Radius: 1.5, XY: xy},
+					{Kind: "line", Color: "red", Width: 2,
+						XY: svgplot.CurvePoints(func(s float64) (float64, float64) {
+							p := m.Curve.Eval(s)
+							return p[ii], p[jj]
+						}, 100)},
+				},
+			})
+		}
+	}
+	return &ProjectionGridResult{
+		Name:      name,
+		Attrs:     t.Attrs,
+		Grid:      grid,
+		Explained: m.ExplainedVariance(),
+	}, nil
+}
+
+// Report prints a summary (the real artefact is the SVG).
+func (r *ProjectionGridResult) Report(w io.Writer) {
+	fmt.Fprintf(w, "%s: %d x %d projection grid of the fitted RPC (explained variance %.1f%%)\n",
+		r.Name, len(r.Attrs), len(r.Attrs), 100*r.Explained)
+}

@@ -1,0 +1,65 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§6), plus the ablations DESIGN.md calls out. Each
+// driver returns a structured result that tests and benchmarks assert on,
+// and knows how to print itself in a layout comparable with the paper. The
+// cmd/rpcexp binary and the repository-level benchmarks are thin wrappers
+// around this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// tableWriter accumulates fixed-width rows for paper-style console tables.
+type tableWriter struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *tableWriter { return &tableWriter{header: header} }
+
+func (t *tableWriter) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *tableWriter) addRowf(format string, args ...any) {
+	t.rows = append(t.rows, strings.Split(fmt.Sprintf(format, args...), "\t"))
+}
+
+func (t *tableWriter) writeTo(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for j, h := range t.header {
+		widths[j] = len(h)
+	}
+	for _, row := range t.rows {
+		for j, c := range row {
+			if j < len(widths) && len(c) > widths[j] {
+				widths[j] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		var b strings.Builder
+		for j, c := range cells {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if j < len(widths) {
+				pad = widths[j] - len(c)
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	writeRow(t.header)
+	var rule []string
+	for _, wd := range widths {
+		rule = append(rule, strings.Repeat("-", wd))
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rpcrank/internal/core"
+	"rpcrank/internal/dataset"
+	"rpcrank/internal/order"
+)
+
+// ScalingResult is experiment S1: wall-clock fit time as the object count
+// and the attribute count grow, testing the O(4d + n) per-iteration claim
+// of §5.
+type ScalingResult struct {
+	NRows []ScalingRow
+	DRows []ScalingRow
+}
+
+// ScalingRow is one sweep point.
+type ScalingRow struct {
+	N, D       int
+	Elapsed    time.Duration
+	Iterations int
+	PerRow     time.Duration
+}
+
+// RunScaling executes the sweep. Sizes are modest so the experiment stays
+// interactive; the benchmark variant (BenchmarkFitScaling*) covers the
+// larger grid.
+func RunScaling() (*ScalingResult, error) {
+	res := &ScalingResult{}
+	for _, n := range []int{64, 256, 1024} {
+		alpha := order.MustDirection(1, 1, -1, -1)
+		xs, _, _ := dataset.BezierCloud(alpha, n, 0.02, int64(5000+n))
+		row, err := timeFit(xs, alpha)
+		if err != nil {
+			return nil, fmt.Errorf("scaling n=%d: %w", n, err)
+		}
+		res.NRows = append(res.NRows, row)
+	}
+	for _, d := range []int{2, 4, 8} {
+		alpha := order.Ascending(d)
+		xs, _, _ := dataset.BezierCloud(alpha, 512, 0.02, int64(6000+d))
+		row, err := timeFit(xs, alpha)
+		if err != nil {
+			return nil, fmt.Errorf("scaling d=%d: %w", d, err)
+		}
+		res.DRows = append(res.DRows, row)
+	}
+	return res, nil
+}
+
+func timeFit(xs [][]float64, alpha order.Direction) (ScalingRow, error) {
+	start := time.Now()
+	m, err := core.Fit(xs, core.Options{Alpha: alpha})
+	if err != nil {
+		return ScalingRow{}, err
+	}
+	elapsed := time.Since(start)
+	return ScalingRow{
+		N:          len(xs),
+		D:          alpha.Dim(),
+		Elapsed:    elapsed,
+		Iterations: m.Iterations,
+		PerRow:     elapsed / time.Duration(len(xs)),
+	}, nil
+}
+
+// Report prints both sweeps.
+func (r *ScalingResult) Report(w io.Writer) {
+	fmt.Fprintln(w, "S1: fit-time scaling (paper claims O(4d + n) per iteration)")
+	tw := newTable("n", "d", "elapsed", "iterations", "per row")
+	for _, row := range r.NRows {
+		tw.addRowf("%d\t%d\t%v\t%d\t%v", row.N, row.D, row.Elapsed.Round(time.Millisecond),
+			row.Iterations, row.PerRow.Round(time.Microsecond))
+	}
+	for _, row := range r.DRows {
+		tw.addRowf("%d\t%d\t%v\t%d\t%v", row.N, row.D, row.Elapsed.Round(time.Millisecond),
+			row.Iterations, row.PerRow.Round(time.Microsecond))
+	}
+	tw.writeTo(w)
+	fmt.Fprintln(w, "per-row time should stay roughly flat as n grows (linear total cost)")
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep is slow")
+	}
+	r, err := RunScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.NRows) != 3 || len(r.DRows) != 3 {
+		t.Fatalf("sweep shape %d/%d", len(r.NRows), len(r.DRows))
+	}
+	// Linearity: per-row time at the largest n must not exceed the
+	// smallest n's per-row time by more than 4x (quadratic behaviour would
+	// blow far past that).
+	small := r.NRows[0].PerRow
+	large := r.NRows[len(r.NRows)-1].PerRow
+	if large > 4*small {
+		t.Errorf("per-row time grows superlinearly: %v -> %v", small, large)
+	}
+	for _, row := range append(append([]ScalingRow{}, r.NRows...), r.DRows...) {
+		if row.Elapsed <= 0 || row.Iterations <= 0 {
+			t.Errorf("row %+v has empty measurements", row)
+		}
+	}
+	var buf bytes.Buffer
+	r.Report(&buf)
+	if !strings.Contains(buf.String(), "S1") {
+		t.Errorf("report output malformed")
+	}
+}

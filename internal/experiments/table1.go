@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rpcrank/internal/core"
+	"rpcrank/internal/dataset"
+	"rpcrank/internal/order"
+	"rpcrank/internal/rankagg"
+)
+
+// Table1Row is one object's entry in the Table 1 reproduction.
+type Table1Row struct {
+	Object       string
+	X1, X2       float64
+	RankAggScore float64 // κ of Eq. 30 (lower = better)
+	RankAggOrder int
+	RPCScore     float64
+	RPCOrder     int
+}
+
+// Table1Result reproduces Table 1(a) and (b): RPC vs median rank
+// aggregation on the three toy objects, before and after moving A to A′.
+type Table1Result struct {
+	A, B []Table1Row
+	// AggTiesAB reports whether rank aggregation ties A and B in variant
+	// (a) — the paper's headline observation.
+	AggTiesAB bool
+	// AggUnchanged reports whether the aggregation output is identical
+	// across the two variants (it must be: the perturbation preserves all
+	// attribute orderings).
+	AggUnchanged bool
+	// RPCOrderChanged reports whether the RPC ordering differs between the
+	// variants (the paper reports ABC → BA′C).
+	RPCOrderChanged bool
+}
+
+// RunTable1 executes the experiment.
+func RunTable1() (*Table1Result, error) {
+	a, err := runTable1Variant(dataset.Table1A())
+	if err != nil {
+		return nil, fmt.Errorf("table1(a): %w", err)
+	}
+	b, err := runTable1Variant(dataset.Table1B())
+	if err != nil {
+		return nil, fmt.Errorf("table1(b): %w", err)
+	}
+	res := &Table1Result{A: a, B: b}
+	res.AggTiesAB = a[0].RankAggScore == a[1].RankAggScore
+	res.AggUnchanged = true
+	for i := range a {
+		if a[i].RankAggScore != b[i].RankAggScore {
+			res.AggUnchanged = false
+		}
+	}
+	ordersDiffer := false
+	for i := range a {
+		if a[i].RPCOrder != b[i].RPCOrder {
+			ordersDiffer = true
+		}
+	}
+	res.RPCOrderChanged = ordersDiffer
+	return res, nil
+}
+
+func runTable1Variant(t *dataset.Table) ([]Table1Row, error) {
+	kappaCols, err := rankagg.AttributeRanks(t.Rows, t.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	kappa, err := rankagg.MedianRank(kappaCols)
+	if err != nil {
+		return nil, err
+	}
+	negKappa := make([]float64, len(kappa))
+	for i, k := range kappa {
+		negKappa[i] = -k
+	}
+	aggOrder := order.RankFromScores(negKappa)
+
+	// Fig. 6 fits in the raw unit box (the toy observations are already
+	// coordinates in [0,1]²), so re-normalising three points would distort
+	// the geometry the example depends on. Multi-start matters here: with
+	// three points the alternating minimisation has two nearby local
+	// minima, and only the deeper one (found from sample-based inits, as in
+	// Algorithm 1 step 2) reproduces the paper's BA′C ordering.
+	m, err := core.Fit(t.Rows, core.Options{
+		Alpha:       t.Alpha,
+		Seed:        3,
+		NoNormalize: true,
+		Restarts:    8,
+		MaxIter:     5000,
+		Tol:         1e-12,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rpcOrder := order.RankFromScores(m.Scores)
+
+	rows := make([]Table1Row, t.N())
+	for i := range rows {
+		rows[i] = Table1Row{
+			Object:       t.Objects[i],
+			X1:           t.Rows[i][0],
+			X2:           t.Rows[i][1],
+			RankAggScore: kappa[i],
+			RankAggOrder: aggOrder[i],
+			RPCScore:     m.Scores[i],
+			RPCOrder:     rpcOrder[i],
+		}
+	}
+	return rows, nil
+}
+
+// Report prints both variants in the paper's layout.
+func (r *Table1Result) Report(w io.Writer) {
+	variants := []struct {
+		label string
+		rows  []Table1Row
+	}{{"(a)", r.A}, {"(b)", r.B}}
+	for _, v := range variants {
+		label, rows := v.label, v.rows
+		fmt.Fprintf(w, "Table 1%s: observations and ranking lists by different rules\n", label)
+		tw := newTable("Object", "x1", "x2", "RankAgg κ", "RankAgg order", "RPC score", "RPC order")
+		for _, row := range rows {
+			tw.addRowf("%s\t%.2f\t%.2f\t%.2f\t%d\t%.4f\t%d",
+				row.Object, row.X1, row.X2, row.RankAggScore, row.RankAggOrder, row.RPCScore, row.RPCOrder)
+		}
+		tw.writeTo(w)
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "RankAgg ties A and B:            %v (paper: yes)\n", r.AggTiesAB)
+	fmt.Fprintf(w, "RankAgg unchanged after A->A':   %v (paper: yes)\n", r.AggUnchanged)
+	fmt.Fprintf(w, "RPC ordering changed after A->A': %v (paper: yes, ABC -> BA'C)\n", r.RPCOrderChanged)
+}

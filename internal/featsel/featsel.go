@@ -1,0 +1,183 @@
+// Package featsel implements the paper's stated future work (§7): using the
+// RPC for indicator (feature) selection. Each attribute is scored two ways:
+//
+//   - Influence: how much the attribute shapes the ranking — the Kendall τ
+//     between the full-model ranking and the ranking fitted without the
+//     attribute (low τ ⇒ dropping it changes the list ⇒ influential);
+//   - Curvature: how nonlinearly the attribute responds along the curve,
+//     measured as the deviation of its coordinate function from the straight
+//     line between its end points (0 = purely linear indicator).
+//
+// Together they answer the two practical questions of §7: which indicators
+// can be dropped without changing the list, and which carry genuinely
+// nonlinear structure that a weighted sum would miss.
+package featsel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rpcrank/internal/core"
+	"rpcrank/internal/order"
+)
+
+// AttributeReport is the per-attribute outcome.
+type AttributeReport struct {
+	// Index of the attribute in the input rows.
+	Index int
+	// Name of the attribute (empty if not provided).
+	Name string
+	// DropTau is the Kendall τ between the full ranking and the ranking
+	// without this attribute. 1 means the attribute is redundant.
+	DropTau float64
+	// Influence is 1 − DropTau, a convenience for sorting.
+	Influence float64
+	// Curvature is the mean absolute deviation of the attribute's
+	// coordinate function from linearity, in normalised units.
+	Curvature float64
+}
+
+// Result is the full selection report, sorted by descending influence.
+type Result struct {
+	// Attributes sorted most-influential first.
+	Attributes []AttributeReport
+	// FullModel is the model fitted on all attributes.
+	FullModel *core.Model
+}
+
+// Rank fits the full model plus one leave-one-out model per attribute.
+// names may be nil. opts.Alpha must cover all attributes.
+func Rank(xs [][]float64, names []string, opts core.Options) (*Result, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("featsel: no observations")
+	}
+	d := len(xs[0])
+	if d < 2 {
+		return nil, fmt.Errorf("featsel: need at least 2 attributes, got %d", d)
+	}
+	if names != nil && len(names) != d {
+		return nil, fmt.Errorf("featsel: %d names for %d attributes", len(names), d)
+	}
+	full, err := core.Fit(xs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("featsel: full fit: %w", err)
+	}
+	res := &Result{FullModel: full}
+	for j := 0; j < d; j++ {
+		sub := dropColumn(xs, j)
+		subOpts := opts
+		subOpts.Alpha = dropEntry(opts.Alpha, j)
+		m, err := core.Fit(sub, subOpts)
+		if err != nil {
+			return nil, fmt.Errorf("featsel: fit without attribute %d: %w", j, err)
+		}
+		tau := order.KendallTau(full.Scores, m.Scores)
+		rep := AttributeReport{
+			Index:     j,
+			DropTau:   tau,
+			Influence: 1 - tau,
+			Curvature: coordinateCurvature(full, j),
+		}
+		if names != nil {
+			rep.Name = names[j]
+		}
+		res.Attributes = append(res.Attributes, rep)
+	}
+	sort.SliceStable(res.Attributes, func(a, b int) bool {
+		return res.Attributes[a].Influence > res.Attributes[b].Influence
+	})
+	return res, nil
+}
+
+// Select returns the indices of the smallest attribute prefix (by
+// influence) whose leave-rest-out model still agrees with the full ranking
+// at Kendall τ ≥ minTau. It greedily adds attributes most-influential first.
+func Select(xs [][]float64, opts core.Options, minTau float64) ([]int, error) {
+	res, err := Rank(xs, nil, opts)
+	if err != nil {
+		return nil, err
+	}
+	if minTau <= 0 {
+		minTau = 0.95
+	}
+	var chosen []int
+	for _, a := range res.Attributes {
+		chosen = append(chosen, a.Index)
+		if len(chosen) < 2 {
+			continue // a cubic over one attribute is a valid model, but
+			// curve ranking over a single column is just sorting
+		}
+		sort.Ints(chosen)
+		sub := keepColumns(xs, chosen)
+		subOpts := opts
+		subOpts.Alpha = keepEntries(opts.Alpha, chosen)
+		m, err := core.Fit(sub, subOpts)
+		if err != nil {
+			return nil, err
+		}
+		if order.KendallTau(res.FullModel.Scores, m.Scores) >= minTau {
+			return chosen, nil
+		}
+	}
+	// All attributes needed.
+	all := make([]int, len(xs[0]))
+	for i := range all {
+		all[i] = i
+	}
+	return all, nil
+}
+
+// coordinateCurvature measures how far the j-th coordinate function of the
+// fitted curve deviates from the chord between its end points.
+func coordinateCurvature(m *core.Model, j int) float64 {
+	const samples = 64
+	c := m.Curve
+	f0 := c.Eval(0)[j]
+	f1 := c.Eval(1)[j]
+	var dev float64
+	for i := 0; i <= samples; i++ {
+		s := float64(i) / samples
+		linear := f0 + s*(f1-f0)
+		dev += math.Abs(c.Eval(s)[j] - linear)
+	}
+	return dev / (samples + 1)
+}
+
+func dropColumn(xs [][]float64, j int) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, row := range xs {
+		r := make([]float64, 0, len(row)-1)
+		r = append(r, row[:j]...)
+		r = append(r, row[j+1:]...)
+		out[i] = r
+	}
+	return out
+}
+
+func dropEntry(a order.Direction, j int) order.Direction {
+	out := make(order.Direction, 0, len(a)-1)
+	out = append(out, a[:j]...)
+	out = append(out, a[j+1:]...)
+	return out
+}
+
+func keepColumns(xs [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, row := range xs {
+		r := make([]float64, len(idx))
+		for k, j := range idx {
+			r[k] = row[j]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func keepEntries(a order.Direction, idx []int) order.Direction {
+	out := make(order.Direction, len(idx))
+	for k, j := range idx {
+		out[k] = a[j]
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package featsel
+
+import (
+	"math/rand"
+	"testing"
+
+	"rpcrank/internal/core"
+	"rpcrank/internal/dataset"
+	"rpcrank/internal/order"
+)
+
+// redundantCloud builds data where the last attribute duplicates the first
+// (plus a hair of noise), so dropping it cannot change the ranking. A
+// near-constant column would not do: Eq. 29 min–max normalisation stretches
+// any column to full range, turning "constant plus epsilon" into noise.
+func redundantCloud(n int, seed int64) ([][]float64, order.Direction) {
+	xs, _, _ := dataset.BezierCloud(order.MustDirection(1, 1), n, 0.02, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	out := make([][]float64, n)
+	for i, row := range xs {
+		out[i] = append(append([]float64{}, row...), row[0]+0.002*rng.NormFloat64())
+	}
+	return out, order.MustDirection(1, 1, 1)
+}
+
+func TestRankValidation(t *testing.T) {
+	alpha := order.MustDirection(1, 1)
+	if _, err := Rank(nil, nil, core.Options{Alpha: alpha}); err == nil {
+		t.Errorf("empty data should error")
+	}
+	if _, err := Rank([][]float64{{1}, {2}}, nil, core.Options{Alpha: order.MustDirection(1)}); err == nil {
+		t.Errorf("single attribute should error")
+	}
+	if _, err := Rank([][]float64{{1, 2}, {2, 3}}, []string{"a"}, core.Options{Alpha: alpha}); err == nil {
+		t.Errorf("name count mismatch should error")
+	}
+}
+
+func TestRankFlagsNoiseAttributeAsRedundant(t *testing.T) {
+	xs, alpha := redundantCloud(150, 7)
+	res, err := Rank(xs, []string{"sig1", "sig2", "dup"}, core.Options{Alpha: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Attributes) != 3 {
+		t.Fatalf("want 3 attribute reports")
+	}
+	byName := map[string]AttributeReport{}
+	for _, a := range res.Attributes {
+		byName[a.Name] = a
+	}
+	// Dropping the duplicated attribute must barely change the ranking.
+	if byName["dup"].DropTau < 0.95 {
+		t.Errorf("duplicate attribute DropTau = %.3f, want near 1", byName["dup"].DropTau)
+	}
+	// The second (unique) signal must be more influential than the
+	// duplicate.
+	if byName["sig2"].Influence <= byName["dup"].Influence {
+		t.Errorf("unique attribute should be more influential than the duplicate: %+v", res.Attributes)
+	}
+	// Report is sorted by influence descending.
+	for i := 1; i < len(res.Attributes); i++ {
+		if res.Attributes[i].Influence > res.Attributes[i-1].Influence+1e-12 {
+			t.Errorf("attributes not sorted by influence")
+		}
+	}
+}
+
+func TestCurvatureZeroForLinearCoordinate(t *testing.T) {
+	// On linear data every coordinate function should be nearly straight.
+	xs, _ := dataset.Linear(3, 150, 0.01, 9)
+	alpha := order.MustDirection(1, 1, 1)
+	res, err := Rank(xs, nil, core.Options{Alpha: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Attributes {
+		if a.Curvature > 0.08 {
+			t.Errorf("attribute %d curvature %.3f on linear data, want near 0", a.Index, a.Curvature)
+		}
+	}
+}
+
+func TestSelectDropsDuplicate(t *testing.T) {
+	xs, alpha := redundantCloud(150, 11)
+	chosen, err := Select(xs, core.Options{Alpha: alpha}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) >= 3 {
+		t.Errorf("Select kept all %d attributes; one of the duplicated pair should be dropped", len(chosen))
+	}
+}
+
+func TestSelectDefaultsAndFallback(t *testing.T) {
+	// On data where every attribute matters, Select returns all of them.
+	xs, _, _ := dataset.BezierCloud(order.MustDirection(1, -1), 100, 0.02, 13)
+	alpha := order.MustDirection(1, -1)
+	chosen, err := Select(xs, core.Options{Alpha: alpha}, 0) // default minTau
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) == 0 {
+		t.Errorf("Select returned nothing")
+	}
+}

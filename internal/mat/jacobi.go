@@ -1,0 +1,202 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix: A = V·diag(λ)·Vᵀ.
+// Eigenvalues are sorted in descending order and Vectors.Col(k) is the unit
+// eigenvector for Values[k].
+type Eigen struct {
+	Values  []float64
+	Vectors *Dense
+}
+
+// SymEigen computes the full eigendecomposition of a symmetric matrix using
+// the cyclic Jacobi rotation method. It panics if a is not square; symmetry
+// is assumed (only the upper triangle is trusted via symmetrisation).
+//
+// Jacobi is quadratically convergent and unconditionally stable, which is all
+// the RPC learner needs: its largest symmetric problem is the 4×4 Bernstein
+// Gram matrix (Eq. 28), and the kernel-PCA baseline stays below a few hundred
+// rows.
+func SymEigen(a *Dense) Eigen {
+	n := a.rows
+	if a.cols != n {
+		panic(fmt.Sprintf("mat: SymEigen of non-square %dx%d", a.rows, a.cols))
+	}
+	// Work on a symmetrised copy so tiny asymmetries from floating point
+	// accumulation upstream cannot stall convergence.
+	w := Zeros(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w.Set(i, j, 0.5*(a.At(i, j)+a.At(j, i)))
+		}
+	}
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off <= 1e-14*(1+FrobeniusNorm(w)) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := Zeros(n, n)
+	for k, i := range idx {
+		sortedVals[k] = vals[i]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, k, v.At(r, i))
+		}
+	}
+	return Eigen{Values: sortedVals, Vectors: sortedVecs}
+}
+
+// rotate applies the Jacobi rotation J(p,q,θ) to w (both sides) and
+// accumulates it into v.
+func rotate(w, v *Dense, p, q int, c, s float64) {
+	n := w.rows
+	for k := 0; k < n; k++ {
+		wkp := w.At(k, p)
+		wkq := w.At(k, q)
+		w.Set(k, p, c*wkp-s*wkq)
+		w.Set(k, q, s*wkp+c*wkq)
+	}
+	for k := 0; k < n; k++ {
+		wpk := w.At(p, k)
+		wqk := w.At(q, k)
+		w.Set(p, k, c*wpk-s*wqk)
+		w.Set(q, k, s*wpk+c*wqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp := v.At(k, p)
+		vkq := v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+func offDiagNorm(w *Dense) float64 {
+	var s float64
+	n := w.rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := w.At(i, j)
+				s += v * v
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// EigenRange returns (λmin, λmax) of a symmetric matrix. It is the input to
+// the Richardson step size γ = 2/(λmin+λmax) of Eq. 28.
+func EigenRange(a *Dense) (lo, hi float64) {
+	e := SymEigen(a)
+	if len(e.Values) == 0 {
+		return 0, 0
+	}
+	return e.Values[len(e.Values)-1], e.Values[0]
+}
+
+// ConditionNumber returns λmax/λmin of a symmetric PSD matrix, or +Inf when
+// λmin is not meaningfully positive. The paper motivates the preconditioned
+// Richardson update by the ill-conditioning of (MZ)(MZ)ᵀ; this lets the
+// ablation benchmarks report it.
+func ConditionNumber(a *Dense) float64 {
+	lo, hi := EigenRange(a)
+	if lo <= 1e-300*hi || lo <= 0 {
+		return math.Inf(1)
+	}
+	return hi / lo
+}
+
+// PowerIteration returns the dominant eigenvalue and unit eigenvector of a
+// symmetric matrix using power iteration with a deterministic start vector.
+// Used by the first-PCA baseline where only the top component is needed.
+func PowerIteration(a *Dense, maxIter int, tol float64) (float64, []float64) {
+	n := a.rows
+	if a.cols != n {
+		panic(fmt.Sprintf("mat: PowerIteration of non-square %dx%d", a.rows, a.cols))
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	// Deterministic start: normalised ones plus a small ramp breaks ties with
+	// eigenvectors orthogonal to the all-ones direction.
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 + 1e-3*float64(i)
+	}
+	normalize(v)
+	lambda := 0.0
+	for iter := 0; iter < maxIter; iter++ {
+		w := MulVec(a, v)
+		nw := Norm2(w)
+		if nw == 0 {
+			return 0, v
+		}
+		for i := range w {
+			w[i] /= nw
+		}
+		// Converge on the iterate itself (the eigenvalue estimate settles
+		// roughly twice as fast as the eigenvector, so testing only λ would
+		// stop too early).
+		var diff float64
+		for i := range w {
+			d := w[i] - v[i]
+			diff += d * d
+		}
+		lambda = Dot(w, MulVec(a, w))
+		v = w
+		if math.Sqrt(diff) <= tol && iter > 2 {
+			break
+		}
+	}
+	return lambda, v
+}
+
+func normalize(v []float64) {
+	n := Norm2(v)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}

@@ -1,0 +1,50 @@
+package mat
+
+import "fmt"
+
+// PinvSym returns the Moore–Penrose pseudo-inverse of a symmetric matrix
+// via its Jacobi eigendecomposition: A⁺ = V·diag(1/λᵢ for λᵢ>cutoff)·Vᵀ.
+// Eigenvalues at or below cutoff·λmax are treated as zero, which is what
+// makes this a pseudo-inverse rather than an (unstable) inverse when the
+// Bernstein Gram matrix (MZ)(MZ)ᵀ of Eq. 26 is rank-deficient.
+func PinvSym(a *Dense) *Dense {
+	const cutoff = 1e-12
+	e := SymEigen(a)
+	n := a.rows
+	lmax := 0.0
+	for _, v := range e.Values {
+		if v > lmax {
+			lmax = v
+		}
+	}
+	inv := make([]float64, n)
+	for i, v := range e.Values {
+		if v > cutoff*lmax && v > 0 {
+			inv[i] = 1 / v
+		}
+	}
+	// A⁺ = V diag(inv) Vᵀ
+	vd := MulDiagRight(e.Vectors, inv)
+	return Mul(vd, T(e.Vectors))
+}
+
+// PinvWide returns the pseudo-inverse of a wide matrix (rows ≤ cols) using
+// the identity A⁺ = Aᵀ(AAᵀ)⁺, which is the exact form the paper uses for
+// (MZ)⁺ in Eq. 26 (MZ is 4×n with n ≥ 4).
+func PinvWide(a *Dense) *Dense {
+	if a.rows > a.cols {
+		panic(fmt.Sprintf("mat: PinvWide requires rows<=cols, got %dx%d", a.rows, a.cols))
+	}
+	g := Gram(a) // a·aᵀ, rows×rows
+	return Mul(T(a), PinvSym(g))
+}
+
+// Pinv returns the Moore–Penrose pseudo-inverse of any matrix, dispatching
+// on shape: wide matrices use A⁺ = Aᵀ(AAᵀ)⁺ and tall ones A⁺ = (AᵀA)⁺Aᵀ.
+func Pinv(a *Dense) *Dense {
+	if a.rows <= a.cols {
+		return PinvWide(a)
+	}
+	g := Mul(T(a), a) // aᵀa, cols×cols
+	return Mul(PinvSym(g), T(a))
+}

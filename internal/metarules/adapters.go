@@ -1,0 +1,329 @@
+package metarules
+
+import (
+	"math"
+	"math/rand"
+
+	"rpcrank/internal/core"
+	"rpcrank/internal/order"
+	"rpcrank/internal/pca"
+	"rpcrank/internal/princurve"
+	"rpcrank/internal/rankagg"
+	"rpcrank/internal/stats"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// normalized applies the paper's Eq. 29 pre-processing (min–max into
+// [0,1]^d) that the whole ranking pipeline assumes: §3.1 argues ranking
+// functions must be invariant to this map, and the curve/PCA baselines are
+// assessed with it in place exactly like the RPC (which normalises
+// internally). Returns the unit-box rows and a wrapper that normalises
+// out-of-sample points for a score function.
+func normalized(xs [][]float64) ([][]float64, func(func([]float64) float64) func([]float64) float64, error) {
+	norm, err := stats.FitNormalizer(xs)
+	if err != nil {
+		return nil, nil, err
+	}
+	u := norm.ApplyAll(xs)
+	wrap := func(fn func([]float64) float64) func([]float64) float64 {
+		if fn == nil {
+			return nil
+		}
+		return func(x []float64) float64 { return fn(norm.Apply(x)) }
+	}
+	return u, wrap, nil
+}
+
+// RPCRanker adapts the ranking principal curve.
+type RPCRanker struct {
+	// Opts are forwarded to core.Fit with Alpha overridden per call.
+	Opts core.Options
+}
+
+// Name implements Ranker.
+func (RPCRanker) Name() string { return "RPC" }
+
+// Fit implements Ranker.
+func (r RPCRanker) Fit(xs [][]float64, alpha order.Direction) (*FitResult, error) {
+	opts := r.Opts
+	opts.Alpha = alpha
+	m, err := core.Fit(xs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FitResult{
+		Scores:     m.Scores,
+		ScoreFn:    m.Score,
+		ParamCount: (m.Curve.Degree() + 1) * alpha.Dim(), // 4×d for the cubic
+		Explained:  m.ExplainedVariance(),
+	}, nil
+}
+
+// FirstPCRanker adapts the first principal component baseline.
+type FirstPCRanker struct{}
+
+// Name implements Ranker.
+func (FirstPCRanker) Name() string { return "FirstPC" }
+
+// Fit implements Ranker.
+func (FirstPCRanker) Fit(xs [][]float64, alpha order.Direction) (*FitResult, error) {
+	u, wrap, err := normalized(xs)
+	if err != nil {
+		return nil, err
+	}
+	p, err := pca.FitFirstPC(u, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &FitResult{
+		Scores:     p.ScoreAll(u),
+		ScoreFn:    wrap(p.Score),
+		ParamCount: 2 * alpha.Dim(), // w and µ
+		Explained:  p.ExplainedVariance(u),
+	}, nil
+}
+
+// KernelPCRanker adapts RBF kernel PCA.
+type KernelPCRanker struct {
+	// Sigma is the RBF bandwidth; 0 selects the median heuristic.
+	Sigma float64
+}
+
+// Name implements Ranker.
+func (KernelPCRanker) Name() string { return "KernelPC" }
+
+// Fit implements Ranker.
+func (k KernelPCRanker) Fit(xs [][]float64, alpha order.Direction) (*FitResult, error) {
+	u, wrap, err := normalized(xs)
+	if err != nil {
+		return nil, err
+	}
+	m, err := pca.FitKernelPC(u, k.Sigma)
+	if err != nil {
+		return nil, err
+	}
+	scores := m.ScoreAll(u)
+	// Orient against alpha so "higher = better" where possible.
+	var cov float64
+	for i, x := range u {
+		var g float64
+		for j, s := range alpha {
+			g += s * x[j]
+		}
+		cov += scores[i] * g
+	}
+	flip := 1.0
+	if cov < 0 {
+		flip = -1
+	}
+	for i := range scores {
+		scores[i] *= flip
+	}
+	return &FitResult{
+		Scores:     scores,
+		ScoreFn:    wrap(func(x []float64) float64 { return flip * m.Score(x) }),
+		ParamCount: -1,         // the expansion is anchored on all n training rows
+		Explained:  math.NaN(), // no input-space reconstruction
+	}, nil
+}
+
+// HSRanker adapts the Hastie–Stuetzle principal curve.
+type HSRanker struct {
+	// Opts configure the fit.
+	Opts princurve.HSOptions
+}
+
+// Name implements Ranker.
+func (HSRanker) Name() string { return "HastieStuetzle" }
+
+// Fit implements Ranker.
+func (h HSRanker) Fit(xs [][]float64, alpha order.Direction) (*FitResult, error) {
+	u, wrap, err := normalized(xs)
+	if err != nil {
+		return nil, err
+	}
+	m, err := princurve.FitHS(u, h.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FitResult{
+		Scores:     m.Scores(alpha),
+		ScoreFn:    wrap(polylineScoreFn(m.Line, u, alpha)),
+		ParamCount: -1, // polyline discretisation of a nonparametric curve
+		Explained:  m.ExplainedVariance(),
+	}, nil
+}
+
+// KeglRanker adapts the polyline principal curve.
+type KeglRanker struct {
+	// Opts configure the fit.
+	Opts princurve.KeglOptions
+}
+
+// Name implements Ranker.
+func (KeglRanker) Name() string { return "KeglPolyline" }
+
+// Fit implements Ranker.
+func (k KeglRanker) Fit(xs [][]float64, alpha order.Direction) (*FitResult, error) {
+	u, wrap, err := normalized(xs)
+	if err != nil {
+		return nil, err
+	}
+	m, err := princurve.FitKegl(u, k.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FitResult{
+		Scores:  m.Scores(alpha),
+		ScoreFn: wrap(polylineScoreFn(m.Line, u, alpha)),
+		// Vertices are explicit parameters, but their number is a free
+		// design choice growing with n (k ∝ n^{1/3}); we report the actual
+		// count.
+		ParamCount: len(m.Line.Vertices) * alpha.Dim(),
+		Explained:  m.ExplainedVariance(),
+	}, nil
+}
+
+// ElmapRanker adapts the 1-D elastic map.
+type ElmapRanker struct {
+	// Opts configure the fit.
+	Opts princurve.ElmapOptions
+}
+
+// Name implements Ranker.
+func (ElmapRanker) Name() string { return "Elmap" }
+
+// Fit implements Ranker.
+func (e ElmapRanker) Fit(xs [][]float64, alpha order.Direction) (*FitResult, error) {
+	u, wrap, err := normalized(xs)
+	if err != nil {
+		return nil, err
+	}
+	m, err := princurve.FitElmap(u, e.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FitResult{
+		Scores:  m.Scores(alpha),
+		ScoreFn: wrap(polylineScoreFn(m.Line, u, alpha)),
+		// §1.1: "Elmap is hardly interpretable since the parameter size of
+		// principal curves is unknown explicitly" — the node count is a
+		// resolution knob, not a model size; report unknown.
+		ParamCount: -1,
+		Explained:  m.ExplainedVariance(),
+	}, nil
+}
+
+// MedianRankRanker adapts median rank aggregation (Eq. 30).
+type MedianRankRanker struct{}
+
+// Name implements Ranker.
+func (MedianRankRanker) Name() string { return "MedianRankAgg" }
+
+// Fit implements Ranker.
+func (MedianRankRanker) Fit(xs [][]float64, alpha order.Direction) (*FitResult, error) {
+	scores, err := rankagg.MedianRankScores(xs, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &FitResult{Scores: scores, ScoreFn: nil, ParamCount: 0, Explained: math.NaN()}, nil
+}
+
+// BordaRanker adapts the Borda count.
+type BordaRanker struct{}
+
+// Name implements Ranker.
+func (BordaRanker) Name() string { return "Borda" }
+
+// Fit implements Ranker.
+func (BordaRanker) Fit(xs [][]float64, alpha order.Direction) (*FitResult, error) {
+	scores, err := rankagg.BordaScores(xs, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &FitResult{Scores: scores, ScoreFn: nil, ParamCount: 0, Explained: math.NaN()}, nil
+}
+
+// WeightedSumRanker adapts the equal-weight summation strawman.
+type WeightedSumRanker struct {
+	// Weights per attribute; nil means equal.
+	Weights []float64
+}
+
+// Name implements Ranker.
+func (WeightedSumRanker) Name() string { return "WeightedSum" }
+
+// Fit implements Ranker.
+func (w WeightedSumRanker) Fit(xs [][]float64, alpha order.Direction) (*FitResult, error) {
+	scores, err := rankagg.WeightedSumScores(xs, alpha, w.Weights)
+	if err != nil {
+		return nil, err
+	}
+	weights := w.Weights
+	if weights == nil {
+		weights = make([]float64, alpha.Dim())
+		for j := range weights {
+			weights[j] = 1
+		}
+	}
+	fn := func(x []float64) float64 {
+		var s float64
+		for j, v := range x {
+			s += weights[j] * alpha[j] * v
+		}
+		return s
+	}
+	return &FitResult{Scores: scores, ScoreFn: fn, ParamCount: alpha.Dim(), Explained: math.NaN()}, nil
+}
+
+// polylineScoreFn builds an out-of-sample scorer from a fitted polyline:
+// project, normalise by length, orient like the training scores (same
+// covariance-sign rule as princurve.OrientScores).
+func polylineScoreFn(line *princurve.Polyline, xs [][]float64, alpha order.Direction) func([]float64) float64 {
+	ts, _ := line.ProjectAll(xs)
+	var meanT, meanG float64
+	g := make([]float64, len(xs))
+	for i, x := range xs {
+		for j, s := range alpha {
+			g[i] += s * x[j]
+		}
+		meanT += ts[i]
+		meanG += g[i]
+	}
+	meanT /= float64(len(xs))
+	meanG /= float64(len(xs))
+	var cov float64
+	for i := range ts {
+		cov += (ts[i] - meanT) * (g[i] - meanG)
+	}
+	flipped := cov < 0
+	length := line.Length()
+	if length <= 0 {
+		length = 1
+	}
+	return func(x []float64) float64 {
+		t, _ := line.Project(x)
+		v := t / length
+		if flipped {
+			v = 1 - v
+		}
+		return v
+	}
+}
+
+// AllRankers returns the full comparison set of experiment A4 with default
+// settings.
+func AllRankers() []Ranker {
+	return []Ranker{
+		RPCRanker{},
+		FirstPCRanker{},
+		KernelPCRanker{},
+		HSRanker{},
+		KeglRanker{},
+		ElmapRanker{},
+		MedianRankRanker{},
+		BordaRanker{},
+		WeightedSumRanker{},
+	}
+}

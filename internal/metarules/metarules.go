@@ -1,0 +1,387 @@
+// Package metarules makes the five meta-rules of §3 executable: scale and
+// translation invariance, strict monotonicity, linear/nonlinear capacity,
+// smoothness, and explicitness of parameter size. The paper proposes them as
+// "high-level assessments for unsupervised ranking performance"; here each
+// rule is a concrete test that any ranking model (adapted to the Ranker
+// interface) either passes or fails, producing the compliance matrix of
+// experiment A4.
+package metarules
+
+import (
+	"fmt"
+	"math"
+
+	"rpcrank/internal/order"
+)
+
+// FitResult is what a Ranker produces on a dataset.
+type FitResult struct {
+	// Scores holds one score per training row (higher = better).
+	Scores []float64
+	// ScoreFn scores a new observation, or nil when the model has no
+	// out-of-sample scoring rule (pure rank aggregation, for instance).
+	ScoreFn func(x []float64) float64
+	// ParamCount is the number of explicit model parameters, or −1 when
+	// the parameter size is unknown/unbounded (the "black-box" case of
+	// §3.5).
+	ParamCount int
+	// Explained is the skeleton-fit quality 1 − Σresidual²/total variance
+	// in the (normalised) observation space, or NaN when the model has no
+	// notion of reconstructing observations (aggregators, weighted sums,
+	// kernel scores). The linear/nonlinear-capacity rule uses it to decide
+	// whether the model can *depict* a bent relationship (Definition 4),
+	// not merely order points along it.
+	Explained float64
+}
+
+// Ranker is a ranking model under assessment.
+type Ranker interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Fit trains on the rows under the direction alpha.
+	Fit(xs [][]float64, alpha order.Direction) (*FitResult, error)
+}
+
+// RuleOutcome is the verdict for one meta-rule.
+type RuleOutcome struct {
+	// Rule names the meta-rule.
+	Rule string
+	// Pass is the verdict.
+	Pass bool
+	// Detail explains the measurement behind the verdict.
+	Detail string
+}
+
+// Report is the full five-rule assessment of one model.
+type Report struct {
+	// Model names the assessed ranker.
+	Model string
+	// Outcomes holds the five rule verdicts in §3 order.
+	Outcomes []RuleOutcome
+}
+
+// Passed counts satisfied rules.
+func (r *Report) Passed() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Pass {
+			n++
+		}
+	}
+	return n
+}
+
+// Config tunes the assessment workloads and thresholds.
+type Config struct {
+	// InvarianceTau is the minimum Kendall τ between the rankings before
+	// and after an affine transform. Default 0.999.
+	InvarianceTau float64
+	// CapacityTau is the minimum Kendall τ against the latent order on
+	// both the linear and the nonlinear workload. Default 0.85.
+	CapacityTau float64
+	// CapacityEV is the minimum explained variance on the bent (knee)
+	// workload: a model that can only depict straight skeletons leaves a
+	// large orthogonal residual there. Models reporting NaN fail.
+	// Default 0.9.
+	CapacityEV float64
+	// KinkThreshold is the largest slope discontinuity (relative to the
+	// score range along the probe path) still considered smooth.
+	// Default 0.25.
+	KinkThreshold float64
+	// MaxParams is the largest parameter count still considered
+	// "explicit". Default 1000.
+	MaxParams int
+	// Seed drives the workload generators. Default 42.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.InvarianceTau == 0 {
+		c.InvarianceTau = 0.999
+	}
+	if c.CapacityTau == 0 {
+		c.CapacityTau = 0.85
+	}
+	if c.CapacityEV == 0 {
+		c.CapacityEV = 0.9
+	}
+	if c.KinkThreshold == 0 {
+		c.KinkThreshold = 0.25
+	}
+	if c.MaxParams == 0 {
+		c.MaxParams = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Assess runs all five meta-rules against the ranker on the given dataset.
+// The dataset supplies the realistic distribution for the invariance,
+// monotonicity and smoothness checks; capacity uses synthetic workloads with
+// known latent order.
+func Assess(r Ranker, xs [][]float64, alpha order.Direction, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{Model: r.Name()}
+
+	inv, err := checkInvariance(r, xs, alpha, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("metarules: invariance: %w", err)
+	}
+	rep.Outcomes = append(rep.Outcomes, inv)
+
+	mono, err := checkStrictMonotonicity(r, xs, alpha)
+	if err != nil {
+		return nil, fmt.Errorf("metarules: monotonicity: %w", err)
+	}
+	rep.Outcomes = append(rep.Outcomes, mono)
+
+	cap_, err := checkCapacity(r, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("metarules: capacity: %w", err)
+	}
+	rep.Outcomes = append(rep.Outcomes, cap_)
+
+	smooth, err := checkSmoothness(r, xs, alpha, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("metarules: smoothness: %w", err)
+	}
+	rep.Outcomes = append(rep.Outcomes, smooth)
+
+	expl, err := checkExplicitness(r, xs, alpha, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("metarules: explicitness: %w", err)
+	}
+	rep.Outcomes = append(rep.Outcomes, expl)
+	return rep, nil
+}
+
+// checkInvariance fits before and after a fixed per-attribute affine map and
+// compares the rankings (Definition 2 / Eq. 10).
+func checkInvariance(r Ranker, xs [][]float64, alpha order.Direction, cfg Config) (RuleOutcome, error) {
+	base, err := r.Fit(xs, alpha)
+	if err != nil {
+		return RuleOutcome{}, err
+	}
+	d := alpha.Dim()
+	scale := make([]float64, d)
+	shift := make([]float64, d)
+	for j := 0; j < d; j++ {
+		scale[j] = 0.5 + 3*float64(j+1) // distinct positive scales
+		shift[j] = float64(j)*7 - 11
+	}
+	mapped := make([][]float64, len(xs))
+	for i, row := range xs {
+		m := make([]float64, d)
+		for j, v := range row {
+			m[j] = scale[j]*v + shift[j]
+		}
+		mapped[i] = m
+	}
+	after, err := r.Fit(mapped, alpha)
+	if err != nil {
+		return RuleOutcome{}, err
+	}
+	tau := order.KendallTau(base.Scores, after.Scores)
+	return RuleOutcome{
+		Rule:   "scale/translation invariance",
+		Pass:   tau >= cfg.InvarianceTau,
+		Detail: fmt.Sprintf("Kendall tau after affine map = %.4f (threshold %.4f)", tau, cfg.InvarianceTau),
+	}, nil
+}
+
+// checkStrictMonotonicity enforces both halves of Definition 3 on the
+// training rows: (a) a strictly dominated object must score strictly lower
+// (no dominance violations), and (b) distinct objects must receive distinct
+// scores — §3.2: "ϕ(xi) = ϕ(xj) holds if and only if xi = xj". Rank
+// aggregation fails (b): Table 1's A and B are distinguishable yet tie.
+func checkStrictMonotonicity(r Ranker, xs [][]float64, alpha order.Direction) (RuleOutcome, error) {
+	res, err := r.Fit(xs, alpha)
+	if err != nil {
+		return RuleOutcome{}, err
+	}
+	v, comparable := order.ViolatedPairs(alpha, xs, res.Scores)
+	ties := 0
+	for i := range xs {
+		for j := i + 1; j < len(xs); j++ {
+			if res.Scores[i] == res.Scores[j] && !equalRows(xs[i], xs[j]) {
+				ties++
+			}
+		}
+	}
+	return RuleOutcome{
+		Rule: "strict monotonicity",
+		Pass: v == 0 && ties == 0 && comparable > 0,
+		Detail: fmt.Sprintf("%d violations among %d strictly comparable pairs; %d score ties between distinct objects",
+			v, comparable, ties),
+	}, nil
+}
+
+func equalRows(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkCapacity fits a linear cloud and a sharply bent ("knee") cloud with
+// known latent order (Definition 4). Ordering both correctly is necessary
+// but not sufficient — any monotone scorer orders points along a monotone
+// skeleton — so the rule additionally requires the model to *depict* the
+// bent skeleton: its explained variance on the knee must stay high. A
+// straight line leaves a large orthogonal residual there, which is exactly
+// the first-PCA failure of §4.1 / Fig. 5(a).
+func checkCapacity(r Ranker, cfg Config) (RuleOutcome, error) {
+	alpha := order.MustDirection(1, 1)
+	linX, linLatent := capacityLinear(200, cfg.Seed)
+	kneeX, kneeLatent := capacityKnee(200, cfg.Seed+1)
+	linRes, err := r.Fit(linX, alpha)
+	if err != nil {
+		return RuleOutcome{}, err
+	}
+	kneeRes, err := r.Fit(kneeX, alpha)
+	if err != nil {
+		return RuleOutcome{}, err
+	}
+	linTau := order.KendallTau(linRes.Scores, linLatent)
+	kneeTau := order.KendallTau(kneeRes.Scores, kneeLatent)
+	ev := kneeRes.Explained
+	pass := linTau >= cfg.CapacityTau && kneeTau >= cfg.CapacityTau &&
+		!math.IsNaN(ev) && ev >= cfg.CapacityEV
+	return RuleOutcome{
+		Rule: "linear/nonlinear capacity",
+		Pass: pass,
+		Detail: fmt.Sprintf("tau(linear) = %.3f, tau(knee) = %.3f (>= %.2f); knee explained variance = %.3f (>= %.2f)",
+			linTau, kneeTau, cfg.CapacityTau, ev, cfg.CapacityEV),
+	}, nil
+}
+
+// checkSmoothness walks the score function along a straight path between
+// two well-separated data points and measures the largest relative second
+// difference (Definition 5). A C¹ score map shows second differences of
+// order h²; a kink (polyline vertex) or a jump shows order h or order 1.
+// Models without out-of-sample scoring fail by construction.
+func checkSmoothness(r Ranker, xs [][]float64, alpha order.Direction, cfg Config) (RuleOutcome, error) {
+	res, err := r.Fit(xs, alpha)
+	if err != nil {
+		return RuleOutcome{}, err
+	}
+	if res.ScoreFn == nil {
+		return RuleOutcome{
+			Rule:   "smoothness",
+			Pass:   false,
+			Detail: "model defines no score function over the observation space",
+		}, nil
+	}
+	// Pick the pair of rows with the largest score gap: a path crossing the
+	// whole skeleton.
+	loI, hiI := 0, 0
+	for i, s := range res.Scores {
+		if s < res.Scores[loI] {
+			loI = i
+		}
+		if s > res.Scores[hiI] {
+			hiI = i
+		}
+	}
+	a, b := xs[loI], xs[hiI]
+	const steps = 400
+	vals := make([]float64, steps+1)
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / steps
+		p := make([]float64, len(a))
+		for j := range p {
+			p[j] = (1-t)*a[j] + t*b[j]
+		}
+		vals[i] = res.ScoreFn(p)
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	rangeS := hi - lo
+	if rangeS == 0 {
+		rangeS = 1
+	}
+	var maxKink float64
+	for i := 1; i < steps; i++ {
+		d2 := math.Abs(vals[i+1] - 2*vals[i] + vals[i-1])
+		if d2 > maxKink {
+			maxKink = d2
+		}
+	}
+	// A C¹ score path has second differences of order h² (rel ≈ |s″|·h),
+	// a derivative kink of order h (rel ≈ slope jump, O(1)), and a jump of
+	// order 1 (rel ≈ steps). Dividing by h = 1/steps separates the three.
+	rel := maxKink * float64(steps) / rangeS
+	return RuleOutcome{
+		Rule: "smoothness",
+		Pass: rel <= cfg.KinkThreshold,
+		Detail: fmt.Sprintf("max slope jump along skeleton path = %.4f (threshold %.4f)",
+			rel, cfg.KinkThreshold),
+	}, nil
+}
+
+// checkExplicitness inspects the declared parameter count (Definition 6).
+func checkExplicitness(r Ranker, xs [][]float64, alpha order.Direction, cfg Config) (RuleOutcome, error) {
+	res, err := r.Fit(xs, alpha)
+	if err != nil {
+		return RuleOutcome{}, err
+	}
+	switch {
+	case res.ParamCount < 0:
+		return RuleOutcome{
+			Rule:   "explicit parameter size",
+			Pass:   false,
+			Detail: "parameter size unknown (black-box model)",
+		}, nil
+	case res.ParamCount > cfg.MaxParams:
+		return RuleOutcome{
+			Rule:   "explicit parameter size",
+			Pass:   false,
+			Detail: fmt.Sprintf("%d parameters exceed the interpretability budget %d", res.ParamCount, cfg.MaxParams),
+		}, nil
+	}
+	return RuleOutcome{
+		Rule:   "explicit parameter size",
+		Pass:   true,
+		Detail: fmt.Sprintf("%d parameters", res.ParamCount),
+	}, nil
+}
+
+// capacityLinear generates the linear workload deterministically (kept local
+// to avoid an import cycle with the dataset package's consumers).
+func capacityLinear(n int, seed int64) ([][]float64, []float64) {
+	rng := newRand(seed)
+	xs := make([][]float64, n)
+	latent := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := rng.Float64()
+		latent[i] = t
+		xs[i] = []float64{t + 0.01*rng.NormFloat64(), 2*t + 0.01*rng.NormFloat64()}
+	}
+	return xs, latent
+}
+
+// capacityKnee is a strongly bent monotone skeleton: x runs linearly while
+// y stays near zero and then shoots up — the shape only a nonlinear curve
+// can depict with a small orthogonal residual.
+func capacityKnee(n int, seed int64) ([][]float64, []float64) {
+	rng := newRand(seed)
+	denom := math.Exp(8) - 1
+	xs := make([][]float64, n)
+	latent := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := rng.Float64()
+		latent[i] = t
+		xs[i] = []float64{
+			t + 0.01*rng.NormFloat64(),
+			(math.Exp(8*t)-1)/denom + 0.01*rng.NormFloat64(),
+		}
+	}
+	return xs, latent
+}

@@ -1,0 +1,165 @@
+// Package optimize provides the one-dimensional minimisers the RPC
+// projection step needs: Golden Section Search (the method Algorithm 1 of
+// the paper adopts for Eq. 22), coarse grid seeding for non-unimodal
+// distance profiles, and a quadratic-interpolation refinement.
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// invPhi = 1/φ, the golden section split ratio.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenSection minimises f over [lo, hi] assuming f is unimodal there,
+// shrinking the bracket until its width is at most tol (or maxIter
+// evaluposts pass). It returns the midpoint of the final bracket.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64, maxIter int) float64 {
+	if hi < lo {
+		panic(fmt.Sprintf("optimize: GoldenSection inverted bracket [%v,%v]", lo, hi))
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < maxIter && b-a > tol; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+// GridSeed evaluates f at cells+1 evenly spaced points on [lo, hi] and
+// returns the bracket [left, right] around the best sample. The RPC
+// projection objective ‖x − f(s)‖² along a cubic curve can have up to three
+// local minima, so GSS alone could land in the wrong basin; a coarse grid
+// pass first makes the combined projector reliable.
+func GridSeed(f func(float64) float64, lo, hi float64, cells int) (left, right float64) {
+	if cells < 1 {
+		panic(fmt.Sprintf("optimize: GridSeed needs at least 1 cell, got %d", cells))
+	}
+	if hi < lo {
+		panic(fmt.Sprintf("optimize: GridSeed inverted bracket [%v,%v]", lo, hi))
+	}
+	h := (hi - lo) / float64(cells)
+	bestI := 0
+	bestV := math.Inf(1)
+	for i := 0; i <= cells; i++ {
+		s := lo + float64(i)*h
+		if v := f(s); v < bestV {
+			bestV, bestI = v, i
+		}
+	}
+	left = lo + float64(bestI-1)*h
+	right = lo + float64(bestI+1)*h
+	if left < lo {
+		left = lo
+	}
+	if right > hi {
+		right = hi
+	}
+	return left, right
+}
+
+// MinimizeUnit minimises f on [0,1] by grid seeding followed by golden
+// section refinement of the winning bracket. It is the default projector
+// used by the RPC fit loop.
+func MinimizeUnit(f func(float64) float64, cells int, tol float64) float64 {
+	lo, hi := GridSeed(f, 0, 1, cells)
+	return GoldenSection(f, lo, hi, tol, 200)
+}
+
+// Brent refines a minimum of f inside [lo,hi] with successive parabolic
+// interpolation, falling back to golden section when the parabola steps
+// misbehave. It typically converges in far fewer evaluations than pure GSS
+// and is offered as the "fast projector" ablation.
+func Brent(f func(float64) float64, lo, hi, tol float64, maxIter int) float64 {
+	if hi < lo {
+		panic(fmt.Sprintf("optimize: Brent inverted bracket [%v,%v]", lo, hi))
+	}
+	const cgold = 0.3819660112501051 // 2 − φ
+	a, b := lo, hi
+	x := a + cgold*(b-a)
+	w, v := x, x
+	fx := f(x)
+	fw, fv := fx, fx
+	var d, e float64
+	for i := 0; i < maxIter; i++ {
+		m := 0.5 * (a + b)
+		tol1 := tol*math.Abs(x) + 1e-12
+		tol2 := 2 * tol1
+		if math.Abs(x-m) <= tol2-0.5*(b-a) {
+			break
+		}
+		useGolden := true
+		if math.Abs(e) > tol1 {
+			// Fit a parabola through (v,fv), (w,fw), (x,fx).
+			r := (x - w) * (fx - fv)
+			q := (x - v) * (fx - fw)
+			p := (x-v)*q - (x-w)*r
+			q = 2 * (q - r)
+			if q > 0 {
+				p = -p
+			}
+			q = math.Abs(q)
+			etmp := e
+			e = d
+			if math.Abs(p) < math.Abs(0.5*q*etmp) && p > q*(a-x) && p < q*(b-x) {
+				d = p / q
+				u := x + d
+				if u-a < tol2 || b-u < tol2 {
+					d = math.Copysign(tol1, m-x)
+				}
+				useGolden = false
+			}
+		}
+		if useGolden {
+			if x < m {
+				e = b - x
+			} else {
+				e = a - x
+			}
+			d = cgold * e
+		}
+		var u float64
+		if math.Abs(d) >= tol1 {
+			u = x + d
+		} else {
+			u = x + math.Copysign(tol1, d)
+		}
+		fu := f(u)
+		if fu <= fx {
+			if u < x {
+				b = x
+			} else {
+				a = x
+			}
+			v, w, x = w, x, u
+			fv, fw, fx = fw, fx, fu
+		} else {
+			if u < x {
+				a = u
+			} else {
+				b = u
+			}
+			if fu <= fw || w == x {
+				v, fv = w, fw
+				w, fw = u, fu
+			} else if fu <= fv || v == x || v == w {
+				v, fv = u, fu
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,98 @@
+package order
+
+import (
+	"fmt"
+	"math"
+)
+
+// KendallTau returns the Kendall rank correlation τ-a between two score
+// vectors: (concordant − discordant) / (n(n−1)/2). Pairs tied in either
+// vector contribute zero to the numerator. τ = 1 means identical orderings,
+// −1 reversed.
+func KendallTau(a, b []float64) float64 {
+	n := len(a)
+	if len(b) != n {
+		panic(fmt.Sprintf("order: KendallTau length mismatch %d vs %d", len(a), len(b)))
+	}
+	if n < 2 {
+		return 1
+	}
+	var num int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := sign(a[i] - a[j])
+			db := sign(b[i] - b[j])
+			num += da * db
+		}
+	}
+	return float64(num) / float64(n*(n-1)/2)
+}
+
+// SpearmanRho returns the Spearman rank correlation between two score
+// vectors, computed as the Pearson correlation of their rank vectors
+// (ties broken deterministically by index, matching RankFromScores).
+func SpearmanRho(a, b []float64) float64 {
+	n := len(a)
+	if len(b) != n {
+		panic(fmt.Sprintf("order: SpearmanRho length mismatch %d vs %d", len(a), len(b)))
+	}
+	if n < 2 {
+		return 1
+	}
+	ra := RankFromScores(a)
+	rb := RankFromScores(b)
+	var ma, mb float64
+	for i := 0; i < n; i++ {
+		ma += float64(ra[i])
+		mb += float64(rb[i])
+	}
+	ma /= float64(n)
+	mb /= float64(n)
+	var cov, va, vb float64
+	for i := 0; i < n; i++ {
+		da := float64(ra[i]) - ma
+		db := float64(rb[i]) - mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// SpearmanFootrule returns the normalised Spearman footrule distance between
+// the rankings induced by two score vectors: Σ|rank_a(i) − rank_b(i)| divided
+// by its maximum ⌊n²/2⌋. 0 means identical rankings, 1 maximally displaced.
+func SpearmanFootrule(a, b []float64) float64 {
+	n := len(a)
+	if len(b) != n {
+		panic(fmt.Sprintf("order: SpearmanFootrule length mismatch %d vs %d", len(a), len(b)))
+	}
+	if n < 2 {
+		return 0
+	}
+	ra := RankFromScores(a)
+	rb := RankFromScores(b)
+	var sum int
+	for i := 0; i < n; i++ {
+		d := ra[i] - rb[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	maxSum := n * n / 2
+	return float64(sum) / float64(maxSum)
+}
+
+func sign(v float64) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,135 @@
+package order
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKendallTauIdenticalAndReversed(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := KendallTau(a, a); got != 1 {
+		t.Errorf("tau(identical) = %v, want 1", got)
+	}
+	b := []float64{4, 3, 2, 1}
+	if got := KendallTau(a, b); got != -1 {
+		t.Errorf("tau(reversed) = %v, want -1", got)
+	}
+}
+
+func TestKendallTauKnown(t *testing.T) {
+	// a: 1,2,3; b: 1,3,2 → one discordant pair of three → τ = 1/3.
+	a := []float64{1, 2, 3}
+	b := []float64{1, 3, 2}
+	if got := KendallTau(a, b); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("tau = %v, want 1/3", got)
+	}
+}
+
+func TestKendallTauTinyInputs(t *testing.T) {
+	if got := KendallTau([]float64{1}, []float64{5}); got != 1 {
+		t.Errorf("tau of single element = %v, want 1", got)
+	}
+	if got := KendallTau(nil, nil); got != 1 {
+		t.Errorf("tau of empty = %v, want 1", got)
+	}
+}
+
+func TestKendallTauSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		a := randVec(rng, 10)
+		b := randVec(rng, 10)
+		if math.Abs(KendallTau(a, b)-KendallTau(b, a)) > 1e-15 {
+			t.Fatalf("tau not symmetric")
+		}
+		if v := KendallTau(a, b); v < -1-1e-12 || v > 1+1e-12 {
+			t.Fatalf("tau out of range: %v", v)
+		}
+	}
+}
+
+func TestKendallTauInvariantUnderMonotoneTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randVec(rng, 15)
+	b := randVec(rng, 15)
+	bt := make([]float64, len(b))
+	for i, v := range b {
+		bt[i] = math.Exp(2*v) + 3 // strictly increasing transform
+	}
+	if math.Abs(KendallTau(a, b)-KendallTau(a, bt)) > 1e-12 {
+		t.Errorf("tau must be invariant under strictly increasing transforms")
+	}
+}
+
+func TestSpearmanRhoBasics(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if got := SpearmanRho(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("rho(identical) = %v, want 1", got)
+	}
+	b := []float64{5, 4, 3, 2, 1}
+	if got := SpearmanRho(a, b); math.Abs(got+1) > 1e-12 {
+		t.Errorf("rho(reversed) = %v, want -1", got)
+	}
+	if got := SpearmanRho([]float64{1}, []float64{9}); got != 1 {
+		t.Errorf("rho of single element = %v, want 1", got)
+	}
+}
+
+func TestSpearmanRhoKnown(t *testing.T) {
+	// Ranks a: (3,2,1)… use score vectors. a = (10,20,30), b = (30,10,20).
+	// rank_a = (3,2,1), rank_b = (1,3,2). d = (2,-1,-1), Σd²=6,
+	// ρ = 1 − 6·6/(3·8) = 1 − 36/24 = −0.5.
+	a := []float64{10, 20, 30}
+	b := []float64{30, 10, 20}
+	if got := SpearmanRho(a, b); math.Abs(got+0.5) > 1e-12 {
+		t.Errorf("rho = %v, want -0.5", got)
+	}
+}
+
+func TestSpearmanFootrule(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := SpearmanFootrule(a, a); got != 0 {
+		t.Errorf("footrule(identical) = %v, want 0", got)
+	}
+	b := []float64{4, 3, 2, 1}
+	if got := SpearmanFootrule(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("footrule(reversed) = %v, want 1", got)
+	}
+	if got := SpearmanFootrule([]float64{1}, []float64{2}); got != 0 {
+		t.Errorf("footrule single = %v, want 0", got)
+	}
+}
+
+func TestMetricsPanicOnMismatch(t *testing.T) {
+	for i, fn := range []func(){
+		func() { KendallTau([]float64{1}, []float64{1, 2}) },
+		func() { SpearmanRho([]float64{1}, []float64{1, 2}) },
+		func() { SpearmanFootrule([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTauRhoAgreementOnNearMonotone(t *testing.T) {
+	// Both metrics should be high and positive for nearly aligned lists.
+	rng := rand.New(rand.NewSource(6))
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(i) + 0.3*rng.NormFloat64()
+	}
+	tau := KendallTau(a, b)
+	rho := SpearmanRho(a, b)
+	if tau < 0.8 || rho < 0.8 {
+		t.Errorf("tau=%v rho=%v, both should be > 0.8 for nearly aligned lists", tau, rho)
+	}
+}

@@ -1,0 +1,233 @@
+package order
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDirectionValidation(t *testing.T) {
+	if _, err := NewDirection(); err == nil {
+		t.Errorf("empty direction should be rejected")
+	}
+	if _, err := NewDirection(1, 0.5); err == nil {
+		t.Errorf("non-±1 entries should be rejected")
+	}
+	d, err := NewDirection(1, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim() != 3 {
+		t.Errorf("Dim = %d, want 3", d.Dim())
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("valid direction failed Validate: %v", err)
+	}
+}
+
+func TestMustDirectionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	MustDirection(2)
+}
+
+func TestAscending(t *testing.T) {
+	a := Ascending(4)
+	for _, v := range a {
+		if v != 1 {
+			t.Fatalf("Ascending = %v", a)
+		}
+	}
+}
+
+// TestPaperExample2 reproduces Example 2 of the paper: with
+// α = (1,1,−1,−1), the four countries satisfy xI ⪯ xM ⪯ xG ⪯ xN.
+func TestPaperExample2(t *testing.T) {
+	alpha := MustDirection(1, 1, -1, -1)
+	xI := []float64{2.1, 62.7, 75, 59}
+	xM := []float64{11.3, 75.5, 12, 30}
+	xG := []float64{32.1, 79.2, 6, 4}
+	xN := []float64{47.6, 80.1, 3, 3}
+	chain := [][]float64{xI, xM, xG, xN}
+	for i := 0; i < len(chain)-1; i++ {
+		if !alpha.StrictlyDominates(chain[i], chain[i+1]) {
+			t.Errorf("chain link %d: expected strict dominance", i)
+		}
+		if alpha.Dominates(chain[i+1], chain[i]) {
+			t.Errorf("chain link %d: reverse dominance should not hold", i)
+		}
+	}
+	// The scores the paper assigns preserve the order.
+	scores := []float64{0.407, 0.593, 0.785, 0.891}
+	if v, _ := ViolatedPairs(alpha, chain, scores); v != 0 {
+		t.Errorf("paper's scores violate the order %d times", v)
+	}
+}
+
+func TestDominatesReflexive(t *testing.T) {
+	alpha := MustDirection(1, -1)
+	x := []float64{3, 7}
+	if !alpha.Dominates(x, x) {
+		t.Errorf("order must be reflexive")
+	}
+	if alpha.StrictlyDominates(x, x) {
+		t.Errorf("strict dominance of identical points must be false")
+	}
+}
+
+func TestDominatesTransitiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alpha := MustDirection(1, -1, 1)
+	for trial := 0; trial < 500; trial++ {
+		x := randVec(rng, 3)
+		y := randVec(rng, 3)
+		z := randVec(rng, 3)
+		if alpha.Dominates(x, y) && alpha.Dominates(y, z) && !alpha.Dominates(x, z) {
+			t.Fatalf("transitivity violated: %v %v %v", x, y, z)
+		}
+	}
+}
+
+func TestDominatesAntisymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	alpha := MustDirection(1, -1)
+	for trial := 0; trial < 500; trial++ {
+		x := randVec(rng, 2)
+		y := randVec(rng, 2)
+		if alpha.Dominates(x, y) && alpha.Dominates(y, x) {
+			for j := range x {
+				if x[j] != y[j] {
+					t.Fatalf("antisymmetry violated: %v vs %v", x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestComparable(t *testing.T) {
+	alpha := MustDirection(1, 1)
+	if !alpha.Comparable([]float64{0, 0}, []float64{1, 1}) {
+		t.Errorf("dominating pair should be comparable")
+	}
+	if alpha.Comparable([]float64{0, 1}, []float64{1, 0}) {
+		t.Errorf("trade-off pair should be incomparable under (1,1)")
+	}
+}
+
+func TestOrient(t *testing.T) {
+	alpha := MustDirection(1, -1)
+	got := alpha.Orient([]float64{3, 5})
+	if got[0] != 3 || got[1] != -5 {
+		t.Errorf("Orient = %v, want [3 -5]", got)
+	}
+	// Orientation converts the α-order into componentwise ≤.
+	x, y := []float64{1, 9}, []float64{2, 4}
+	if !alpha.StrictlyDominates(x, y) {
+		t.Fatalf("setup: x should dominate y")
+	}
+	ox, oy := alpha.Orient(x), alpha.Orient(y)
+	for j := range ox {
+		if ox[j] > oy[j] {
+			t.Errorf("oriented x should be componentwise <= oriented y")
+		}
+	}
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	alpha := MustDirection(1, 1)
+	for i, fn := range []func(){
+		func() { alpha.Dominates([]float64{1}, []float64{1, 2}) },
+		func() { alpha.Orient([]float64{1}) },
+		func() { ViolatedPairs(alpha, [][]float64{{1, 2}}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRankFromScores(t *testing.T) {
+	ranks := RankFromScores([]float64{0.2, 0.9, 0.5})
+	want := []int{3, 1, 2}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestRankFromScoresTies(t *testing.T) {
+	ranks := RankFromScores([]float64{0.5, 0.5, 0.1})
+	// Stable: first index wins the earlier position.
+	if ranks[0] != 1 || ranks[1] != 2 || ranks[2] != 3 {
+		t.Errorf("tied ranks = %v, want [1 2 3]", ranks)
+	}
+}
+
+func TestSortByScoreDesc(t *testing.T) {
+	idx := SortByScoreDesc([]float64{0.2, 0.9, 0.5})
+	want := []int{1, 2, 0}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("idx = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestViolatedPairsExample1(t *testing.T) {
+	// Example 1 of the paper: x1=(58,1.4), x2=(58,16.2) with α=(1,1).
+	// A scorer that assigns them equal scores violates strict monotonicity.
+	alpha := MustDirection(1, 1)
+	xs := [][]float64{{58, 1.4}, {58, 16.2}}
+	equalScores := []float64{0.4, 0.4}
+	v, c := ViolatedPairs(alpha, xs, equalScores)
+	if c != 1 || v != 1 {
+		t.Errorf("violations=%d comparable=%d, want 1,1", v, c)
+	}
+	goodScores := []float64{0.3, 0.6}
+	v, _ = ViolatedPairs(alpha, xs, goodScores)
+	if v != 0 {
+		t.Errorf("order-preserving scores flagged: %d", v)
+	}
+}
+
+func TestViolatedPairsMonotoneScorerProperty(t *testing.T) {
+	// Any scorer of the form Σ αⱼ·g(xⱼ) with g strictly increasing is
+	// strictly monotone, so ViolatedPairs must report zero.
+	alpha := MustDirection(1, -1, 1)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([][]float64, 20)
+		scores := make([]float64, 20)
+		for i := range xs {
+			xs[i] = randVec(rng, 3)
+			var s float64
+			for j, v := range xs[i] {
+				s += alpha[j] * math.Atan(v)
+			}
+			scores[i] = s
+		}
+		v, _ := ViolatedPairs(alpha, xs, scores)
+		return v == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randVec(rng *rand.Rand, d int) []float64 {
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}

@@ -1,0 +1,93 @@
+package order
+
+// Pareto-front analysis under the α-order. The paper's §2 grounds ranking
+// in partial-order theory: before any scoring, the dominance relation alone
+// stratifies objects into fronts (front 1 = nondominated, front 2 =
+// dominated only by front 1, ...). A sound ranking function must order
+// objects consistently with this stratification — front numbers give a
+// label-free sanity check of any score vector, and the front sizes measure
+// how much of the ordering the data determines by itself.
+
+// ParetoFronts partitions the rows into nondominated fronts under alpha
+// (NSGA-style nondominated sorting). fronts[k] holds the row indices of
+// front k+1; every row appears exactly once.
+func (a Direction) ParetoFronts(xs [][]float64) [][]int {
+	n := len(xs)
+	dominatedBy := make([]int, n) // how many rows strictly dominate... (are better than) row i
+	dominates := make([][]int, n) // rows that row i is strictly better than
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			// xs[j] ⪯ xs[i] strictly means i is better than j.
+			if a.StrictlyDominates(xs[j], xs[i]) {
+				dominates[i] = append(dominates[i], j)
+			} else if a.StrictlyDominates(xs[i], xs[j]) {
+				dominatedBy[i]++
+			}
+		}
+	}
+	var fronts [][]int
+	var current []int
+	for i := 0; i < n; i++ {
+		if dominatedBy[i] == 0 {
+			current = append(current, i)
+		}
+	}
+	for len(current) > 0 {
+		fronts = append(fronts, current)
+		var next []int
+		for _, i := range current {
+			for _, j := range dominates[i] {
+				dominatedBy[j]--
+				if dominatedBy[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		current = next
+	}
+	return fronts
+}
+
+// FrontNumbers returns, per row, its 1-based Pareto front index.
+func (a Direction) FrontNumbers(xs [][]float64) []int {
+	fronts := a.ParetoFronts(xs)
+	out := make([]int, len(xs))
+	for k, front := range fronts {
+		for _, i := range front {
+			out[i] = k + 1
+		}
+	}
+	return out
+}
+
+// FrontConsistency measures how well a score vector respects the Pareto
+// stratification: among all pairs in *different* fronts, the fraction where
+// the lower-front (better) object also has the strictly higher score.
+//
+// Note this is stricter than order preservation: a front-2 object is only
+// guaranteed to be dominated by *some* front-1 object, so even a strictly
+// monotone scorer may rank it above an incomparable front-1 object and
+// score slightly below 1. Values near 1 indicate the scoring follows the
+// dominance stratification closely; strictly monotone scorers typically
+// land above 0.95 on realistic clouds.
+func (a Direction) FrontConsistency(xs [][]float64, scores []float64) float64 {
+	fn := a.FrontNumbers(xs)
+	var good, total int
+	for i := range xs {
+		for j := range xs {
+			if fn[i] < fn[j] { // i is in a better front
+				total++
+				if scores[i] > scores[j] {
+					good++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(good) / float64(total)
+}

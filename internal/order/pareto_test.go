@@ -1,0 +1,96 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParetoFrontsChain(t *testing.T) {
+	// A strict dominance chain: every row is its own front.
+	alpha := MustDirection(1, 1)
+	xs := [][]float64{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	fronts := alpha.ParetoFronts(xs)
+	if len(fronts) != 4 {
+		t.Fatalf("chain should give 4 fronts, got %d", len(fronts))
+	}
+	// Front 1 is the nondominated best row (3,3).
+	if len(fronts[0]) != 1 || fronts[0][0] != 3 {
+		t.Errorf("front 1 = %v, want [3]", fronts[0])
+	}
+	if fronts[3][0] != 0 {
+		t.Errorf("last front should be the worst row")
+	}
+}
+
+func TestParetoFrontsAntichain(t *testing.T) {
+	// Perfect trade-offs: a single front containing everything.
+	alpha := MustDirection(1, 1)
+	xs := [][]float64{{0, 3}, {1, 2}, {2, 1}, {3, 0}}
+	fronts := alpha.ParetoFronts(xs)
+	if len(fronts) != 1 || len(fronts[0]) != 4 {
+		t.Fatalf("antichain should give one front of 4, got %v", fronts)
+	}
+}
+
+func TestParetoFrontsMixedDirections(t *testing.T) {
+	alpha := MustDirection(1, -1) // benefit, cost
+	xs := [][]float64{
+		{5, 1}, // best: high benefit, low cost
+		{5, 9}, // dominated by row 0
+		{1, 1}, // dominated by row 0
+	}
+	fn := alpha.FrontNumbers(xs)
+	if fn[0] != 1 || fn[1] != 2 || fn[2] != 2 {
+		t.Errorf("front numbers = %v, want [1 2 2]", fn)
+	}
+}
+
+func TestParetoFrontsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	alpha := MustDirection(1, -1, 1)
+	xs := make([][]float64, 60)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	fronts := alpha.ParetoFronts(xs)
+	seen := make(map[int]bool)
+	for _, front := range fronts {
+		for _, i := range front {
+			if seen[i] {
+				t.Fatalf("row %d in two fronts", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 60 {
+		t.Fatalf("fronts cover %d rows, want 60", len(seen))
+	}
+	// No row in front k may dominate a row in front k' < k.
+	fn := alpha.FrontNumbers(xs)
+	for i := range xs {
+		for j := range xs {
+			if alpha.StrictlyDominates(xs[i], xs[j]) && fn[j] > fn[i] {
+				t.Fatalf("dominated row %d (front %d) outranks dominating row %d (front %d)",
+					j, fn[j], i, fn[i])
+			}
+		}
+	}
+}
+
+func TestFrontConsistency(t *testing.T) {
+	alpha := MustDirection(1, 1)
+	xs := [][]float64{{0, 0}, {1, 1}, {2, 2}}
+	// A monotone scorer achieves exactly 1.
+	if got := alpha.FrontConsistency(xs, []float64{0.1, 0.5, 0.9}); got != 1 {
+		t.Errorf("monotone scorer consistency = %v, want 1", got)
+	}
+	// A reversed scorer achieves 0.
+	if got := alpha.FrontConsistency(xs, []float64{0.9, 0.5, 0.1}); got != 0 {
+		t.Errorf("reversed scorer consistency = %v, want 0", got)
+	}
+	// A single-front antichain has no cross-front pairs.
+	anti := [][]float64{{0, 1}, {1, 0}}
+	if got := alpha.FrontConsistency(anti, []float64{0.2, 0.8}); got != 1 {
+		t.Errorf("antichain consistency = %v, want vacuous 1", got)
+	}
+}

@@ -1,0 +1,228 @@
+// Package pca implements the two linear/kernel baselines the paper compares
+// against conceptually in §1 and §4.1: the first principal component (the
+// "simplest ranking rule", scoring by wᵀ(x−µ)) and RBF kernel PCA (whose
+// first kernel component is *not* order-preserving — the counter-example the
+// paper uses to motivate strict monotonicity as an explicit constraint).
+package pca
+
+import (
+	"fmt"
+	"math"
+
+	"rpcrank/internal/mat"
+	"rpcrank/internal/order"
+	"rpcrank/internal/stats"
+)
+
+// FirstPC is a fitted first-principal-component ranking model.
+type FirstPC struct {
+	// Mean is the column mean µ of the training data.
+	Mean []float64
+	// Weights is the unit leading eigenvector w of the covariance matrix,
+	// oriented so that wᵀα > 0 (higher score = better under α).
+	Weights []float64
+	// Lambda is the leading eigenvalue (variance explained along w).
+	Lambda float64
+	alpha  order.Direction
+}
+
+// FitFirstPC computes the first principal component of xs via power
+// iteration on the sample covariance and orients it along alpha so scores
+// increase toward the "better" corner.
+func FitFirstPC(xs [][]float64, alpha order.Direction) (*FirstPC, error) {
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("pca: need at least 2 rows, got %d", len(xs))
+	}
+	if err := alpha.Validate(); err != nil {
+		return nil, err
+	}
+	if alpha.Dim() != len(xs[0]) {
+		return nil, fmt.Errorf("pca: alpha dim %d != data dim %d", alpha.Dim(), len(xs[0]))
+	}
+	cov := mat.FromRows(stats.Covariance(xs))
+	lambda, w := mat.PowerIteration(cov, 2000, 1e-12)
+	// Orient: the score should increase when moving toward the better
+	// corner, i.e. w·α > 0 (cost attributes contribute negatively).
+	var dot float64
+	for j, s := range alpha {
+		dot += w[j] * s
+	}
+	if dot < 0 {
+		for j := range w {
+			w[j] = -w[j]
+		}
+	}
+	return &FirstPC{
+		Mean:    stats.ColumnMeans(xs),
+		Weights: w,
+		Lambda:  lambda,
+		alpha:   alpha,
+	}, nil
+}
+
+// Score returns wᵀ(x−µ).
+func (p *FirstPC) Score(x []float64) float64 {
+	if len(x) != len(p.Weights) {
+		panic(fmt.Sprintf("pca: Score dim %d want %d", len(x), len(p.Weights)))
+	}
+	var s float64
+	for j, v := range x {
+		s += p.Weights[j] * (v - p.Mean[j])
+	}
+	return s
+}
+
+// ScoreAll scores every row.
+func (p *FirstPC) ScoreAll(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = p.Score(x)
+	}
+	return out
+}
+
+// ExplainedVariance returns λ₁ / trace(cov): the fraction of total variance
+// the first component captures on the training data.
+func (p *FirstPC) ExplainedVariance(xs [][]float64) float64 {
+	cov := stats.Covariance(xs)
+	var tr float64
+	for i := range cov {
+		tr += cov[i][i]
+	}
+	if tr == 0 {
+		return 1
+	}
+	return p.Lambda / tr
+}
+
+// KernelPC is a fitted first-kernel-principal-component model with an RBF
+// kernel k(x,y) = exp(−‖x−y‖²/(2σ²)).
+type KernelPC struct {
+	// X holds the training rows the kernel is anchored on.
+	X [][]float64
+	// AlphaVec is the leading eigenvector of the centred Gram matrix,
+	// scaled by 1/√λ so projections are unit-variance.
+	AlphaVec []float64
+	// Sigma is the RBF bandwidth.
+	Sigma float64
+	// colMean and totalMean cache the Gram-centring terms for Score.
+	colMean   []float64
+	totalMean float64
+}
+
+// FitKernelPC fits RBF kernel PCA and keeps the first component. sigma <= 0
+// selects the median-heuristic bandwidth (median pairwise distance).
+func FitKernelPC(xs [][]float64, sigma float64) (*KernelPC, error) {
+	n := len(xs)
+	if n < 2 {
+		return nil, fmt.Errorf("pca: need at least 2 rows, got %d", n)
+	}
+	if sigma <= 0 {
+		sigma = medianPairwiseDistance(xs)
+		if sigma == 0 {
+			sigma = 1
+		}
+	}
+	// Gram matrix.
+	K := mat.Zeros(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rbf(xs[i], xs[j], sigma)
+			K.Set(i, j, v)
+			K.Set(j, i, v)
+		}
+	}
+	// Double centring: K̃ = K − 1ₙK − K1ₙ + 1ₙK1ₙ.
+	colMean := make([]float64, n)
+	var total float64
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += K.At(i, j)
+		}
+		colMean[j] = s / float64(n)
+		total += s
+	}
+	total /= float64(n * n)
+	Kc := mat.Zeros(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			Kc.Set(i, j, K.At(i, j)-colMean[i]-colMean[j]+total)
+		}
+	}
+	lambda, a := mat.PowerIteration(Kc, 3000, 1e-12)
+	if lambda > 1e-12 {
+		scale := 1 / math.Sqrt(lambda)
+		for i := range a {
+			a[i] *= scale
+		}
+	}
+	rows := make([][]float64, n)
+	for i, r := range xs {
+		rows[i] = append([]float64{}, r...)
+	}
+	return &KernelPC{X: rows, AlphaVec: a, Sigma: sigma, colMean: colMean, totalMean: total}, nil
+}
+
+// Score projects x onto the first kernel component.
+func (k *KernelPC) Score(x []float64) float64 {
+	n := len(k.X)
+	kx := make([]float64, n)
+	var kxMean float64
+	for i, xi := range k.X {
+		kx[i] = rbf(x, xi, k.Sigma)
+		kxMean += kx[i]
+	}
+	kxMean /= float64(n)
+	var s float64
+	for i := range kx {
+		s += k.AlphaVec[i] * (kx[i] - kxMean - k.colMean[i] + k.totalMean)
+	}
+	return s
+}
+
+// ScoreAll scores every row.
+func (k *KernelPC) ScoreAll(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = k.Score(x)
+	}
+	return out
+}
+
+func rbf(a, b []float64, sigma float64) float64 {
+	var d float64
+	for i := range a {
+		t := a[i] - b[i]
+		d += t * t
+	}
+	return math.Exp(-d / (2 * sigma * sigma))
+}
+
+func medianPairwiseDistance(xs [][]float64) float64 {
+	var ds []float64
+	for i := range xs {
+		for j := i + 1; j < len(xs); j++ {
+			var d float64
+			for t := range xs[i] {
+				v := xs[i][t] - xs[j][t]
+				d += v * v
+			}
+			ds = append(ds, math.Sqrt(d))
+		}
+	}
+	if len(ds) == 0 {
+		return 0
+	}
+	// Median by partial selection (n is small for our workloads).
+	insertionSort(ds)
+	return ds[len(ds)/2]
+}
+
+func insertionSort(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

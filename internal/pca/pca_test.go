@@ -1,0 +1,204 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rpcrank/internal/order"
+)
+
+func linearCloud(rng *rand.Rand, n int, noise float64) [][]float64 {
+	xs := make([][]float64, n)
+	for i := range xs {
+		t := rng.Float64()
+		xs[i] = []float64{t + noise*rng.NormFloat64(), 2*t + noise*rng.NormFloat64()}
+	}
+	return xs
+}
+
+func TestFitFirstPCValidation(t *testing.T) {
+	alpha := order.MustDirection(1, 1)
+	if _, err := FitFirstPC([][]float64{{1, 1}}, alpha); err == nil {
+		t.Errorf("one row should error")
+	}
+	if _, err := FitFirstPC([][]float64{{1, 1}, {2, 2}}, order.MustDirection(1)); err == nil {
+		t.Errorf("dim mismatch should error")
+	}
+	if _, err := FitFirstPC([][]float64{{1, 1}, {2, 2}}, order.Direction{0.5, 1}); err == nil {
+		t.Errorf("invalid alpha should error")
+	}
+}
+
+func TestFirstPCRecoverLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := linearCloud(rng, 300, 0.01)
+	alpha := order.MustDirection(1, 1)
+	p, err := FitFirstPC(xs, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The direction should be ∝ (1,2)/√5.
+	want := []float64{1 / math.Sqrt(5), 2 / math.Sqrt(5)}
+	for j := range want {
+		if math.Abs(p.Weights[j]-want[j]) > 0.02 {
+			t.Errorf("weights = %v, want ≈ %v", p.Weights, want)
+		}
+	}
+	if ev := p.ExplainedVariance(xs); ev < 0.99 {
+		t.Errorf("explained variance %v for a near-line cloud", ev)
+	}
+	// Scores ordered along the latent direction.
+	if p.Score([]float64{0, 0}) >= p.Score([]float64{1, 2}) {
+		t.Errorf("scores not increasing along the line")
+	}
+}
+
+func TestFirstPCOrientation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Benefit attribute falls as cost attribute rises: α=(1,−1) aligns with
+	// the (1,−2) direction, so the better corner (high x0, low x1) must get
+	// the higher score.
+	xs := make([][]float64, 200)
+	for i := range xs {
+		u := rng.Float64()
+		xs[i] = []float64{u + 0.01*rng.NormFloat64(), -2*u + 0.01*rng.NormFloat64()}
+	}
+	alpha := order.MustDirection(1, -1)
+	p, err := FitFirstPC(xs, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	better := p.Score([]float64{1, -2})
+	worse := p.Score([]float64{0, 0})
+	if better <= worse {
+		t.Errorf("orientation wrong: better %v <= worse %v", better, worse)
+	}
+}
+
+func TestFirstPCScorePanicsOnDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p, err := FitFirstPC(linearCloud(rng, 20, 0.1), order.MustDirection(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	p.Score([]float64{1})
+}
+
+func TestFirstPCDegenerateAxisAligned(t *testing.T) {
+	// The Example 1 failure: data varying only along attribute 2 while the
+	// PCA direction is parallel to attribute 1 — the model *does* collapse
+	// x1=(58,1.4), x2=(58,16.2) when w ∥ axis 0. Here we build the scenario
+	// where all variance is on axis 0; two points differing only on axis 1
+	// then get identical scores, demonstrating the non-strict monotonicity
+	// the paper criticises.
+	xs := [][]float64{{0, 0.5}, {1, 0.5}, {2, 0.5}, {3, 0.5}}
+	alpha := order.MustDirection(1, 1)
+	p, err := FitFirstPC(xs, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Score([]float64{58, 1.4})
+	b := p.Score([]float64{58, 16.2})
+	if a != b {
+		t.Errorf("axis-aligned PCA should collapse the Example 1 pair, got %v vs %v", a, b)
+	}
+	// And ViolatedPairs flags it.
+	pts := [][]float64{{58, 1.4}, {58, 16.2}}
+	v, c := order.ViolatedPairs(alpha, pts, []float64{a, b})
+	if c != 1 || v != 1 {
+		t.Errorf("violations=%d comparable=%d, want 1,1", v, c)
+	}
+}
+
+func TestFirstPCScoreAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := linearCloud(rng, 50, 0.05)
+	p, err := FitFirstPC(xs, order.MustDirection(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := p.ScoreAll(xs)
+	if len(all) != 50 {
+		t.Fatalf("ScoreAll length %d", len(all))
+	}
+	for i := range all {
+		if all[i] != p.Score(xs[i]) {
+			t.Fatalf("ScoreAll[%d] inconsistent", i)
+		}
+	}
+}
+
+func TestFitKernelPCValidation(t *testing.T) {
+	if _, err := FitKernelPC([][]float64{{1}}, 1); err == nil {
+		t.Errorf("one row should error")
+	}
+}
+
+func TestKernelPCSeparatesLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := linearCloud(rng, 80, 0.01)
+	k, err := FitKernelPC(xs, 0) // median heuristic
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := k.ScoreAll(xs)
+	// On a 1-D manifold the first kernel component must be strongly
+	// rank-correlated (either sign) with the latent coordinate.
+	latent := make([]float64, len(xs))
+	for i, x := range xs {
+		latent[i] = x[0]
+	}
+	// The RBF map saturates near the ends of the line, so the correlation
+	// is strong but not perfect — which is itself part of the paper's
+	// argument that kPCA is not order-preserving.
+	tau := order.KendallTau(scores, latent)
+	if math.Abs(tau) < 0.8 {
+		t.Errorf("|tau| = %v, want > 0.8 on a line", math.Abs(tau))
+	}
+}
+
+func TestKernelPCNotOrderPreservingOnCurvedData(t *testing.T) {
+	// The paper's motivation for rejecting kPCA (§1): the kernel map is not
+	// order-preserving. On a horseshoe, points near the two ends are far in
+	// input space but the first kernel component folds them together,
+	// producing dominance violations. We verify violations occur — i.e.
+	// this baseline genuinely fails the strict-monotonicity meta-rule on
+	// nonlinear data (with an interior-heavy sample).
+	n := 60
+	xs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		theta := math.Pi * float64(i) / float64(n-1) // half circle
+		xs[i] = []float64{math.Cos(theta), math.Sin(theta)}
+	}
+	k, err := FitKernelPC(xs, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := k.ScoreAll(xs)
+	alpha := order.MustDirection(1, 1)
+	v, comparable := order.ViolatedPairs(alpha, xs, scores)
+	if comparable == 0 {
+		t.Skip("no comparable pairs in this configuration")
+	}
+	if v == 0 {
+		t.Errorf("expected kernel PCA to violate strict monotonicity on the horseshoe (comparable=%d)", comparable)
+	}
+}
+
+func TestKernelPCSigmaFallbacks(t *testing.T) {
+	// Identical points: median distance is 0, sigma falls back to 1.
+	xs := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	k, err := FitKernelPC(xs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Sigma != 1 {
+		t.Errorf("sigma fallback = %v, want 1", k.Sigma)
+	}
+}

@@ -1,0 +1,174 @@
+package polyroot
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNewPolyTrimsLeadingZeros(t *testing.T) {
+	p := NewPoly([]float64{1, 2, 0, 0})
+	if p.Degree() != 1 {
+		t.Errorf("Degree = %d, want 1", p.Degree())
+	}
+	z := NewPoly([]float64{0})
+	if z.Degree() != 0 || z.Roots() != nil {
+		t.Errorf("zero polynomial should have no roots")
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	// p(s) = 1 + 2s + 3s²
+	p := NewPoly([]float64{1, 2, 3})
+	if got := p.EvalReal(2); got != 17 {
+		t.Errorf("EvalReal(2) = %v, want 17", got)
+	}
+	if got := p.Eval(complex(2, 0)); real(got) != 17 || imag(got) != 0 {
+		t.Errorf("Eval(2) = %v, want 17", got)
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	p := NewPoly([]float64{5, 1, 2, 3}) // 5 + s + 2s² + 3s³
+	d := p.Derivative()                 // 1 + 4s + 9s²
+	want := []float64{1, 4, 9}
+	for i, w := range want {
+		if d.Coeffs[i] != w {
+			t.Fatalf("Derivative coeffs = %v, want %v", d.Coeffs, want)
+		}
+	}
+	c := NewPoly([]float64{7}).Derivative()
+	if c.EvalReal(3) != 0 {
+		t.Errorf("derivative of constant should be 0")
+	}
+}
+
+func TestRootsLinear(t *testing.T) {
+	p := NewPoly([]float64{-6, 2}) // 2s − 6 → root 3
+	r := p.Roots()
+	if len(r) != 1 || math.Abs(real(r[0])-3) > 1e-12 {
+		t.Errorf("roots = %v, want [3]", r)
+	}
+}
+
+func TestRootsQuadraticComplex(t *testing.T) {
+	// s² + 1 → ±i
+	p := NewPoly([]float64{1, 0, 1})
+	r := p.Roots()
+	if len(r) != 2 {
+		t.Fatalf("want 2 roots, got %v", r)
+	}
+	for _, z := range r {
+		if math.Abs(real(z)) > 1e-8 || math.Abs(math.Abs(imag(z))-1) > 1e-8 {
+			t.Errorf("root %v, want ±i", z)
+		}
+	}
+}
+
+func TestRootsKnownQuintic(t *testing.T) {
+	// (s−0.1)(s−0.3)(s−0.5)(s−0.7)(s−0.9) expanded.
+	roots := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	p := fromRoots(roots)
+	got := p.RealRootsIn(0, 1, 1e-7)
+	sort.Float64s(got)
+	if len(got) != 5 {
+		t.Fatalf("found %d real roots %v, want 5", len(got), got)
+	}
+	for i, r := range roots {
+		if math.Abs(got[i]-r) > 1e-6 {
+			t.Errorf("root %d = %v, want %v", i, got[i], r)
+		}
+	}
+}
+
+func TestRootsRandomQuinticResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		coeffs := make([]float64, 6)
+		for i := range coeffs {
+			coeffs[i] = rng.NormFloat64()
+		}
+		if math.Abs(coeffs[5]) < 0.1 {
+			coeffs[5] = 1
+		}
+		p := NewPoly(coeffs)
+		roots := p.Roots()
+		if len(roots) != 5 {
+			t.Fatalf("trial %d: %d roots", trial, len(roots))
+		}
+		// Scale-aware residual check.
+		var scale float64
+		for _, c := range coeffs {
+			scale += math.Abs(c)
+		}
+		for _, z := range roots {
+			zn := cmplx.Abs(z)
+			bound := scale * math.Pow(1+zn, 5) * 1e-7
+			if cmplx.Abs(p.Eval(z)) > bound {
+				t.Errorf("trial %d: residual %v at root %v exceeds %v", trial, cmplx.Abs(p.Eval(z)), z, bound)
+			}
+		}
+	}
+}
+
+func TestRealRootsInFiltersAndDedupes(t *testing.T) {
+	// (s−0.5)²(s²+1): double real root at 0.5, two imaginary.
+	p := mulPoly(mulPoly(NewPoly([]float64{-0.5, 1}), NewPoly([]float64{-0.5, 1})), NewPoly([]float64{1, 0, 1}))
+	got := p.RealRootsIn(0, 1, 1e-6)
+	if len(got) != 1 || math.Abs(got[0]-0.5) > 1e-5 {
+		t.Errorf("RealRootsIn = %v, want [0.5]", got)
+	}
+	// Roots outside the interval are discarded.
+	q := fromRoots([]float64{-0.5, 0.5, 1.5})
+	got = q.RealRootsIn(0, 1, 1e-8)
+	if len(got) != 1 || math.Abs(got[0]-0.5) > 1e-7 {
+		t.Errorf("RealRootsIn = %v, want [0.5]", got)
+	}
+}
+
+func TestRealRootsInBoundarySnap(t *testing.T) {
+	// A root a hair outside [0,1] within tol is snapped onto the boundary.
+	p := fromRoots([]float64{1 + 1e-12})
+	got := p.RealRootsIn(0, 1, 1e-9)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("RealRootsIn = %v, want [1]", got)
+	}
+}
+
+func TestRealRootsInPanicsInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	NewPoly([]float64{1, 1}).RealRootsIn(1, 0, 1e-9)
+}
+
+func TestRealRootsInDefaultTol(t *testing.T) {
+	p := fromRoots([]float64{0.25})
+	got := p.RealRootsIn(0, 1, 0)
+	if len(got) != 1 || math.Abs(got[0]-0.25) > 1e-8 {
+		t.Errorf("RealRootsIn with default tol = %v", got)
+	}
+}
+
+// fromRoots builds Π (s − rᵢ).
+func fromRoots(roots []float64) Poly {
+	p := NewPoly([]float64{1})
+	for _, r := range roots {
+		p = mulPoly(p, NewPoly([]float64{-r, 1}))
+	}
+	return p
+}
+
+func mulPoly(a, b Poly) Poly {
+	out := make([]float64, len(a.Coeffs)+len(b.Coeffs)-1)
+	for i, av := range a.Coeffs {
+		for j, bv := range b.Coeffs {
+			out[i+j] += av * bv
+		}
+	}
+	return NewPoly(out)
+}

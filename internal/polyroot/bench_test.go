@@ -1,0 +1,40 @@
+package polyroot
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchQuintic() Poly {
+	rng := rand.New(rand.NewSource(3))
+	coeffs := make([]float64, 6)
+	for i := range coeffs {
+		coeffs[i] = rng.NormFloat64()
+	}
+	coeffs[5] = 1
+	return NewPoly(coeffs)
+}
+
+func BenchmarkRootsQuintic(b *testing.B) {
+	p := benchQuintic()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Roots()
+	}
+}
+
+func BenchmarkRealRootsInUnit(b *testing.B) {
+	p := benchQuintic()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RealRootsIn(0, 1, 1e-9)
+	}
+}
+
+func BenchmarkEvalHorner(b *testing.B) {
+	p := benchQuintic()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.EvalReal(0.37)
+	}
+}

@@ -1,0 +1,55 @@
+package princurve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchCloud(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(int64(n)))
+	xs, _ := sCurveCloud(rng, n, 0.03)
+	return xs
+}
+
+func BenchmarkFitHS200(b *testing.B) {
+	xs := benchCloud(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitHS(xs, HSOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitKegl200(b *testing.B) {
+	xs := benchCloud(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitKegl(xs, KeglOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitElmap200(b *testing.B) {
+	xs := benchCloud(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitElmap(xs, ElmapOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolylineProject(b *testing.B) {
+	xs := benchCloud(200)
+	h, err := FitHS(xs, HSOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := xs[42]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Line.Project(x)
+	}
+}

@@ -1,0 +1,204 @@
+package princurve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rpcrank/internal/mat"
+	"rpcrank/internal/order"
+	"rpcrank/internal/stats"
+)
+
+// HSOptions configures the Hastie–Stuetzle fit.
+type HSOptions struct {
+	// Vertices is the grid resolution of the polyline representation of the
+	// smooth curve. Default 50.
+	Vertices int
+	// Bandwidth is the kernel-smoother bandwidth as a fraction of the
+	// parameter range. Default 0.2.
+	Bandwidth float64
+	// MaxIter bounds the projection/smoothing loop. Default 30.
+	MaxIter int
+	// Tol stops the loop when the relative change in total squared
+	// distance falls below it. Default 1e-4.
+	Tol float64
+}
+
+func (o HSOptions) withDefaults() HSOptions {
+	if o.Vertices == 0 {
+		o.Vertices = 50
+	}
+	if o.Bandwidth == 0 {
+		o.Bandwidth = 0.2
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 30
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-4
+	}
+	return o
+}
+
+// HSCurve is a fitted Hastie–Stuetzle principal curve (Appendix A of the
+// paper): the expectation-projection iteration with a Nadaraya–Watson
+// smoother for the conditional expectation f(s) = E(x | s_f(x) = s).
+type HSCurve struct {
+	// Line is the polyline discretisation of the smooth curve.
+	Line *Polyline
+	// Iterations actually performed.
+	Iterations int
+	// DistSq holds the final squared projection distance per row.
+	DistSq []float64
+	data   [][]float64
+}
+
+// FitHS runs the Hastie–Stuetzle algorithm: start from the first principal
+// component segment, then alternate projection and per-coordinate kernel
+// smoothing against the projection parameter.
+func FitHS(xs [][]float64, opts HSOptions) (*HSCurve, error) {
+	opts = opts.withDefaults()
+	n := len(xs)
+	if n < 3 {
+		return nil, fmt.Errorf("princurve: FitHS needs at least 3 rows, got %d", n)
+	}
+	d := len(xs[0])
+
+	line, err := firstPCSegment(xs, opts.Vertices)
+	if err != nil {
+		return nil, err
+	}
+
+	prevJ := math.Inf(1)
+	var ts, dist []float64
+	iterations := 0
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		iterations = iter + 1
+		ts, dist = line.ProjectAll(xs)
+		J := sumF(dist)
+		if math.Abs(prevJ-J) <= opts.Tol*(1+J) {
+			break
+		}
+		prevJ = J
+
+		// Smoothing step: estimate f(s) on an even grid of parameters by
+		// Nadaraya–Watson regression of each coordinate against t.
+		tmin, tmax := stats.MinMax(ts)
+		if tmax == tmin {
+			break // all points project to one spot; cannot improve
+		}
+		h := opts.Bandwidth * (tmax - tmin)
+		grid := make([]float64, opts.Vertices)
+		verts := make([][]float64, opts.Vertices)
+		for g := 0; g < opts.Vertices; g++ {
+			grid[g] = tmin + (tmax-tmin)*float64(g)/float64(opts.Vertices-1)
+			verts[g] = nwSmooth(xs, ts, grid[g], h, d)
+		}
+		line = MustPolyline(verts)
+	}
+	ts, dist = line.ProjectAll(xs)
+	_ = ts
+	return &HSCurve{Line: line, Iterations: iterations, DistSq: dist, data: xs}, nil
+}
+
+// Scores projects the training rows and orients the parameters by alpha.
+func (h *HSCurve) Scores(alpha order.Direction) []float64 {
+	ts, _ := h.Line.ProjectAll(h.data)
+	return OrientScores(ts, h.data, alpha, h.Line.Length())
+}
+
+// ExplainedVariance returns 1 − Σdist²/total variance on the training rows.
+func (h *HSCurve) ExplainedVariance() float64 {
+	return stats.ExplainedVariance(h.data, h.DistSq)
+}
+
+// firstPCSegment builds the initial polyline: the first principal component
+// line clipped to the projection range of the data, discretised into
+// `vertices` nodes.
+func firstPCSegment(xs [][]float64, vertices int) (*Polyline, error) {
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("princurve: need at least 2 rows")
+	}
+	mu := stats.ColumnMeans(xs)
+	cov := mat.FromRows(stats.Covariance(xs))
+	_, w := mat.PowerIteration(cov, 2000, 1e-12)
+	// Projection extent.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		var t float64
+		for j := range x {
+			t += w[j] * (x[j] - mu[j])
+		}
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	d := len(mu)
+	verts := make([][]float64, vertices)
+	for g := 0; g < vertices; g++ {
+		t := lo + (hi-lo)*float64(g)/float64(vertices-1)
+		v := make([]float64, d)
+		for j := 0; j < d; j++ {
+			v[j] = mu[j] + t*w[j]
+		}
+		verts[g] = v
+	}
+	return NewPolyline(verts)
+}
+
+// nwSmooth computes the Nadaraya–Watson estimate of E(x | t = t0) with a
+// Gaussian kernel of bandwidth h. Falls back to the nearest observation when
+// all weights underflow.
+func nwSmooth(xs [][]float64, ts []float64, t0, h float64, d int) []float64 {
+	out := make([]float64, d)
+	var wsum float64
+	for i, x := range xs {
+		u := (ts[i] - t0) / h
+		w := math.Exp(-0.5 * u * u)
+		wsum += w
+		for j := 0; j < d; j++ {
+			out[j] += w * x[j]
+		}
+	}
+	if wsum < 1e-300 {
+		// Nearest neighbour fallback.
+		best := 0
+		bd := math.Inf(1)
+		for i := range ts {
+			if v := math.Abs(ts[i] - t0); v < bd {
+				bd, best = v, i
+			}
+		}
+		return append([]float64{}, xs[best]...)
+	}
+	for j := 0; j < d; j++ {
+		out[j] /= wsum
+	}
+	return out
+}
+
+// sortByParam returns row indices ordered by their parameter (used by tests
+// and the Kégl fitter).
+func sortByParam(ts []float64) []int {
+	idx := make([]int, len(ts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ts[idx[a]] < ts[idx[b]] })
+	return idx
+}
+
+func sumF(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}

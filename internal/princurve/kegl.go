@@ -1,0 +1,181 @@
+package princurve
+
+import (
+	"fmt"
+	"math"
+
+	"rpcrank/internal/order"
+	"rpcrank/internal/stats"
+)
+
+// KeglOptions configures the polyline principal-curve fit.
+type KeglOptions struct {
+	// Segments is the number of polyline segments (vertices − 1).
+	// Default max(2, round(n^(1/3))) following Kégl's k ∝ n^{1/3} rule.
+	Segments int
+	// Penalty is the curvature penalty weight that keeps consecutive
+	// segments from folding. Default 0.1.
+	Penalty float64
+	// MaxIter bounds the outer insert/optimise loop per vertex count.
+	// Default 20.
+	MaxIter int
+}
+
+func (o KeglOptions) withDefaults(n int) KeglOptions {
+	if o.Segments == 0 {
+		o.Segments = int(math.Max(2, math.Round(math.Cbrt(float64(n)))))
+	}
+	if o.Penalty == 0 {
+		o.Penalty = 0.1
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 20
+	}
+	return o
+}
+
+// KeglCurve is a fitted polyline principal curve after Kégl et al. [11]:
+// a k-segment polyline grown from the first principal component by repeated
+// vertex insertion and local vertex optimisation. Its non-smooth vertices
+// are the Fig. 2(a) failure mode: points projecting onto a vertex share a
+// score even when one strictly dominates the other.
+type KeglCurve struct {
+	// Line is the fitted polyline.
+	Line *Polyline
+	// DistSq holds the final squared projection distances.
+	DistSq []float64
+	data   [][]float64
+}
+
+// FitKegl grows and locally optimises the polyline.
+func FitKegl(xs [][]float64, opts KeglOptions) (*KeglCurve, error) {
+	n := len(xs)
+	if n < 3 {
+		return nil, fmt.Errorf("princurve: FitKegl needs at least 3 rows, got %d", n)
+	}
+	opts = opts.withDefaults(n)
+
+	// Start with a 1-segment polyline along the first PC.
+	line, err := firstPCSegment(xs, 2)
+	if err != nil {
+		return nil, err
+	}
+
+	for segments := 1; segments <= opts.Segments; segments++ {
+		for iter := 0; iter < opts.MaxIter; iter++ {
+			if !optimizeVertices(line, xs, opts.Penalty) {
+				break
+			}
+		}
+		if segments < opts.Segments {
+			line = insertVertex(line, xs)
+		}
+	}
+	_, dist := line.ProjectAll(xs)
+	return &KeglCurve{Line: line, DistSq: dist, data: xs}, nil
+}
+
+// Scores projects the training rows and orients by alpha.
+func (k *KeglCurve) Scores(alpha order.Direction) []float64 {
+	ts, _ := k.Line.ProjectAll(k.data)
+	return OrientScores(ts, k.data, alpha, k.Line.Length())
+}
+
+// ExplainedVariance returns 1 − Σdist²/total variance on the training rows.
+func (k *KeglCurve) ExplainedVariance() float64 {
+	return stats.ExplainedVariance(k.data, k.DistSq)
+}
+
+// optimizeVertices performs one pass of local vertex optimisation: each
+// vertex moves toward the mean of the points assigned to its incident
+// segments, tempered by a curvature penalty pulling it to the midpoint of
+// its neighbours. Returns whether any vertex moved materially.
+func optimizeVertices(line *Polyline, xs [][]float64, penalty float64) bool {
+	m := len(line.Vertices)
+	d := line.Dim()
+	// Assign each point to its nearest segment.
+	segOf := make([]int, len(xs))
+	for i, x := range xs {
+		best, bd := 0, math.Inf(1)
+		for s := 0; s+1 < m; s++ {
+			_, ds := projectSegment(x, line.Vertices[s], line.Vertices[s+1])
+			if ds < bd {
+				bd, best = ds, s
+			}
+		}
+		segOf[i] = best
+	}
+	moved := false
+	for v := 0; v < m; v++ {
+		// Points touching vertex v are those assigned to segments v−1, v.
+		sum := make([]float64, d)
+		var cnt float64
+		for i, s := range segOf {
+			if s == v || s == v-1 {
+				for j := 0; j < d; j++ {
+					sum[j] += xs[i][j]
+				}
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			continue
+		}
+		target := make([]float64, d)
+		for j := 0; j < d; j++ {
+			target[j] = sum[j] / cnt
+		}
+		// Curvature penalty: blend toward neighbour midpoint for interior
+		// vertices.
+		if v > 0 && v < m-1 {
+			for j := 0; j < d; j++ {
+				mid := (line.Vertices[v-1][j] + line.Vertices[v+1][j]) / 2
+				target[j] = (target[j] + penalty*mid) / (1 + penalty)
+			}
+		}
+		var delta float64
+		for j := 0; j < d; j++ {
+			diff := target[j] - line.Vertices[v][j]
+			delta += diff * diff
+			line.Vertices[v][j] = target[j]
+		}
+		if delta > 1e-12 {
+			moved = true
+		}
+	}
+	line.recompute()
+	return moved
+}
+
+// insertVertex splits the segment with the largest assigned squared error
+// at its midpoint.
+func insertVertex(line *Polyline, xs [][]float64) *Polyline {
+	m := len(line.Vertices)
+	errs := make([]float64, m-1)
+	for _, x := range xs {
+		best, bd := 0, math.Inf(1)
+		for s := 0; s+1 < m; s++ {
+			_, ds := projectSegment(x, line.Vertices[s], line.Vertices[s+1])
+			if ds < bd {
+				bd, best = ds, s
+			}
+		}
+		errs[best] += bd
+	}
+	worst := 0
+	for s, e := range errs {
+		if e > errs[worst] {
+			worst = s
+		}
+	}
+	d := line.Dim()
+	mid := make([]float64, d)
+	for j := 0; j < d; j++ {
+		mid[j] = (line.Vertices[worst][j] + line.Vertices[worst+1][j]) / 2
+	}
+	verts := make([][]float64, 0, m+1)
+	verts = append(verts, line.Vertices[:worst+1]...)
+	verts = append(verts, mid)
+	verts = append(verts, line.Vertices[worst+1:]...)
+	return MustPolyline(verts)
+}

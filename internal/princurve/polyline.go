@@ -1,0 +1,201 @@
+// Package princurve implements the three principal-curve baselines the
+// paper measures the RPC against: the original Hastie–Stuetzle
+// projection/smoothing iteration [10], the Kégl-style polyline principal
+// curve [11] (whose non-smooth vertices break the smoothness meta-rule,
+// Fig. 2a), and a one-dimensional elastic map in the spirit of Gorban &
+// Zinovyev's Elmap [8], [19] (whose unconstrained shape breaks strict
+// monotonicity, Fig. 2b, and whose centred scores Table 2 reports).
+package princurve
+
+import (
+	"fmt"
+	"math"
+
+	"rpcrank/internal/order"
+)
+
+// Polyline is an ordered chain of vertices in d-dimensional space,
+// parameterised by cumulative arc length. It is the common representation
+// all three baselines produce.
+type Polyline struct {
+	// Vertices are the chain nodes, in order.
+	Vertices [][]float64
+	// cum[i] is the arc length from vertex 0 to vertex i.
+	cum []float64
+}
+
+// NewPolyline validates and wraps a vertex chain.
+func NewPolyline(vertices [][]float64) (*Polyline, error) {
+	if len(vertices) < 2 {
+		return nil, fmt.Errorf("princurve: polyline needs at least 2 vertices, got %d", len(vertices))
+	}
+	d := len(vertices[0])
+	if d == 0 {
+		return nil, fmt.Errorf("princurve: vertices must have dimension >= 1")
+	}
+	for i, v := range vertices {
+		if len(v) != d {
+			return nil, fmt.Errorf("princurve: vertex %d has dim %d, want %d", i, len(v), d)
+		}
+	}
+	p := &Polyline{Vertices: vertices}
+	p.recompute()
+	return p, nil
+}
+
+// MustPolyline is NewPolyline that panics on error.
+func MustPolyline(vertices [][]float64) *Polyline {
+	p, err := NewPolyline(vertices)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Polyline) recompute() {
+	p.cum = make([]float64, len(p.Vertices))
+	for i := 1; i < len(p.Vertices); i++ {
+		p.cum[i] = p.cum[i-1] + euclid(p.Vertices[i-1], p.Vertices[i])
+	}
+}
+
+// Length returns the total arc length.
+func (p *Polyline) Length() float64 { return p.cum[len(p.cum)-1] }
+
+// Dim returns the ambient dimension.
+func (p *Polyline) Dim() int { return len(p.Vertices[0]) }
+
+// Eval returns the point at arc-length parameter t ∈ [0, Length()],
+// clamping out-of-range parameters.
+func (p *Polyline) Eval(t float64) []float64 {
+	if t <= 0 {
+		return append([]float64{}, p.Vertices[0]...)
+	}
+	if t >= p.Length() {
+		return append([]float64{}, p.Vertices[len(p.Vertices)-1]...)
+	}
+	// Binary search for the segment containing t.
+	lo, hi := 0, len(p.cum)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.cum[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	segLen := p.cum[hi] - p.cum[lo]
+	u := 0.0
+	if segLen > 0 {
+		u = (t - p.cum[lo]) / segLen
+	}
+	out := make([]float64, p.Dim())
+	for j := range out {
+		out[j] = (1-u)*p.Vertices[lo][j] + u*p.Vertices[hi][j]
+	}
+	return out
+}
+
+// Project returns the arc-length parameter of the closest point on the
+// polyline to x and the squared distance to it (the λ_f(x) of Eq. A-2,
+// restricted to a polyline).
+func (p *Polyline) Project(x []float64) (t, distSq float64) {
+	bestT := 0.0
+	bestD := math.Inf(1)
+	for i := 0; i+1 < len(p.Vertices); i++ {
+		a, b := p.Vertices[i], p.Vertices[i+1]
+		segT, segD := projectSegment(x, a, b)
+		if segD < bestD {
+			bestD = segD
+			segLen := p.cum[i+1] - p.cum[i]
+			bestT = p.cum[i] + segT*segLen
+		}
+	}
+	return bestT, bestD
+}
+
+// projectSegment projects x onto segment [a,b]; returns the within-segment
+// fraction u ∈ [0,1] and the squared distance.
+func projectSegment(x, a, b []float64) (u, distSq float64) {
+	var ab2, apab float64
+	for j := range a {
+		ab := b[j] - a[j]
+		ab2 += ab * ab
+		apab += (x[j] - a[j]) * ab
+	}
+	if ab2 == 0 {
+		return 0, sqDist(x, a)
+	}
+	u = apab / ab2
+	if u < 0 {
+		u = 0
+	} else if u > 1 {
+		u = 1
+	}
+	var d float64
+	for j := range a {
+		pj := a[j] + u*(b[j]-a[j])
+		t := x[j] - pj
+		d += t * t
+	}
+	return u, d
+}
+
+// ProjectAll projects every row and returns the arc-length parameters and
+// squared distances.
+func (p *Polyline) ProjectAll(xs [][]float64) (ts, distSq []float64) {
+	ts = make([]float64, len(xs))
+	distSq = make([]float64, len(xs))
+	for i, x := range xs {
+		ts[i], distSq[i] = p.Project(x)
+	}
+	return ts, distSq
+}
+
+// OrientScores converts raw arc-length parameters into scores where higher
+// means better under alpha, by checking whether the parameter correlates
+// positively with the oriented attribute sum; if not, the parameterisation
+// runs "backwards" and is flipped. The returned scores are the (possibly
+// flipped) parameters normalised by total length into [0,1].
+func OrientScores(ts []float64, xs [][]float64, alpha order.Direction, length float64) []float64 {
+	if length <= 0 {
+		length = 1
+	}
+	// Correlation sign between t and Σ_j α_j x_j.
+	var meanT, meanG float64
+	g := make([]float64, len(xs))
+	for i, x := range xs {
+		for j, s := range alpha {
+			g[i] += s * x[j]
+		}
+		meanT += ts[i]
+		meanG += g[i]
+	}
+	n := float64(len(xs))
+	meanT /= n
+	meanG /= n
+	var cov float64
+	for i := range ts {
+		cov += (ts[i] - meanT) * (g[i] - meanG)
+	}
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		v := t / length
+		if cov < 0 {
+			v = 1 - v
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func euclid(a, b []float64) float64 { return math.Sqrt(sqDist(a, b)) }
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for j := range a {
+		d := a[j] - b[j]
+		s += d * d
+	}
+	return s
+}

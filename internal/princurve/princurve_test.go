@@ -1,0 +1,347 @@
+package princurve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rpcrank/internal/order"
+)
+
+// sCurveCloud samples points around an S-shaped 1-D manifold in 2-D.
+func sCurveCloud(rng *rand.Rand, n int, noise float64) (xs [][]float64, latent []float64) {
+	xs = make([][]float64, n)
+	latent = make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := rng.Float64()
+		latent[i] = t
+		x := t
+		y := 0.5 + 0.45*math.Tanh(6*(t-0.5))
+		xs[i] = []float64{x + noise*rng.NormFloat64(), y + noise*rng.NormFloat64()}
+	}
+	return xs, latent
+}
+
+// crescentCloud samples a half-moon — the Fig. 5(a) shape a line cannot
+// summarise.
+func crescentCloud(rng *rand.Rand, n int, noise float64) [][]float64 {
+	xs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		theta := math.Pi * rng.Float64()
+		xs[i] = []float64{
+			math.Cos(theta) + noise*rng.NormFloat64(),
+			math.Sin(theta) + noise*rng.NormFloat64(),
+		}
+	}
+	return xs
+}
+
+func TestPolylineValidation(t *testing.T) {
+	if _, err := NewPolyline([][]float64{{1, 2}}); err == nil {
+		t.Errorf("single vertex should error")
+	}
+	if _, err := NewPolyline([][]float64{{}, {}}); err == nil {
+		t.Errorf("zero-dim vertices should error")
+	}
+	if _, err := NewPolyline([][]float64{{1, 2}, {3}}); err == nil {
+		t.Errorf("ragged vertices should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustPolyline should panic")
+		}
+	}()
+	MustPolyline(nil)
+}
+
+func TestPolylineEvalAndLength(t *testing.T) {
+	p := MustPolyline([][]float64{{0, 0}, {3, 4}, {3, 6}})
+	if got := p.Length(); math.Abs(got-7) > 1e-12 {
+		t.Errorf("Length = %v, want 7", got)
+	}
+	mid := p.Eval(5)
+	if math.Abs(mid[0]-3) > 1e-12 || math.Abs(mid[1]-4) > 1e-12 {
+		t.Errorf("Eval(5) = %v, want (3,4)", mid)
+	}
+	half := p.Eval(2.5)
+	if math.Abs(half[0]-1.5) > 1e-12 || math.Abs(half[1]-2) > 1e-12 {
+		t.Errorf("Eval(2.5) = %v, want (1.5,2)", half)
+	}
+	// Clamping.
+	lo := p.Eval(-1)
+	hi := p.Eval(100)
+	if lo[0] != 0 || hi[1] != 6 {
+		t.Errorf("Eval clamping broken: %v %v", lo, hi)
+	}
+}
+
+func TestPolylineProject(t *testing.T) {
+	p := MustPolyline([][]float64{{0, 0}, {10, 0}})
+	tpar, d2 := p.Project([]float64{3, 4})
+	if math.Abs(tpar-3) > 1e-12 || math.Abs(d2-16) > 1e-12 {
+		t.Errorf("Project = (%v,%v), want (3,16)", tpar, d2)
+	}
+	// Beyond the end clamps to the end vertex.
+	tpar, d2 = p.Project([]float64{15, 0})
+	if math.Abs(tpar-10) > 1e-12 || math.Abs(d2-25) > 1e-12 {
+		t.Errorf("Project beyond end = (%v,%v), want (10,25)", tpar, d2)
+	}
+	// Point exactly on the line projects with zero distance.
+	tpar, d2 = p.Project([]float64{7, 0})
+	if math.Abs(tpar-7) > 1e-12 || d2 > 1e-20 {
+		t.Errorf("Project on line = (%v,%v)", tpar, d2)
+	}
+}
+
+func TestPolylineProjectDegenerateSegment(t *testing.T) {
+	// Repeated vertex: zero-length segment must not divide by zero.
+	p := MustPolyline([][]float64{{0, 0}, {0, 0}, {1, 0}})
+	tpar, d2 := p.Project([]float64{0.5, 1})
+	if math.IsNaN(tpar) || math.IsNaN(d2) {
+		t.Errorf("degenerate segment produced NaN")
+	}
+}
+
+func TestProjectAllShapes(t *testing.T) {
+	p := MustPolyline([][]float64{{0, 0}, {1, 0}})
+	ts, ds := p.ProjectAll([][]float64{{0, 0}, {1, 0}, {0.5, 0.5}})
+	if len(ts) != 3 || len(ds) != 3 {
+		t.Fatalf("lengths %d %d", len(ts), len(ds))
+	}
+	if ts[0] != 0 || math.Abs(ts[1]-1) > 1e-12 {
+		t.Errorf("ts = %v", ts)
+	}
+}
+
+func TestOrientScores(t *testing.T) {
+	alpha := order.MustDirection(1, 1)
+	xs := [][]float64{{0, 0}, {0.5, 0.5}, {1, 1}}
+	ts := []float64{0, 1, 2} // forward parameterisation
+	s := OrientScores(ts, xs, alpha, 2)
+	if !(s[0] < s[1] && s[1] < s[2]) {
+		t.Errorf("forward orientation broken: %v", s)
+	}
+	// Reversed parameterisation must be flipped.
+	tsRev := []float64{2, 1, 0}
+	s = OrientScores(tsRev, xs, alpha, 2)
+	if !(s[0] < s[1] && s[1] < s[2]) {
+		t.Errorf("reverse orientation not flipped: %v", s)
+	}
+	// Zero length falls back safely.
+	s = OrientScores([]float64{0, 0, 0}, xs, alpha, 0)
+	for _, v := range s {
+		if math.IsNaN(v) {
+			t.Errorf("zero-length orientation produced NaN")
+		}
+	}
+}
+
+func TestFitHSValidation(t *testing.T) {
+	if _, err := FitHS([][]float64{{1, 2}, {3, 4}}, HSOptions{}); err == nil {
+		t.Errorf("too few rows should error")
+	}
+}
+
+func TestFitHSRecoverSCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	xs, latent := sCurveCloud(rng, 300, 0.02)
+	// The steep tanh S-curve needs a narrower smoother than the default to
+	// track its middle section.
+	h, err := FitHS(xs, HSOptions{Bandwidth: 0.08, Vertices: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := order.MustDirection(1, 1)
+	scores := h.Scores(alpha)
+	tau := order.KendallTau(scores, latent)
+	if tau < 0.9 {
+		t.Errorf("HS tau %.3f < 0.9 on the S-curve", tau)
+	}
+	if ev := h.ExplainedVariance(); ev < 0.9 {
+		t.Errorf("HS explained variance %.3f < 0.9", ev)
+	}
+	if h.Iterations < 1 {
+		t.Errorf("no iterations recorded")
+	}
+}
+
+func TestFitHSBeatsLineOnCrescent(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	xs := crescentCloud(rng, 300, 0.03)
+	h, err := FitHS(xs, HSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A straight line leaves a big residual on the crescent; the principal
+	// curve must do materially better.
+	line, err := firstPCSegment(xs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lineDist := line.ProjectAll(xs)
+	if sumF(h.DistSq) >= 0.7*sumF(lineDist) {
+		t.Errorf("HS residual %.4f not clearly below line residual %.4f",
+			sumF(h.DistSq), sumF(lineDist))
+	}
+}
+
+func TestFitHSConstantData(t *testing.T) {
+	xs := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	h, err := FitHS(xs, HSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range h.DistSq {
+		if d > 1e-10 {
+			t.Errorf("constant data should have zero residual, got %v", d)
+		}
+	}
+}
+
+func TestFitKeglValidation(t *testing.T) {
+	if _, err := FitKegl([][]float64{{1, 2}, {3, 4}}, KeglOptions{}); err == nil {
+		t.Errorf("too few rows should error")
+	}
+}
+
+func TestFitKeglRecoverSCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	xs, latent := sCurveCloud(rng, 300, 0.02)
+	k, err := FitKegl(xs, KeglOptions{Segments: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := order.MustDirection(1, 1)
+	tau := order.KendallTau(k.Scores(alpha), latent)
+	if tau < 0.85 {
+		t.Errorf("Kegl tau %.3f < 0.85", tau)
+	}
+	if len(k.Line.Vertices) != 9 {
+		t.Errorf("vertices = %d, want segments+1 = 9", len(k.Line.Vertices))
+	}
+}
+
+func TestFitKeglDefaultSegmentsRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	xs, _ := sCurveCloud(rng, 125, 0.05)
+	k, err := FitKegl(xs, KeglOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n^(1/3) = 5 → 6 vertices.
+	if len(k.Line.Vertices) != 6 {
+		t.Errorf("default rule gave %d vertices, want 6", len(k.Line.Vertices))
+	}
+}
+
+// TestKeglVertexTieDemonstration reproduces Fig. 2(a): on a polyline with a
+// flat (constant-coordinate) segment, two points that differ only along the
+// flat coordinate project to the same vertex region and tie, violating
+// strict monotonicity.
+func TestKeglVertexTieDemonstration(t *testing.T) {
+	// Hand-built polyline with a horizontal piece, as in Fig. 2(a).
+	line := MustPolyline([][]float64{{0, 0}, {0.5, 0.5}, {1, 0.5}})
+	x1 := []float64{0.75, 0.9} // above the horizontal piece
+	x2 := []float64{0.75, 1.4} // strictly higher y, same x
+	t1, _ := line.Project(x1)
+	t2, _ := line.Project(x2)
+	if t1 != t2 {
+		t.Fatalf("both points should project to the same parameter, got %v vs %v", t1, t2)
+	}
+	alpha := order.MustDirection(1, 1)
+	v, c := order.ViolatedPairs(alpha, [][]float64{x1, x2}, []float64{t1, t2})
+	if c != 1 || v != 1 {
+		t.Errorf("expected 1 violated comparable pair, got v=%d c=%d", v, c)
+	}
+}
+
+func TestFitElmapValidation(t *testing.T) {
+	if _, err := FitElmap([][]float64{{1, 2}, {3, 4}}, ElmapOptions{}); err == nil {
+		t.Errorf("too few rows should error")
+	}
+	xs := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	if _, err := FitElmap(xs, ElmapOptions{Nodes: 2}); err == nil {
+		t.Errorf("too few nodes should error")
+	}
+}
+
+func TestFitElmapRecoverSCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	xs, latent := sCurveCloud(rng, 300, 0.02)
+	e, err := FitElmap(xs, ElmapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := order.MustDirection(1, 1)
+	tau := order.KendallTau(e.Scores(alpha), latent)
+	if tau < 0.9 {
+		t.Errorf("Elmap tau %.3f < 0.9", tau)
+	}
+	if ev := e.ExplainedVariance(); ev < 0.85 {
+		t.Errorf("Elmap explained variance %.3f", ev)
+	}
+}
+
+func TestElmapCenteredScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	xs, _ := sCurveCloud(rng, 100, 0.03)
+	e, err := FitElmap(xs, ElmapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := order.MustDirection(1, 1)
+	cs := e.CenteredScores(alpha)
+	var mean float64
+	hasNeg, hasPos := false, false
+	for _, v := range cs {
+		mean += v
+		if v < 0 {
+			hasNeg = true
+		}
+		if v > 0 {
+			hasPos = true
+		}
+	}
+	mean /= float64(len(cs))
+	if math.Abs(mean) > 1e-10 {
+		t.Errorf("centred scores mean = %v, want 0", mean)
+	}
+	if !hasNeg || !hasPos {
+		t.Errorf("centred scores should straddle zero (the Table 2 Elmap convention)")
+	}
+	// Centring preserves the ordering (up to floating-point re-ties among
+	// points projecting onto the same node).
+	if tau := order.KendallTau(cs, e.Scores(alpha)); tau < 0.99 {
+		t.Errorf("centring changed the ranking: tau = %v", tau)
+	}
+}
+
+func TestElmapStiffnessFlattensCurve(t *testing.T) {
+	// With huge bending stiffness the chain approaches a straight line, so
+	// its residual approaches the first-PC residual; with light stiffness
+	// it should hug the crescent much more closely.
+	rng := rand.New(rand.NewSource(57))
+	xs := crescentCloud(rng, 250, 0.02)
+	soft, err := FitElmap(xs, ElmapOptions{Lambda: 0.001, Mu: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stiff, err := FitElmap(xs, ElmapOptions{Lambda: 0.001, Mu: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumF(soft.DistSq) >= sumF(stiff.DistSq) {
+		t.Errorf("soft map residual %.4f should beat stiff %.4f",
+			sumF(soft.DistSq), sumF(stiff.DistSq))
+	}
+}
+
+func TestSortByParam(t *testing.T) {
+	idx := sortByParam([]float64{0.3, 0.1, 0.2})
+	want := []int{1, 2, 0}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("sortByParam = %v, want %v", idx, want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package rankagg implements the rank-aggregation baselines of §6.1: median
+// rank aggregation (Eq. 30, after Dwork et al. [34]) and the Borda count.
+// Both consume only the per-attribute orderings and discard the magnitudes,
+// which is exactly the information loss Table 1 demonstrates: two objects
+// with distinguishable observations can aggregate to a tie.
+package rankagg
+
+import (
+	"fmt"
+
+	"rpcrank/internal/order"
+)
+
+// AttributeRanks converts raw observations into per-attribute 1-based rank
+// columns (rank 1 = best) respecting alpha: for benefit attributes larger is
+// better, for cost attributes smaller is better. Ties share positions
+// deterministically by row index.
+func AttributeRanks(xs [][]float64, alpha order.Direction) ([][]int, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("rankagg: no rows")
+	}
+	if err := alpha.Validate(); err != nil {
+		return nil, err
+	}
+	d := alpha.Dim()
+	if len(xs[0]) != d {
+		return nil, fmt.Errorf("rankagg: data dim %d != alpha dim %d", len(xs[0]), d)
+	}
+	n := len(xs)
+	cols := make([][]int, d)
+	for j := 0; j < d; j++ {
+		scores := make([]float64, n)
+		for i, row := range xs {
+			if len(row) != d {
+				return nil, fmt.Errorf("rankagg: row %d has %d columns, want %d", i, len(row), d)
+			}
+			scores[i] = alpha[j] * row[j] // higher oriented value = better
+		}
+		cols[j] = order.RankFromScores(scores)
+	}
+	return cols, nil
+}
+
+// MedianRank aggregates per-attribute rank columns by Eq. 30:
+// κ(i) = mean over attributes of the rank of object i. Lower κ is better.
+// (The paper calls the mean of ranks the "median rank" after [34].)
+func MedianRank(rankCols [][]int) ([]float64, error) {
+	if len(rankCols) == 0 {
+		return nil, fmt.Errorf("rankagg: no rank columns")
+	}
+	n := len(rankCols[0])
+	out := make([]float64, n)
+	for j, col := range rankCols {
+		if len(col) != n {
+			return nil, fmt.Errorf("rankagg: column %d has %d entries, want %d", j, len(col), n)
+		}
+		for i, r := range col {
+			out[i] += float64(r)
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(rankCols))
+	}
+	return out, nil
+}
+
+// MedianRankScores runs AttributeRanks then MedianRank and converts the
+// aggregate position into a descending-is-better score (negated κ) so it can
+// be compared with other models through order.RankFromScores.
+func MedianRankScores(xs [][]float64, alpha order.Direction) ([]float64, error) {
+	cols, err := AttributeRanks(xs, alpha)
+	if err != nil {
+		return nil, err
+	}
+	kappa, err := MedianRank(cols)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(kappa))
+	for i, k := range kappa {
+		out[i] = -k
+	}
+	return out, nil
+}
+
+// BordaScores aggregates by the Borda count: each attribute awards n−rank
+// points, summed across attributes; higher is better.
+func BordaScores(xs [][]float64, alpha order.Direction) ([]float64, error) {
+	cols, err := AttributeRanks(xs, alpha)
+	if err != nil {
+		return nil, err
+	}
+	n := len(xs)
+	out := make([]float64, n)
+	for _, col := range cols {
+		for i, r := range col {
+			out[i] += float64(n - r)
+		}
+	}
+	return out, nil
+}
+
+// WeightedSumScores is the "weighted summation of attributes" strawman of
+// §1 with explicit weights (one per attribute, applied after orientation by
+// alpha). Different weights give different lists — the subjectivity the RPC
+// removes. Pass nil for equal weights.
+func WeightedSumScores(xs [][]float64, alpha order.Direction, weights []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("rankagg: no rows")
+	}
+	if err := alpha.Validate(); err != nil {
+		return nil, err
+	}
+	d := alpha.Dim()
+	if weights == nil {
+		weights = make([]float64, d)
+		for j := range weights {
+			weights[j] = 1
+		}
+	}
+	if len(weights) != d {
+		return nil, fmt.Errorf("rankagg: %d weights for %d attributes", len(weights), d)
+	}
+	for j, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("rankagg: weight %d is negative (%v)", j, w)
+		}
+	}
+	out := make([]float64, len(xs))
+	for i, row := range xs {
+		if len(row) != d {
+			return nil, fmt.Errorf("rankagg: row %d has %d columns, want %d", i, len(row), d)
+		}
+		var s float64
+		for j, v := range row {
+			s += weights[j] * alpha[j] * v
+		}
+		out[i] = s
+	}
+	return out, nil
+}

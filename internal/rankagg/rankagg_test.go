@@ -1,0 +1,200 @@
+package rankagg
+
+import (
+	"math"
+	"testing"
+
+	"rpcrank/internal/order"
+)
+
+// table1a is the Table 1(a) toy dataset of the paper.
+var table1a = [][]float64{
+	{0.3, 0.25},  // A
+	{0.25, 0.55}, // B
+	{0.7, 0.7},   // C
+}
+
+func TestAttributeRanksTable1(t *testing.T) {
+	alpha := order.MustDirection(1, 1)
+	cols, err := AttributeRanks(table1a, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper's Table 1(a): on x1 the order is A=2, B=1, C=3 reading "Order"
+	// as the sorted-ascending position; our rank 1 = best (largest). So on
+	// x1: C best (rank 1), A (rank 2), B (rank 3).
+	if cols[0][2] != 1 || cols[0][0] != 2 || cols[0][1] != 3 {
+		t.Errorf("x1 ranks = %v, want C=1,A=2,B=3", cols[0])
+	}
+	// On x2: C best, B second, A third.
+	if cols[1][2] != 1 || cols[1][1] != 2 || cols[1][0] != 3 {
+		t.Errorf("x2 ranks = %v, want C=1,B=2,A=3", cols[1])
+	}
+}
+
+// TestMedianRankTable1Tie reproduces the paper's §6.1 observation: median
+// rank aggregation cannot distinguish A and B (both aggregate to 1.5 in the
+// paper's ascending convention; to the same value in ours too), while C is
+// clearly ranked best.
+func TestMedianRankTable1Tie(t *testing.T) {
+	alpha := order.MustDirection(1, 1)
+	scores, err := MedianRankScores(table1a, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] != scores[1] {
+		t.Errorf("A and B must tie under median rank aggregation: %v vs %v", scores[0], scores[1])
+	}
+	if !(scores[2] > scores[0]) {
+		t.Errorf("C must outrank A and B: %v", scores)
+	}
+}
+
+// TestMedianRankInsensitiveToPerturbation is the Table 1(b) half of the
+// argument: moving A to A′ = (0.35, 0.4) does not change any attribute
+// ordering, so RankAgg's output is unchanged — it cannot see the numeric
+// difference that the RPC detects.
+func TestMedianRankInsensitiveToPerturbation(t *testing.T) {
+	alpha := order.MustDirection(1, 1)
+	before, err := MedianRankScores(table1a, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := [][]float64{
+		{0.35, 0.4}, // A′
+		{0.25, 0.55},
+		{0.7, 0.7},
+	}
+	after, err := MedianRankScores(perturbed, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("RankAgg changed under an order-preserving perturbation: %v -> %v", before, after)
+		}
+	}
+}
+
+func TestMedianRankKnownValues(t *testing.T) {
+	// κ values: A: (2+3)/2 = 2.5, B: (3+2)/2 = 2.5, C: (1+1)/2 = 1.
+	alpha := order.MustDirection(1, 1)
+	cols, _ := AttributeRanks(table1a, alpha)
+	kappa, err := MedianRank(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2.5, 2.5, 1}
+	for i := range want {
+		if math.Abs(kappa[i]-want[i]) > 1e-12 {
+			t.Errorf("kappa = %v, want %v", kappa, want)
+			break
+		}
+	}
+}
+
+func TestBordaScores(t *testing.T) {
+	alpha := order.MustDirection(1, 1)
+	scores, err := BordaScores(table1a, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=3: points = 3−rank. A: (1)+(0)=1, B: (0)+(1)=1, C: (2)+(2)=4.
+	want := []float64{1, 1, 4}
+	for i := range want {
+		if scores[i] != want[i] {
+			t.Errorf("Borda = %v, want %v", scores, want)
+			break
+		}
+	}
+}
+
+func TestBordaMedianAgreeOnTopChoice(t *testing.T) {
+	alpha := order.MustDirection(1, 1)
+	m, _ := MedianRankScores(table1a, alpha)
+	b, _ := BordaScores(table1a, alpha)
+	if order.SortByScoreDesc(m)[0] != 2 || order.SortByScoreDesc(b)[0] != 2 {
+		t.Errorf("both aggregators should rank C first")
+	}
+}
+
+func TestCostAttributeRanks(t *testing.T) {
+	// With α=(−1), smaller is better: rank 1 goes to the smallest value.
+	alpha := order.MustDirection(-1)
+	cols, err := AttributeRanks([][]float64{{5}, {1}, {3}}, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 1, 2}
+	for i := range want {
+		if cols[0][i] != want[i] {
+			t.Errorf("cost ranks = %v, want %v", cols[0], want)
+			break
+		}
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	alpha := order.MustDirection(1, -1)
+	xs := [][]float64{{1, 10}, {2, 5}}
+	// Equal weights: scores = x0 − x1 → (−9, −3): second object better.
+	s, err := WeightedSumScores(xs, alpha, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s[1] > s[0]) {
+		t.Errorf("weighted sum = %v, want second larger", s)
+	}
+	// Weight choice flips the list — the subjectivity §1 complains about.
+	s2, err := WeightedSumScores(xs, alpha, []float64{10, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s2[1] > s2[0]) {
+		t.Errorf("this weighting still prefers the second: %v", s2)
+	}
+	s3, err := WeightedSumScores(xs, alpha, []float64{0.01, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s3[1] > s3[0]) {
+		t.Errorf("cost-heavy weighting must also prefer the lower-cost object: %v", s3)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	alpha := order.MustDirection(1, 1)
+	if _, err := AttributeRanks(nil, alpha); err == nil {
+		t.Errorf("empty data should error")
+	}
+	if _, err := AttributeRanks([][]float64{{1}}, alpha); err == nil {
+		t.Errorf("dim mismatch should error")
+	}
+	if _, err := AttributeRanks([][]float64{{1, 2}, {3}}, alpha); err == nil {
+		t.Errorf("ragged rows should error")
+	}
+	if _, err := MedianRank(nil); err == nil {
+		t.Errorf("no columns should error")
+	}
+	if _, err := MedianRank([][]int{{1, 2}, {1}}); err == nil {
+		t.Errorf("ragged columns should error")
+	}
+	if _, err := WeightedSumScores(nil, alpha, nil); err == nil {
+		t.Errorf("empty data should error")
+	}
+	if _, err := WeightedSumScores([][]float64{{1, 2}}, alpha, []float64{1}); err == nil {
+		t.Errorf("weight count mismatch should error")
+	}
+	if _, err := WeightedSumScores([][]float64{{1, 2}}, alpha, []float64{1, -1}); err == nil {
+		t.Errorf("negative weight should error")
+	}
+	if _, err := WeightedSumScores([][]float64{{1, 2}, {1}}, alpha, nil); err == nil {
+		t.Errorf("ragged rows should error")
+	}
+	if _, err := MedianRankScores([][]float64{{1, 2}}, order.Direction{2, 1}); err == nil {
+		t.Errorf("bad alpha should error")
+	}
+	if _, err := BordaScores(nil, alpha); err == nil {
+		t.Errorf("empty data should error")
+	}
+}

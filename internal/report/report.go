@@ -1,0 +1,155 @@
+// Package report generates a complete, human-readable ranking report for a
+// dataset: the ordered list, fit diagnostics, Pareto-front structure,
+// optional bootstrap rank intervals, optional cross-validation, and the
+// attribute influence analysis. It is the "one command, full picture"
+// surface a practitioner uses after loading their table.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rpcrank/internal/core"
+	"rpcrank/internal/crossval"
+	"rpcrank/internal/dataset"
+	"rpcrank/internal/featsel"
+	"rpcrank/internal/order"
+	"rpcrank/internal/stability"
+)
+
+// Options selects the report sections.
+type Options struct {
+	// Top limits the printed list (0 = all rows).
+	Top int
+	// Stability > 0 adds bootstrap rank intervals with that many resamples.
+	Stability int
+	// CrossVal > 1 adds k-fold cross-validation with that many folds.
+	CrossVal int
+	// Features toggles the attribute-influence section.
+	Features bool
+	// Fit configures the underlying model; Alpha defaults to the table's.
+	Fit core.Options
+}
+
+// Generate fits the table and writes the report.
+func Generate(w io.Writer, t *dataset.Table, opts Options) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	fit := opts.Fit
+	if fit.Alpha == nil {
+		fit.Alpha = t.Alpha
+	}
+	m, err := core.Fit(t.Rows, fit)
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+
+	fmt.Fprintf(w, "# Ranking report: %s\n\n", t.Name)
+	fmt.Fprintf(w, "%d objects x %d attributes; direction %s\n\n",
+		t.N(), t.Dim(), alphaString(t.Alpha, t.Attrs))
+
+	// Section 1: diagnostics.
+	fmt.Fprintln(w, "## Fit diagnostics")
+	fmt.Fprintln(w)
+	fmt.Fprint(w, m.Diagnose().String())
+	fmt.Fprintln(w)
+
+	// Section 2: Pareto structure.
+	fronts := t.Alpha.ParetoFronts(t.Rows)
+	fmt.Fprintln(w, "## Dominance structure")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%d Pareto fronts; front sizes:", len(fronts))
+	for _, f := range fronts {
+		fmt.Fprintf(w, " %d", len(f))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "front consistency of the RPC scores: %.4f\n\n",
+		t.Alpha.FrontConsistency(t.Rows, m.Scores))
+
+	// Optional: stability.
+	var stab *stability.Result
+	if opts.Stability > 0 {
+		stab, err = stability.Run(t.Rows, stability.Options{
+			Resamples: opts.Stability,
+			Fit:       fit,
+		})
+		if err != nil {
+			return fmt.Errorf("report: stability: %w", err)
+		}
+		fmt.Fprintln(w, "## Bootstrap stability")
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "mean Kendall tau over %d resamples: %.3f\n\n", opts.Stability, stab.MeanTau)
+	}
+
+	// Optional: cross-validation.
+	if opts.CrossVal > 1 {
+		cv, err := crossval.Run(t.Rows, crossval.Options{Folds: opts.CrossVal, Fit: fit})
+		if err != nil {
+			return fmt.Errorf("report: crossval: %w", err)
+		}
+		fmt.Fprintln(w, "## Cross-validation")
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%d-fold out-of-sample MSE %.6f (train %.6f, gap %.6f); mean tau %.3f\n\n",
+			opts.CrossVal, cv.MeanMSE, cv.TrainMSE, cv.GeneralizationGap(), cv.MeanTau)
+	}
+
+	// Section: the list itself.
+	fmt.Fprintln(w, "## Ranking")
+	fmt.Fprintln(w)
+	byRank := order.SortByScoreDesc(m.Scores)
+	limit := len(byRank)
+	if opts.Top > 0 && opts.Top < limit {
+		limit = opts.Top
+	}
+	for pos := 0; pos < limit; pos++ {
+		i := byRank[pos]
+		if stab != nil {
+			o := stab.Objects[i]
+			fmt.Fprintf(w, "%4d. %-28s %.4f  interval [%d, %d]\n",
+				pos+1, t.Objects[i], m.Scores[i], o.LowRank, o.HighRank)
+		} else {
+			fmt.Fprintf(w, "%4d. %-28s %.4f\n", pos+1, t.Objects[i], m.Scores[i])
+		}
+	}
+	fmt.Fprintln(w)
+
+	// Optional: features.
+	if opts.Features {
+		fr, err := featsel.Rank(t.Rows, t.Attrs, fit)
+		if err != nil {
+			return fmt.Errorf("report: features: %w", err)
+		}
+		fmt.Fprintln(w, "## Attribute influence")
+		fmt.Fprintln(w)
+		for _, a := range fr.Attributes {
+			fmt.Fprintf(w, "  %-20s influence %.3f  curvature %.3f\n", a.Name, a.Influence, a.Curvature)
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Section: the model itself (explicitness meta-rule in action).
+	fmt.Fprintln(w, "## Model (control points, original units)")
+	fmt.Fprintln(w)
+	for p, cp := range m.ControlPointsOriginal() {
+		cells := make([]string, len(cp))
+		for j, v := range cp {
+			cells[j] = fmt.Sprintf("%s=%.4g", t.Attrs[j], v)
+		}
+		fmt.Fprintf(w, "  p%d: %s\n", p, strings.Join(cells, "  "))
+	}
+	return nil
+}
+
+func alphaString(a order.Direction, attrs []string) string {
+	parts := make([]string, len(a))
+	for j, s := range a {
+		sign := "+"
+		if s < 0 {
+			sign = "-"
+		}
+		parts[j] = sign + attrs[j]
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rpcrank/internal/dataset"
+	"rpcrank/internal/order"
+)
+
+func smallTable() *dataset.Table {
+	xs, _ := dataset.SCurve(40, 0.02, 9)
+	return dataset.ToTable("unit", []string{"x1", "x2"}, order.MustDirection(1, 1), xs)
+}
+
+func TestGenerateMinimal(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Generate(&buf, smallTable(), Options{Top: 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Ranking report: unit",
+		"## Fit diagnostics",
+		"## Dominance structure",
+		"## Ranking",
+		"## Model",
+		"Pareto fronts",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Top=5 limits the list.
+	if strings.Count(out, "interval") != 0 {
+		t.Errorf("stability section should be absent")
+	}
+	if n := strings.Count(out, "\n   1. "); n > 1 {
+		t.Errorf("duplicated list")
+	}
+}
+
+func TestGenerateAllSections(t *testing.T) {
+	var buf bytes.Buffer
+	err := Generate(&buf, smallTable(), Options{
+		Top:       3,
+		Stability: 4,
+		CrossVal:  3,
+		Features:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"## Bootstrap stability",
+		"## Cross-validation",
+		"## Attribute influence",
+		"interval [",
+		"mean Kendall tau",
+		"out-of-sample MSE",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestGenerateInvalidTable(t *testing.T) {
+	bad := smallTable()
+	bad.Objects = bad.Objects[:1]
+	var buf bytes.Buffer
+	if err := Generate(&buf, bad, Options{}); err == nil {
+		t.Errorf("invalid table should error")
+	}
+}
+
+func TestGenerateCountriesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full country report is slow")
+	}
+	var buf bytes.Buffer
+	if err := Generate(&buf, dataset.Countries(), Options{Top: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Luxembourg") {
+		t.Errorf("country report missing the leader")
+	}
+}

@@ -1,0 +1,157 @@
+// Package stability quantifies how trustworthy an unsupervised ranking is —
+// the question the paper opens with ("how can we insure that the ranking
+// list is reasonable?") — by bootstrap resampling: refit the RPC on B
+// resamples of the data and measure, per object, how much its position
+// moves. Objects whose rank is stable across resamples are reliably placed
+// by the data; objects with wide rank intervals sit in genuinely ambiguous
+// regions of the skeleton (like the paratactic middle block of Table 2).
+package stability
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rpcrank/internal/core"
+	"rpcrank/internal/order"
+)
+
+// Options configures the bootstrap.
+type Options struct {
+	// Resamples is the number of bootstrap refits B. Default 20.
+	Resamples int
+	// Seed drives resampling (and is forwarded to the fits). Default 1.
+	Seed int64
+	// Fit holds the RPC fitting options; Alpha is required.
+	Fit core.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Resamples == 0 {
+		o.Resamples = 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ObjectStability is the per-object outcome.
+type ObjectStability struct {
+	// Index of the object in the input rows.
+	Index int
+	// MeanRank is the average 1-based position across resamples (every
+	// object is ranked in every resample via out-of-sample scoring).
+	MeanRank float64
+	// LowRank and HighRank bound the observed positions.
+	LowRank, HighRank int
+	// RankStdDev is the standard deviation of the position.
+	RankStdDev float64
+}
+
+// Result is the full bootstrap report.
+type Result struct {
+	// Objects indexed like the input rows.
+	Objects []ObjectStability
+	// MeanTau is the average Kendall τ between the full-data ranking and
+	// each resample ranking — a single-number stability summary in [−1,1].
+	MeanTau float64
+	// FullScores is the full-data ranking the resamples are compared to.
+	FullScores []float64
+}
+
+// Run fits the full model, then B bootstrap models, scoring all original
+// rows under each and aggregating the positions.
+func Run(xs [][]float64, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n := len(xs)
+	if n < 4 {
+		return nil, fmt.Errorf("stability: need at least 4 rows, got %d", n)
+	}
+	full, err := core.Fit(xs, opts.Fit)
+	if err != nil {
+		return nil, fmt.Errorf("stability: full fit: %w", err)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	positions := make([][]int, n) // positions[i] = ranks of object i across resamples
+	var tauSum float64
+	for b := 0; b < opts.Resamples; b++ {
+		sample := make([][]float64, n)
+		for i := range sample {
+			sample[i] = xs[rng.Intn(n)]
+		}
+		fitOpts := opts.Fit
+		fitOpts.Seed = opts.Seed + int64(b) + 1
+		m, err := core.Fit(sample, fitOpts)
+		if err != nil {
+			return nil, fmt.Errorf("stability: resample %d: %w", b, err)
+		}
+		// Score the *original* rows with the resample model so positions
+		// are comparable across resamples.
+		scores := m.ScoreAll(xs)
+		ranks := order.RankFromScores(scores)
+		for i, r := range ranks {
+			positions[i] = append(positions[i], r)
+		}
+		tauSum += order.KendallTau(full.Scores, scores)
+	}
+
+	res := &Result{
+		Objects:    make([]ObjectStability, n),
+		MeanTau:    tauSum / float64(opts.Resamples),
+		FullScores: full.Scores,
+	}
+	for i, ranks := range positions {
+		st := ObjectStability{Index: i, LowRank: ranks[0], HighRank: ranks[0]}
+		var sum float64
+		for _, r := range ranks {
+			sum += float64(r)
+			if r < st.LowRank {
+				st.LowRank = r
+			}
+			if r > st.HighRank {
+				st.HighRank = r
+			}
+		}
+		st.MeanRank = sum / float64(len(ranks))
+		var varSum float64
+		for _, r := range ranks {
+			d := float64(r) - st.MeanRank
+			varSum += d * d
+		}
+		st.RankStdDev = math.Sqrt(varSum / float64(len(ranks)))
+		res.Objects[i] = st
+	}
+	return res, nil
+}
+
+// MostStable returns the k object indices with the smallest rank spread.
+func (r *Result) MostStable(k int) []int {
+	return r.sortedBySpread(k, false)
+}
+
+// LeastStable returns the k object indices with the largest rank spread.
+func (r *Result) LeastStable(k int) []int {
+	return r.sortedBySpread(k, true)
+}
+
+func (r *Result) sortedBySpread(k int, descending bool) []int {
+	idx := make([]int, len(r.Objects))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa := r.Objects[idx[a]].RankStdDev
+		sb := r.Objects[idx[b]].RankStdDev
+		if descending {
+			return sa > sb
+		}
+		return sa < sb
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

@@ -1,0 +1,102 @@
+package stability
+
+import (
+	"testing"
+
+	"rpcrank/internal/core"
+	"rpcrank/internal/dataset"
+	"rpcrank/internal/order"
+)
+
+func TestRunValidation(t *testing.T) {
+	alpha := order.MustDirection(1, 1)
+	if _, err := Run([][]float64{{1, 1}, {2, 2}}, Options{Fit: core.Options{Alpha: alpha}}); err == nil {
+		t.Errorf("too few rows should error")
+	}
+	xs, _ := dataset.SCurve(30, 0.02, 1)
+	if _, err := Run(xs, Options{Fit: core.Options{}}); err == nil {
+		t.Errorf("missing alpha should error")
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	xs, _ := dataset.SCurve(80, 0.02, 2)
+	alpha := order.MustDirection(1, 1)
+	res, err := Run(xs, Options{Resamples: 8, Fit: core.Options{Alpha: alpha}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects) != 80 {
+		t.Fatalf("want 80 object reports, got %d", len(res.Objects))
+	}
+	// On a clean 1-D manifold the ranking should be very stable.
+	if res.MeanTau < 0.9 {
+		t.Errorf("MeanTau = %.3f, want > 0.9 on a clean skeleton", res.MeanTau)
+	}
+	for i, o := range res.Objects {
+		if o.LowRank < 1 || o.HighRank > 80 || o.LowRank > o.HighRank {
+			t.Fatalf("object %d: rank interval [%d,%d] invalid", i, o.LowRank, o.HighRank)
+		}
+		if o.MeanRank < float64(o.LowRank) || o.MeanRank > float64(o.HighRank) {
+			t.Fatalf("object %d: mean rank %.2f outside [%d,%d]", i, o.MeanRank, o.LowRank, o.HighRank)
+		}
+		if o.RankStdDev < 0 {
+			t.Fatalf("object %d: negative stddev", i)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	xs, _ := dataset.SCurve(50, 0.03, 3)
+	alpha := order.MustDirection(1, 1)
+	opts := Options{Resamples: 5, Seed: 9, Fit: core.Options{Alpha: alpha}}
+	a, err := Run(xs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(xs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanTau != b.MeanTau {
+		t.Errorf("same seed must give identical results")
+	}
+	for i := range a.Objects {
+		if a.Objects[i].MeanRank != b.Objects[i].MeanRank {
+			t.Fatalf("object %d mean rank differs across identical runs", i)
+		}
+	}
+}
+
+func TestAmbiguousObjectsAreLessStable(t *testing.T) {
+	// Two tight clusters plus points scattered between them: the extremes
+	// should have much tighter rank intervals than the in-between points.
+	xs, _ := dataset.SCurve(100, 0.08, 4) // noisy: mid-list order is ambiguous
+	alpha := order.MustDirection(1, 1)
+	res, err := Run(xs, Options{Resamples: 10, Fit: core.Options{Alpha: alpha}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The best- and worst-ranked objects sit at unambiguous ends of the
+	// skeleton: their bootstrap rank intervals must stay narrow.
+	full := order.RankFromScores(res.FullScores)
+	for i, r := range full {
+		if r != 1 && r != len(full) {
+			continue
+		}
+		o := res.Objects[i]
+		if o.HighRank-o.LowRank > 10 {
+			t.Errorf("extreme object %d (full rank %d) has wide interval [%d,%d]",
+				i, r, o.LowRank, o.HighRank)
+		}
+	}
+	// MostStable and LeastStable partition consistently.
+	if len(res.MostStable(1000)) != 100 {
+		t.Errorf("MostStable must clamp k")
+	}
+	ms := res.Objects[res.MostStable(1)[0]].RankStdDev
+	ls := res.Objects[res.LeastStable(1)[0]].RankStdDev
+	if ms > ls {
+		t.Errorf("most-stable stddev %.3f > least-stable %.3f", ms, ls)
+	}
+}

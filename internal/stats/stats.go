@@ -1,0 +1,204 @@
+// Package stats implements the statistical pre/post-processing the RPC
+// pipeline needs: min–max normalisation into the unit hypercube (Eq. 29),
+// inverse denormalisation (so learned control points can be reported in the
+// original data space as Table 2 does), column moments, mean squared error,
+// and the explained-variance figure used in §6.2.1 (90 % vs 86 %).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Normalizer holds the per-column min and max of a dataset and maps rows
+// to and from the unit hypercube.
+type Normalizer struct {
+	Min, Max []float64
+}
+
+// FitNormalizer computes column ranges over the rows. Degenerate columns
+// (max == min) are widened by ±0.5 around the constant value so that the
+// transform remains well-defined and maps the constant to 0.5.
+func FitNormalizer(xs [][]float64) (*Normalizer, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("stats: no rows to normalise")
+	}
+	d := len(xs[0])
+	if d == 0 {
+		return nil, fmt.Errorf("stats: rows must have at least one column")
+	}
+	mn := make([]float64, d)
+	mx := make([]float64, d)
+	copy(mn, xs[0])
+	copy(mx, xs[0])
+	for i, row := range xs {
+		if len(row) != d {
+			return nil, fmt.Errorf("stats: row %d has %d columns, want %d", i, len(row), d)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("stats: row %d column %d is not finite: %v", i, j, v)
+			}
+			if v < mn[j] {
+				mn[j] = v
+			}
+			if v > mx[j] {
+				mx[j] = v
+			}
+		}
+	}
+	for j := range mn {
+		if mx[j] == mn[j] {
+			mn[j] -= 0.5
+			mx[j] += 0.5
+		}
+	}
+	return &Normalizer{Min: mn, Max: mx}, nil
+}
+
+// Dim returns the number of columns.
+func (n *Normalizer) Dim() int { return len(n.Min) }
+
+// Apply maps a row into [0,1]^d.
+func (n *Normalizer) Apply(x []float64) []float64 {
+	n.check(x)
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - n.Min[j]) / (n.Max[j] - n.Min[j])
+	}
+	return out
+}
+
+// ApplyAll maps every row.
+func (n *Normalizer) ApplyAll(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = n.Apply(x)
+	}
+	return out
+}
+
+// Invert maps a unit-hypercube point back to the original data space.
+func (n *Normalizer) Invert(u []float64) []float64 {
+	n.check(u)
+	out := make([]float64, len(u))
+	for j, v := range u {
+		out[j] = n.Min[j] + v*(n.Max[j]-n.Min[j])
+	}
+	return out
+}
+
+func (n *Normalizer) check(x []float64) {
+	if len(x) != len(n.Min) {
+		panic(fmt.Sprintf("stats: dimension mismatch: normalizer %d, row %d", len(n.Min), len(x)))
+	}
+}
+
+// ColumnMeans returns the per-column mean of the rows.
+func ColumnMeans(xs [][]float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	d := len(xs[0])
+	out := make([]float64, d)
+	for _, row := range xs {
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	for j := range out {
+		out[j] /= float64(len(xs))
+	}
+	return out
+}
+
+// Covariance returns the d×d sample covariance matrix (divisor n−1) as
+// nested slices; callers that need mat.Dense wrap it.
+func Covariance(xs [][]float64) [][]float64 {
+	n := len(xs)
+	if n < 2 {
+		panic("stats: Covariance needs at least 2 rows")
+	}
+	mu := ColumnMeans(xs)
+	d := len(mu)
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	for _, row := range xs {
+		for i := 0; i < d; i++ {
+			di := row[i] - mu[i]
+			for j := i; j < d; j++ {
+				cov[i][j] += di * (row[j] - mu[j])
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			cov[i][j] /= float64(n - 1)
+			cov[j][i] = cov[i][j]
+		}
+	}
+	return cov
+}
+
+// TotalVariance returns Σᵢ‖xᵢ − mean‖², the denominator of explained
+// variance.
+func TotalVariance(xs [][]float64) float64 {
+	mu := ColumnMeans(xs)
+	var sum float64
+	for _, row := range xs {
+		for j, v := range row {
+			d := v - mu[j]
+			sum += d * d
+		}
+	}
+	return sum
+}
+
+// ExplainedVariance returns 1 − Σ residual² / total variance, the fitting
+// quality measure of §6.2.1. residuals holds the squared reconstruction
+// error of each row. The result is clamped below at −∞ but will be ≤ 1.
+func ExplainedVariance(xs [][]float64, residualsSq []float64) float64 {
+	if len(xs) != len(residualsSq) {
+		panic(fmt.Sprintf("stats: ExplainedVariance length mismatch %d vs %d", len(xs), len(residualsSq)))
+	}
+	tv := TotalVariance(xs)
+	if tv == 0 {
+		return 1
+	}
+	var rs float64
+	for _, r := range residualsSq {
+		rs += r
+	}
+	return 1 - rs/tv
+}
+
+// MSE returns the mean of squared residuals.
+func MSE(residualsSq []float64) float64 {
+	if len(residualsSq) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range residualsSq {
+		s += r
+	}
+	return s / float64(len(residualsSq))
+}
+
+// MinMax returns the smallest and largest value of a non-empty slice.
+func MinMax(v []float64) (lo, hi float64) {
+	if len(v) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitNormalizerBasics(t *testing.T) {
+	xs := [][]float64{{0, 10}, {5, 20}, {10, 30}}
+	n, err := FitNormalizer(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := n.Apply([]float64{5, 20})
+	if math.Abs(got[0]-0.5) > 1e-14 || math.Abs(got[1]-0.5) > 1e-14 {
+		t.Errorf("Apply midpoint = %v, want (0.5,0.5)", got)
+	}
+	lo := n.Apply([]float64{0, 10})
+	hi := n.Apply([]float64{10, 30})
+	if lo[0] != 0 || lo[1] != 0 || hi[0] != 1 || hi[1] != 1 {
+		t.Errorf("extremes map to %v and %v, want 0s and 1s", lo, hi)
+	}
+}
+
+func TestFitNormalizerErrors(t *testing.T) {
+	if _, err := FitNormalizer(nil); err == nil {
+		t.Errorf("empty input should error")
+	}
+	if _, err := FitNormalizer([][]float64{{}}); err == nil {
+		t.Errorf("zero-column rows should error")
+	}
+	if _, err := FitNormalizer([][]float64{{1, 2}, {1}}); err == nil {
+		t.Errorf("ragged rows should error")
+	}
+	if _, err := FitNormalizer([][]float64{{math.NaN()}}); err == nil {
+		t.Errorf("NaN should error")
+	}
+	if _, err := FitNormalizer([][]float64{{math.Inf(1)}}); err == nil {
+		t.Errorf("Inf should error")
+	}
+}
+
+func TestNormalizerDegenerateColumn(t *testing.T) {
+	xs := [][]float64{{7, 1}, {7, 2}}
+	n, err := FitNormalizer(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := n.Apply([]float64{7, 1.5})
+	if math.Abs(got[0]-0.5) > 1e-14 {
+		t.Errorf("constant column should map to 0.5, got %v", got[0])
+	}
+}
+
+func TestNormalizerRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs := make([][]float64, 30)
+	for i := range xs {
+		xs[i] = []float64{rng.NormFloat64() * 100, rng.Float64() * 1e-3, rng.NormFloat64()}
+	}
+	n, err := FitNormalizer(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(i uint8) bool {
+		row := xs[int(i)%len(xs)]
+		back := n.Invert(n.Apply(row))
+		for j := range row {
+			scale := math.Abs(n.Max[j]-n.Min[j]) + 1
+			if math.Abs(back[j]-row[j]) > 1e-10*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizerApplyAllAndDim(t *testing.T) {
+	xs := [][]float64{{0, 0}, {2, 4}}
+	n, _ := FitNormalizer(xs)
+	if n.Dim() != 2 {
+		t.Errorf("Dim = %d", n.Dim())
+	}
+	all := n.ApplyAll(xs)
+	if len(all) != 2 || all[1][1] != 1 {
+		t.Errorf("ApplyAll = %v", all)
+	}
+}
+
+func TestNormalizerPanicsOnDimMismatch(t *testing.T) {
+	n, _ := FitNormalizer([][]float64{{0, 0}, {1, 1}})
+	for i, fn := range []func(){
+		func() { n.Apply([]float64{1}) },
+		func() { n.Invert([]float64{1, 2, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestColumnMeans(t *testing.T) {
+	xs := [][]float64{{1, 2}, {3, 6}}
+	mu := ColumnMeans(xs)
+	if mu[0] != 2 || mu[1] != 4 {
+		t.Errorf("means = %v, want [2 4]", mu)
+	}
+	if ColumnMeans(nil) != nil {
+		t.Errorf("means of empty should be nil")
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Two perfectly correlated columns.
+	xs := [][]float64{{0, 0}, {1, 2}, {2, 4}}
+	cov := Covariance(xs)
+	if math.Abs(cov[0][0]-1) > 1e-12 {
+		t.Errorf("var(x) = %v, want 1", cov[0][0])
+	}
+	if math.Abs(cov[1][1]-4) > 1e-12 {
+		t.Errorf("var(y) = %v, want 4", cov[1][1])
+	}
+	if math.Abs(cov[0][1]-2) > 1e-12 || cov[0][1] != cov[1][0] {
+		t.Errorf("cov(x,y) = %v/%v, want 2 symmetric", cov[0][1], cov[1][0])
+	}
+}
+
+func TestCovariancePanicsSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	Covariance([][]float64{{1, 2}})
+}
+
+func TestTotalVarianceAndExplained(t *testing.T) {
+	xs := [][]float64{{0}, {2}}
+	// mean 1, total variance (1)² + (1)² = 2.
+	if got := TotalVariance(xs); math.Abs(got-2) > 1e-14 {
+		t.Errorf("TotalVariance = %v, want 2", got)
+	}
+	// Perfect fit explains everything.
+	if got := ExplainedVariance(xs, []float64{0, 0}); got != 1 {
+		t.Errorf("ExplainedVariance(perfect) = %v, want 1", got)
+	}
+	// Residuals equal to total variance explain nothing.
+	if got := ExplainedVariance(xs, []float64{1, 1}); math.Abs(got) > 1e-14 {
+		t.Errorf("ExplainedVariance = %v, want 0", got)
+	}
+	// Constant data with zero residuals.
+	if got := ExplainedVariance([][]float64{{1}, {1}}, []float64{0, 0}); got != 1 {
+		t.Errorf("constant data = %v, want 1", got)
+	}
+}
+
+func TestExplainedVariancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	ExplainedVariance([][]float64{{1}}, []float64{1, 2})
+}
+
+func TestMSE(t *testing.T) {
+	if got := MSE([]float64{1, 3}); got != 2 {
+		t.Errorf("MSE = %v, want 2", got)
+	}
+	if got := MSE(nil); got != 0 {
+		t.Errorf("MSE(empty) = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%v,%v), want (-1,7)", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for empty")
+		}
+	}()
+	MinMax(nil)
+}

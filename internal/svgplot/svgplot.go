@@ -1,0 +1,191 @@
+// Package svgplot renders scatter-plus-curve panels to SVG using only the
+// standard library. It regenerates the paper's figures: the four monotone
+// Bézier shapes (Fig. 4), the Table 1 objects with their RPCs (Fig. 6), and
+// the pairwise projection grids of the fitted country and journal curves
+// (Fig. 7 and Fig. 8).
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one drawable element of a panel.
+type Series struct {
+	// XY holds the points (len ≥ 1). For Kind "line" they are connected in
+	// order; for "scatter" they are drawn as dots.
+	XY [][2]float64
+	// Kind is "scatter" or "line".
+	Kind string
+	// Color is any SVG colour string.
+	Color string
+	// Radius is the dot radius for scatter series (default 2).
+	Radius float64
+	// Width is the stroke width for line series (default 1.5).
+	Width float64
+}
+
+// Panel is a single plot with axes derived from its data extent.
+type Panel struct {
+	// Title is rendered above the panel (may be empty).
+	Title string
+	// XLabel and YLabel annotate the axes (may be empty).
+	XLabel, YLabel string
+	// Series holds the drawable elements.
+	Series []Series
+	// FixedRange, when true, uses XMin..YMax instead of the data extent.
+	FixedRange             bool
+	XMin, XMax, YMin, YMax float64
+}
+
+// Grid is a rectangular arrangement of panels rendered into one SVG.
+type Grid struct {
+	// Panels in row-major order.
+	Panels []Panel
+	// Cols is the number of panel columns (default: square-ish layout).
+	Cols int
+	// CellW and CellH are panel sizes in pixels (defaults 220×180).
+	CellW, CellH int
+}
+
+// Render writes the grid as a standalone SVG document.
+func (g *Grid) Render(w io.Writer) error {
+	if len(g.Panels) == 0 {
+		return fmt.Errorf("svgplot: no panels")
+	}
+	cols := g.Cols
+	if cols <= 0 {
+		cols = int(math.Ceil(math.Sqrt(float64(len(g.Panels)))))
+	}
+	rows := (len(g.Panels) + cols - 1) / cols
+	cw, ch := g.CellW, g.CellH
+	if cw <= 0 {
+		cw = 220
+	}
+	if ch <= 0 {
+		ch = 180
+	}
+	const margin = 36
+	totalW := cols*(cw+margin) + margin
+	totalH := rows*(ch+margin) + margin
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		totalW, totalH, totalW, totalH)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	for i := range g.Panels {
+		r, c := i/cols, i%cols
+		x0 := margin + c*(cw+margin)
+		y0 := margin + r*(ch+margin)
+		renderPanel(&b, &g.Panels[i], float64(x0), float64(y0), float64(cw), float64(ch))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func renderPanel(b *strings.Builder, p *Panel, x0, y0, w, h float64) {
+	xmin, xmax, ymin, ymax := p.extent()
+	sx := func(x float64) float64 { return x0 + (x-xmin)/(xmax-xmin)*w }
+	sy := func(y float64) float64 { return y0 + h - (y-ymin)/(ymax-ymin)*h }
+
+	fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#999" stroke-width="1"/>`+"\n",
+		x0, y0, w, h)
+	if p.Title != "" {
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n",
+			x0+w/2, y0-6, escape(p.Title))
+	}
+	if p.XLabel != "" {
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n",
+			x0+w/2, y0+h+14, escape(p.XLabel))
+	}
+	if p.YLabel != "" {
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle" font-family="sans-serif" transform="rotate(-90 %.1f %.1f)">%s</text>`+"\n",
+			x0-10, y0+h/2, x0-10, y0+h/2, escape(p.YLabel))
+	}
+	for _, s := range p.Series {
+		switch s.Kind {
+		case "line":
+			width := s.Width
+			if width == 0 {
+				width = 1.5
+			}
+			var pts []string
+			for _, xy := range s.XY {
+				pts = append(pts, fmt.Sprintf("%.2f,%.2f", sx(xy[0]), sy(xy[1])))
+			}
+			fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`+"\n",
+				strings.Join(pts, " "), colorOr(s.Color, "red"), width)
+		default: // scatter
+			r := s.Radius
+			if r == 0 {
+				r = 2
+			}
+			for _, xy := range s.XY {
+				fmt.Fprintf(b, `<circle cx="%.2f" cy="%.2f" r="%.1f" fill="%s" fill-opacity="0.7"/>`+"\n",
+					sx(xy[0]), sy(xy[1]), r, colorOr(s.Color, "green"))
+			}
+		}
+	}
+}
+
+// extent returns the plotting range, padding the data extent by 5 % and
+// guarding against degenerate (zero-width) ranges.
+func (p *Panel) extent() (xmin, xmax, ymin, ymax float64) {
+	if p.FixedRange {
+		return p.XMin, p.XMax, p.YMin, p.YMax
+	}
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, xy := range s.XY {
+			xmin = math.Min(xmin, xy[0])
+			xmax = math.Max(xmax, xy[0])
+			ymin = math.Min(ymin, xy[1])
+			ymax = math.Max(ymax, xy[1])
+		}
+	}
+	if math.IsInf(xmin, 1) { // empty panel
+		return 0, 1, 0, 1
+	}
+	xmin, xmax = pad(xmin, xmax)
+	ymin, ymax = pad(ymin, ymax)
+	return xmin, xmax, ymin, ymax
+}
+
+func pad(lo, hi float64) (float64, float64) {
+	if hi == lo {
+		return lo - 0.5, hi + 0.5
+	}
+	p := 0.05 * (hi - lo)
+	return lo - p, hi + p
+}
+
+func colorOr(c, def string) string {
+	if c == "" {
+		return def
+	}
+	return c
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// CurvePoints samples a parametric function into a line series, for drawing
+// fitted curves.
+func CurvePoints(f func(float64) (x, y float64), samples int) [][2]float64 {
+	if samples < 2 {
+		samples = 2
+	}
+	out := make([][2]float64, samples)
+	for i := 0; i < samples; i++ {
+		t := float64(i) / float64(samples-1)
+		x, y := f(t)
+		out[i] = [2]float64{x, y}
+	}
+	return out
+}

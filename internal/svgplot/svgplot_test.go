@@ -1,0 +1,110 @@
+package svgplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func onePanel() Panel {
+	return Panel{
+		Title:  "demo",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Kind: "scatter", XY: [][2]float64{{0, 0}, {1, 1}, {0.5, 0.2}}},
+			{Kind: "line", XY: [][2]float64{{0, 0}, {0.5, 0.8}, {1, 1}}, Color: "red"},
+		},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	g := &Grid{Panels: []Panel{onePanel()}}
+	var buf bytes.Buffer
+	if err := g.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<circle", "<polyline", "demo"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Count(s, "<circle") != 3 {
+		t.Errorf("want 3 circles, got %d", strings.Count(s, "<circle"))
+	}
+}
+
+func TestRenderEmptyGridErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Grid{}).Render(&buf); err == nil {
+		t.Errorf("empty grid should error")
+	}
+}
+
+func TestRenderMultiPanelLayout(t *testing.T) {
+	g := &Grid{Panels: []Panel{onePanel(), onePanel(), onePanel(), onePanel()}, Cols: 2}
+	var buf bytes.Buffer
+	if err := g.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// 4 panels → 4 frames.
+	if n := strings.Count(buf.String(), `stroke="#999"`); n != 4 {
+		t.Errorf("want 4 panel frames, got %d", n)
+	}
+}
+
+func TestRenderEscapesTitles(t *testing.T) {
+	p := onePanel()
+	p.Title = `<script>&"`
+	g := &Grid{Panels: []Panel{p}}
+	var buf bytes.Buffer
+	if err := g.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>") {
+		t.Errorf("title not escaped")
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	p := Panel{Series: []Series{{Kind: "scatter", XY: [][2]float64{{0.5, 0.5}}}}}
+	g := &Grid{Panels: []Panel{p}}
+	var buf bytes.Buffer
+	if err := g.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Errorf("degenerate range produced NaN coordinates")
+	}
+	// Empty panel (no series) must render too.
+	g2 := &Grid{Panels: []Panel{{Title: "empty"}}}
+	buf.Reset()
+	if err := g2.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedRange(t *testing.T) {
+	p := onePanel()
+	p.FixedRange = true
+	p.XMin, p.XMax, p.YMin, p.YMax = 0, 2, 0, 2
+	g := &Grid{Panels: []Panel{p}}
+	var buf bytes.Buffer
+	if err := g.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurvePoints(t *testing.T) {
+	pts := CurvePoints(func(t float64) (float64, float64) { return t, t * t }, 5)
+	if len(pts) != 5 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0][0] != 0 || pts[4][0] != 1 || pts[4][1] != 1 {
+		t.Errorf("endpoints wrong: %v", pts)
+	}
+	if got := CurvePoints(func(t float64) (float64, float64) { return t, t }, 1); len(got) != 2 {
+		t.Errorf("minimum sample count not enforced")
+	}
+}
