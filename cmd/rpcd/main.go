@@ -1,0 +1,114 @@
+// Command rpcd serves Ranking Principal Curve models over HTTP. It keeps a
+// versioned registry of fitted ranking rules in a directory and exposes the
+// fit / score / rank lifecycle as a JSON API (see internal/server for the
+// routes and README.md for curl examples).
+//
+// Usage:
+//
+//	rpcd -addr :8080 -model-dir ./models
+//
+// The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests up to -shutdown-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rpcrank/internal/registry"
+	"rpcrank/internal/server"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "rpcd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled, a termination
+// signal arrives, or the listener fails. onReady, when non-nil, receives
+// the bound address once the server is accepting connections (used by
+// tests that listen on port 0).
+func run(ctx context.Context, args []string, out io.Writer, onReady func(addr string)) error {
+	fs := flag.NewFlagSet("rpcd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", ":8080", "listen address")
+	modelDir := fs.String("model-dir", "models", "directory holding the model registry")
+	maxLoaded := fs.Int("max-loaded", registry.DefaultMaxLoaded, "models kept decoded in memory (LRU)")
+	workers := fs.Int("workers", 0, "batch-scoring workers (0 = GOMAXPROCS)")
+	maxBodyMB := fs.Int64("max-body-mb", 32, "largest accepted request body, in MiB")
+	maxBatchRows := fs.Int("max-batch-rows", 1_000_000, "largest accepted row count per request")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
+	writeTimeout := fs.Duration("write-timeout", 2*time.Minute, "HTTP write timeout (covers fit time)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "drain window on shutdown")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	reg, err := registry.Open(*modelDir, *maxLoaded)
+	if err != nil {
+		return err
+	}
+	for _, s := range reg.Skipped() {
+		fmt.Fprintf(out, "rpcd: warning: skipped unreadable model file %s\n", s)
+	}
+	api := server.New(reg, server.Options{
+		Workers:      *workers,
+		MaxBodyBytes: *maxBodyMB << 20,
+		MaxBatchRows: *maxBatchRows,
+	})
+	defer api.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:      api,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(out, "rpcd: serving %d models from %s on %s\n", reg.Len(), *modelDir, ln.Addr())
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "rpcd: shutting down")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rpcrank"
+)
+
+// startDaemon runs the rpcd daemon on an ephemeral port and returns its
+// base URL plus a shutdown function that blocks until it exits cleanly.
+func startDaemon(t *testing.T, modelDir string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-model-dir", modelDir}, &out, func(addr string) {
+			ready <- addr
+		})
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, func() {
+			cancel()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("daemon exit: %v (output: %s)", err, out.String())
+				}
+			case <-time.After(10 * time.Second):
+				t.Errorf("daemon did not shut down")
+			}
+		}
+	case err := <-done:
+		t.Fatalf("daemon failed to start: %v (output: %s)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+	panic("unreachable")
+}
+
+func post(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, got
+}
+
+// TestFitPersistRestart is the acceptance path: the daemon starts, fits a
+// model over HTTP, persists it to the model dir, and a restarted daemon
+// serves identical scores for the same rows.
+func TestFitPersistRestart(t *testing.T) {
+	modelDir := filepath.Join(t.TempDir(), "models")
+	rows := make([][]float64, 20)
+	for i := range rows {
+		u := float64(i) / 19
+		rows[i] = []float64{u * 8, 2 + 3*u*u, 5 - 4*u}
+	}
+	probe := [][]float64{{1.1, 2.2, 4.4}, {4.0, 3.1, 3.0}, {7.7, 4.8, 1.3}}
+
+	base, shutdown := startDaemon(t, modelDir)
+	status, body := post(t, base+"/v1/models", rpcrank.FitRequest{
+		Name:  "accept",
+		Alpha: []float64{1, 1, -1},
+		Rows:  rows,
+		Seed:  5,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("fit: status %d: %s", status, body)
+	}
+	var fit rpcrank.FitResponse
+	if err := json.Unmarshal(body, &fit); err != nil {
+		t.Fatal(err)
+	}
+	if fit.Model.ID != "accept-v1" {
+		t.Fatalf("fit assigned id %q", fit.Model.ID)
+	}
+
+	status, body = post(t, base+"/v1/models/accept-v1/score", rpcrank.ScoreRequest{Rows: probe})
+	if status != http.StatusOK {
+		t.Fatalf("score: status %d: %s", status, body)
+	}
+	var before rpcrank.ScoreResponse
+	if err := json.Unmarshal(body, &before); err != nil {
+		t.Fatal(err)
+	}
+	shutdown()
+
+	// The model dir holds the persisted rule; a new daemon must serve it.
+	if matches, _ := filepath.Glob(filepath.Join(modelDir, "accept-v1.json")); len(matches) != 1 {
+		t.Fatalf("persisted rule file missing from %s", modelDir)
+	}
+	base2, shutdown2 := startDaemon(t, modelDir)
+	defer shutdown2()
+	status, body = post(t, base2+"/v1/models/accept-v1/score", rpcrank.ScoreRequest{Rows: probe})
+	if status != http.StatusOK {
+		t.Fatalf("score after restart: status %d: %s", status, body)
+	}
+	var after rpcrank.ScoreResponse
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	for i := range probe {
+		if before.Scores[i] != after.Scores[i] {
+			t.Errorf("row %d: score %v before restart, %v after", i, before.Scores[i], after.Scores[i])
+		}
+	}
+
+	// Health reflects the reloaded registry.
+	resp, err := http.Get(base2 + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if want := fmt.Sprintf(`"models":%d`, 1); !bytes.Contains(health, []byte(want)) {
+		t.Errorf("healthz = %s, want it to contain %s", health, want)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out, nil); err == nil {
+		t.Errorf("unknown flag should error")
+	}
+	if err := run(context.Background(), []string{"positional"}, &out, nil); err == nil {
+		t.Errorf("positional args should error")
+	}
+}

@@ -1,0 +1,3 @@
+module rpcrank
+
+go 1.24

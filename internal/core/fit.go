@@ -28,6 +28,13 @@ func Fit(xs [][]float64, opts Options) (*Model, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("core: no observations")
 	}
+	// Reject ragged tables and NaN/±Inf entries up front: the normaliser
+	// catches non-finite values in the default path, but in NoNormalize
+	// mode NaN slips through the [0,1] box check (every comparison with
+	// NaN is false) and silently poisons the fit.
+	if err := order.ValidateRows(xs, len(xs[0])); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if err := opts.validate(len(xs), len(xs[0])); err != nil {
 		return nil, err
 	}
@@ -112,12 +119,11 @@ func fitOnce(xs [][]float64, opts Options) (*Model, error) {
 		for j := 0; j < d; j++ {
 			norm.Max[j] = 1
 		}
+		// Fit already rejected ragged rows and non-finite entries via
+		// order.ValidateRows; only the unit-box constraint is left.
 		for i, row := range xs {
-			if len(row) != d {
-				return nil, fmt.Errorf("core: row %d has %d columns, want %d", i, len(row), d)
-			}
 			for j, v := range row {
-				if v < 0 || v > 1 || math.IsNaN(v) {
+				if v < 0 || v > 1 {
 					return nil, fmt.Errorf("core: NoNormalize requires data in [0,1]; row %d column %d is %v", i, j, v)
 				}
 			}

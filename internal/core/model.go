@@ -171,6 +171,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// MaxGridCells bounds the projection grid. Shared by Options.validate and
+// Load so a fitted model always round-trips through Save/Load: anything
+// Fit accepts, Load accepts.
+const MaxGridCells = 1 << 16
+
 func (o Options) validate(nRows, dim int) error {
 	if len(o.Alpha) == 0 {
 		return errors.New("core: Options.Alpha is required")
@@ -193,8 +198,11 @@ func (o Options) validate(nRows, dim int) error {
 	if o.MaxIter < 1 {
 		return fmt.Errorf("core: MaxIter must be positive, got %d", o.MaxIter)
 	}
-	if o.GridCells < 2 {
-		return fmt.Errorf("core: GridCells must be at least 2, got %d", o.GridCells)
+	if o.GridCells < 2 || o.GridCells > MaxGridCells {
+		return fmt.Errorf("core: GridCells %d out of [2, %d]", o.GridCells, MaxGridCells)
+	}
+	if !(o.ProjTol > 0 && o.ProjTol <= 1) {
+		return fmt.Errorf("core: ProjTol %v out of (0, 1]", o.ProjTol)
 	}
 	if o.ClampEps <= 0 || o.ClampEps >= 0.5 {
 		return fmt.Errorf("core: ClampEps %v out of (0, 0.5)", o.ClampEps)
@@ -259,6 +267,21 @@ func (m *Model) ControlPointsOriginal() [][]float64 {
 		out[i] = m.Norm.Invert(p)
 	}
 	return out
+}
+
+// ServingCopy returns a copy of the model holding only what scoring new
+// observations needs — the curve, direction, normaliser, and projector
+// options. Training-time diagnostics (Scores, ResidualsSq, Objective, the
+// retained data) are dropped, matching what Load reconstructs from disk.
+// Long-lived caches should hold this instead of the fitted model, whose
+// diagnostics are sized by the training set.
+func (m *Model) ServingCopy() *Model {
+	return &Model{
+		Curve: m.Curve,
+		Alpha: m.Alpha,
+		Norm:  m.Norm,
+		opts:  m.opts,
+	}
 }
 
 // StrictlyMonotone reports whether the fitted curve passes the exact

@@ -67,8 +67,12 @@ func Load(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: loading model: %w", err)
 	}
-	if len(in.ControlPoints) < 2 {
-		return nil, fmt.Errorf("core: model has %d control points, need at least 2", len(in.ControlPoints))
+	// Fit caps the degree at 6 (7 control points); 64 leaves headroom for
+	// future degrees while keeping the O(k²·d) de Casteljau evaluation of
+	// an untrusted document from becoming a per-row CPU bomb.
+	const maxControlPoints = 64
+	if len(in.ControlPoints) < 2 || len(in.ControlPoints) > maxControlPoints {
+		return nil, fmt.Errorf("core: model has %d control points, want 2 to %d", len(in.ControlPoints), maxControlPoints)
 	}
 	d := alpha.Dim()
 	for i, p := range in.ControlPoints {
@@ -93,6 +97,16 @@ func Load(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: loading curve: %w", err)
 	}
+	// The projector settings come from an untrusted document: 0 means
+	// "use the default", anything else must be usable — a negative grid
+	// panics GridSeed and a huge one is a CPU bomb per scored row. The
+	// bounds match Options.validate, so every fitted model round-trips.
+	if in.GridCells != 0 && (in.GridCells < 2 || in.GridCells > MaxGridCells) {
+		return nil, fmt.Errorf("core: grid_cells %d out of [2, %d]", in.GridCells, MaxGridCells)
+	}
+	if in.ProjTol != 0 && !(in.ProjTol > 0 && in.ProjTol <= 1) {
+		return nil, fmt.Errorf("core: proj_tol %v out of (0, 1]", in.ProjTol)
+	}
 	opts := Options{
 		Alpha:     alpha,
 		GridCells: in.GridCells,
@@ -102,6 +116,11 @@ func Load(r io.Reader) (*Model, error) {
 	case "brent":
 		opts.Projector = ProjectorBrent
 	case "quintic":
+		// Mirror Options.validate: the quintic projector solves a cubic's
+		// orthogonality condition and panics on any other degree.
+		if curve.Degree() != 3 {
+			return nil, fmt.Errorf("core: quintic projector requires degree 3, got %d", curve.Degree())
+		}
 		opts.Projector = ProjectorQuintic
 	default:
 		opts.Projector = ProjectorGSS

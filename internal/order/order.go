@@ -8,6 +8,7 @@ package order
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -133,6 +134,31 @@ func SortByScoreDesc(scores []float64) []int {
 	}
 	sort.SliceStable(idx, func(i, j int) bool { return scores[idx[i]] > scores[idx[j]] })
 	return idx
+}
+
+// ValidateRows checks that rows form a non-empty rectangular table of
+// width d whose entries are all finite. NaN and ±Inf values would silently
+// poison the normaliser and the alternating fit, so they are rejected here
+// with a per-row error. Messages carry no package prefix: callers (the
+// public Validate, the server input path) wrap them with their own.
+func ValidateRows(rows [][]float64, d int) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("no rows")
+	}
+	for i, row := range rows {
+		if len(row) != d {
+			return fmt.Errorf("row %d has %d attributes, want %d", i, len(row), d)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) {
+				return fmt.Errorf("row %d attribute %d is NaN", i, j)
+			}
+			if math.IsInf(v, 0) {
+				return fmt.Errorf("row %d attribute %d is infinite", i, j)
+			}
+		}
+	}
+	return nil
 }
 
 // ViolatedPairs counts the pairs (i,j) where x_i strictly dominates x_j

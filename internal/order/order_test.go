@@ -3,6 +3,7 @@ package order
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -221,6 +222,33 @@ func TestViolatedPairsMonotoneScorerProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestValidateRows(t *testing.T) {
+	if err := ValidateRows([][]float64{{1, 2}, {3, 4}}, 2); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		rows [][]float64
+		want string
+	}{
+		{"empty", nil, "no rows"},
+		{"ragged", [][]float64{{1, 2}, {3}}, "row 1"},
+		{"nan", [][]float64{{1, 2}, {math.NaN(), 4}}, "row 1 attribute 0 is NaN"},
+		{"posinf", [][]float64{{1, math.Inf(1)}}, "row 0 attribute 1 is infinite"},
+		{"neginf", [][]float64{{1, 2}, {3, 4}, {5, math.Inf(-1)}}, "row 2 attribute 1 is infinite"},
+	}
+	for _, c := range cases {
+		err := ValidateRows(c.rows, 2)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
 	}
 }
 

@@ -1,0 +1,481 @@
+// Package registry is a concurrency-safe, versioned store of fitted RPC
+// models. Each stored model is a named, immutable version of a ranking rule
+// (the paper frames the fitted curve as exactly that: a reusable rule of
+// 4·d parameters). Rules persist to a directory as JSON — the existing
+// core.Model Save/Load format wrapped with registry metadata — written
+// atomically (temp file + rename), so a crash never leaves a half-written
+// rule. Metadata for every rule stays in memory; the decoded models
+// themselves are kept in an LRU cache bounded by MaxLoaded so a registry
+// serving thousands of rules does not hold them all resident.
+package registry
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rpcrank/internal/core"
+)
+
+// Meta is the registry's description of one stored ranking rule. It is
+// what listing endpoints return: everything a client needs to pick a rule
+// without loading it.
+type Meta struct {
+	// ID uniquely identifies this rule version, e.g. "wine-v3".
+	ID string `json:"id"`
+	// Name groups versions of the same logical rule.
+	Name string `json:"name"`
+	// Version is the 1-based version number within Name.
+	Version int `json:"version"`
+	// Dim is the attribute dimension d.
+	Dim int `json:"dim"`
+	// Alpha is the benefit/cost direction the rule was fitted with.
+	Alpha []float64 `json:"alpha"`
+	// Degree of the Bézier curve.
+	Degree int `json:"degree"`
+	// Rows is the number of training observations (0 for rules uploaded
+	// as a saved file, where the training set is unknown).
+	Rows int `json:"rows"`
+	// ExplainedVariance is the fit quality of §6.2.1 (0 when unknown).
+	ExplainedVariance float64 `json:"explained_variance"`
+	// Monotone reports the strict-monotonicity check of Proposition 1.
+	Monotone bool `json:"monotone"`
+	// CreatedAt is the wall-clock time the rule entered the registry.
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// fileJSON is the on-disk envelope: metadata plus the exact byte output of
+// core.Model.Save, so the rule payload stays readable by core.Load alone.
+type fileJSON struct {
+	Meta  Meta            `json:"meta"`
+	Model json.RawMessage `json:"model"`
+}
+
+// DefaultMaxLoaded bounds the in-memory model cache when the caller passes
+// a non-positive limit to Open.
+const DefaultMaxLoaded = 128
+
+var nameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9_.-]{0,63}$`)
+
+// ValidName reports whether name is acceptable as a rule name. The name
+// becomes part of a filename, so the alphabet is restricted — and kept
+// lowercase, because on case-insensitive filesystems (macOS, Windows) two
+// names differing only by case would share one physical file and silently
+// overwrite each other.
+func ValidName(name string) bool { return nameRE.MatchString(name) }
+
+var idRE = regexp.MustCompile(`^([a-z0-9][a-z0-9_.-]*)-v([0-9]+)$`)
+
+// parseID splits a rule ID of the form "<name>-v<version>".
+func parseID(id string) (name string, version int, ok bool) {
+	m := idRE.FindStringSubmatch(id)
+	if m == nil {
+		return "", 0, false
+	}
+	v, err := strconv.Atoi(m[2])
+	if err != nil {
+		return "", 0, false
+	}
+	return m[1], v, true
+}
+
+type cached struct {
+	id    string
+	model *core.Model
+}
+
+// Registry is the store. All methods are safe for concurrent use.
+type Registry struct {
+	dir       string
+	maxLoaded int
+
+	// putMu serialises writers (Put) so the version file snapshots stay
+	// ordered; r.mu alone guards the in-memory maps and is never held
+	// across disk I/O, keeping cached Gets fast while a rule is written.
+	putMu sync.Mutex
+
+	mu       sync.Mutex
+	metas    map[string]Meta          // id → meta, for every rule on disk
+	versions map[string]int           // name → highest version ever issued
+	cache    map[string]*list.Element // id → LRU element holding cached
+	lru      *list.List               // front = most recently used
+	skipped  []string                 // files Open could not index
+}
+
+// versionsFile records the highest version ever issued per name. Without
+// it, deleting the newest version and restarting would recompute the
+// counter from surviving files and re-issue an old ID for a new model —
+// IDs must stay immutable, so the high-water mark is persisted.
+const versionsFile = ".versions.json"
+
+// Open creates dir if needed, indexes every rule already present, and
+// returns the registry. maxLoaded bounds how many decoded models stay in
+// memory (≤ 0 selects DefaultMaxLoaded). Files that fail to index are
+// skipped, not fatal — see Skipped.
+//
+// A directory must be owned by exactly one Registry at a time: two
+// instances over the same dir would fork the version counter and could
+// issue the same rule ID twice. There is no cross-process lock yet.
+func Open(dir string, maxLoaded int) (*Registry, error) {
+	if maxLoaded <= 0 {
+		maxLoaded = DefaultMaxLoaded
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: creating %s: %w", dir, err)
+	}
+	r := &Registry{
+		dir:       dir,
+		maxLoaded: maxLoaded,
+		metas:     make(map[string]Meta),
+		versions:  make(map[string]int),
+		cache:     make(map[string]*list.Element),
+		lru:       list.New(),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("registry: reading %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), ".tmp-") {
+			// Leftover from an atomicWrite interrupted by a crash; the
+			// rename never happened, so it is garbage.
+			os.Remove(filepath.Join(dir, e.Name()))
+			continue
+		}
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		// Bump the version counter from the filename alone, before trying
+		// to parse the contents: even a corrupt wine-v3.json proves v3 was
+		// issued, and re-issuing it would put a new model behind an old ID.
+		if name, version, ok := parseID(strings.TrimSuffix(e.Name(), ".json")); ok && version > r.versions[name] {
+			r.versions[name] = version
+		}
+		meta, err := readMeta(filepath.Join(dir, e.Name()))
+		if err != nil {
+			// One corrupt or foreign file must not take every healthy
+			// rule offline; record it and keep indexing.
+			r.skipped = append(r.skipped, fmt.Sprintf("%s: %v", e.Name(), err))
+			continue
+		}
+		if e.Name() != meta.ID+".json" {
+			// A renamed or hand-copied file would be listed under an ID
+			// whose path does not exist (or shadow a real rule); skip it.
+			r.skipped = append(r.skipped, fmt.Sprintf("%s: filename does not match rule id %q", e.Name(), meta.ID))
+			continue
+		}
+		r.metas[meta.ID] = meta
+		if meta.Version > r.versions[meta.Name] {
+			r.versions[meta.Name] = meta.Version
+		}
+	}
+	// The persisted high-water marks win over the scan: a name whose
+	// newest versions were deleted must not have its IDs re-issued.
+	if raw, err := os.ReadFile(filepath.Join(dir, versionsFile)); err == nil {
+		saved := make(map[string]int)
+		if err := json.Unmarshal(raw, &saved); err != nil {
+			return nil, fmt.Errorf("registry: decoding %s: %w", versionsFile, err)
+		}
+		for name, v := range saved {
+			if v > r.versions[name] {
+				r.versions[name] = v
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("registry: reading %s: %w", versionsFile, err)
+	}
+	return r, nil
+}
+
+func readMeta(path string) (Meta, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Meta{}, err
+	}
+	var f fileJSON
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return Meta{}, err
+	}
+	if f.Meta.ID == "" {
+		return Meta{}, fmt.Errorf("missing meta.id")
+	}
+	return f.Meta, nil
+}
+
+// Dir returns the persistence directory.
+func (r *Registry) Dir() string { return r.dir }
+
+// Skipped lists files Open found in the directory but could not index
+// (corrupt, truncated, or foreign), so callers can surface a warning.
+func (r *Registry) Skipped() []string { return append([]string{}, r.skipped...) }
+
+// Len returns the number of stored rules.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.metas)
+}
+
+func (r *Registry) path(id string) string {
+	return filepath.Join(r.dir, id+".json")
+}
+
+// Put stores m as the next version of name, persists it, and returns the
+// assigned metadata. rows and explainedVariance describe the fit (pass 0
+// for rules whose training set is unknown). If a write fails the assigned
+// version number is burned (never re-issued), leaving a gap rather than
+// risking two models behind one ID.
+func (r *Registry) Put(name string, m *core.Model, rows int, explainedVariance float64) (Meta, error) {
+	if !ValidName(name) {
+		return Meta{}, fmt.Errorf("registry: invalid rule name %q", name)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return Meta{}, fmt.Errorf("registry: serialising %s: %w", name, err)
+	}
+
+	r.putMu.Lock()
+	defer r.putMu.Unlock()
+
+	// Reserve the version and snapshot the high-water map under the map
+	// lock, then do all disk I/O without it so scoring-path Gets never
+	// wait on a write.
+	r.mu.Lock()
+	version := r.versions[name] + 1
+	r.versions[name] = version
+	snapshot := make(map[string]int, len(r.versions))
+	for n, v := range r.versions {
+		snapshot[n] = v
+	}
+	r.mu.Unlock()
+
+	meta := Meta{
+		ID:                fmt.Sprintf("%s-v%d", name, version),
+		Name:              name,
+		Version:           version,
+		Dim:               m.Dim(),
+		Alpha:             append([]float64{}, m.Alpha...),
+		Degree:            m.Curve.Degree(),
+		Rows:              rows,
+		ExplainedVariance: explainedVariance,
+		Monotone:          m.StrictlyMonotone(),
+		CreatedAt:         time.Now().UTC(),
+	}
+	payload, err := json.MarshalIndent(fileJSON{Meta: meta, Model: buf.Bytes()}, "", "  ")
+	if err != nil {
+		return Meta{}, fmt.Errorf("registry: encoding %s: %w", meta.ID, err)
+	}
+	versionsPayload, err := json.Marshal(snapshot)
+	if err != nil {
+		return Meta{}, fmt.Errorf("registry: encoding %s: %w", versionsFile, err)
+	}
+	if err := atomicWrite(filepath.Join(r.dir, versionsFile), versionsPayload); err != nil {
+		return Meta{}, err
+	}
+	if err := atomicWrite(r.path(meta.ID), payload); err != nil {
+		return Meta{}, err
+	}
+
+	// Cache a serving copy: the fitted model drags O(rows) training
+	// diagnostics that scoring never reads, and the cache outlives the
+	// request.
+	r.mu.Lock()
+	r.metas[meta.ID] = meta
+	r.insertLocked(meta.ID, m.ServingCopy())
+	r.mu.Unlock()
+	return meta, nil
+}
+
+// atomicWrite writes data to path via a temp file in the same directory and
+// an os.Rename, so readers never observe a partial file.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("registry: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("registry: writing %s: %w", path, err)
+	}
+	// Sync before the rename: without it a power loss can persist the
+	// rename but not the data, leaving a truncated rule behind.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("registry: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("registry: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("registry: installing %s: %w", path, err)
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// insertLocked adds (id, m) to the LRU cache, evicting the least recently
+// used model if the cache is full. Caller holds r.mu.
+func (r *Registry) insertLocked(id string, m *core.Model) {
+	if el, ok := r.cache[id]; ok {
+		r.lru.MoveToFront(el)
+		el.Value = cached{id: id, model: m}
+		return
+	}
+	r.cache[id] = r.lru.PushFront(cached{id: id, model: m})
+	for r.lru.Len() > r.maxLoaded {
+		oldest := r.lru.Back()
+		r.lru.Remove(oldest)
+		delete(r.cache, oldest.Value.(cached).id)
+	}
+}
+
+// ErrNotFound is returned by Get and Delete for unknown rule IDs.
+var ErrNotFound = fmt.Errorf("registry: rule not found")
+
+// Get returns the rule with the given ID, loading it from disk if it is
+// not resident. The returned model must be treated as read-only: it is
+// shared between callers.
+func (r *Registry) Get(id string) (*core.Model, Meta, error) {
+	r.mu.Lock()
+	meta, ok := r.metas[id]
+	if !ok {
+		r.mu.Unlock()
+		return nil, Meta{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if el, hit := r.cache[id]; hit {
+		r.lru.MoveToFront(el)
+		m := el.Value.(cached).model
+		r.mu.Unlock()
+		return m, meta, nil
+	}
+	r.mu.Unlock()
+
+	// Load outside the lock: disk reads are slow and models are immutable,
+	// so a racing duplicate load is harmless.
+	f, err := r.readFileJSON(id)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	m, err := core.Load(bytes.NewReader(f.Model))
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("registry: loading %s: %w", id, err)
+	}
+	r.mu.Lock()
+	// Re-check the index: a Delete may have won the race while the file
+	// was being read, and caching the model then would strand it in the
+	// LRU (Delete's eviction already ran).
+	if _, ok := r.metas[id]; !ok {
+		r.mu.Unlock()
+		return nil, Meta{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	r.insertLocked(id, m)
+	r.mu.Unlock()
+	return m, meta, nil
+}
+
+// readFileJSON reads and decodes a rule file after confirming the rule is
+// still indexed. An ENOENT means Delete won the race since the index
+// check, so it maps to ErrNotFound.
+func (r *Registry) readFileJSON(id string) (fileJSON, error) {
+	r.mu.Lock()
+	_, ok := r.metas[id]
+	r.mu.Unlock()
+	if !ok {
+		return fileJSON{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	raw, err := os.ReadFile(r.path(id))
+	if os.IsNotExist(err) {
+		return fileJSON{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if err != nil {
+		return fileJSON{}, fmt.Errorf("registry: reading %s: %w", id, err)
+	}
+	var f fileJSON
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return fileJSON{}, fmt.Errorf("registry: decoding %s: %w", id, err)
+	}
+	return f, nil
+}
+
+// RuleDocument returns the raw saved-rule payload (the exact Model.Save
+// bytes) of a rule, read straight from the file — no model decode, no
+// cache churn. The document round-trips through core.Load and the
+// install-rule path of the server.
+func (r *Registry) RuleDocument(id string) (json.RawMessage, error) {
+	f, err := r.readFileJSON(id)
+	if err != nil {
+		return nil, err
+	}
+	return f.Model, nil
+}
+
+// GetMeta returns the metadata of a rule without loading the model.
+func (r *Registry) GetMeta(id string) (Meta, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	meta, ok := r.metas[id]
+	if !ok {
+		return Meta{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return meta, nil
+}
+
+// List returns the metadata of every stored rule, sorted by name then
+// version.
+func (r *Registry) List() []Meta {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Meta, 0, len(r.metas))
+	for _, m := range r.metas {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+// Delete removes a rule from the registry and from disk. The in-memory
+// index drops first and the file is unlinked outside the map lock, so a
+// slow filesystem cannot stall the scoring path; if the unlink itself
+// fails the rule is already unlisted and the error reports the orphaned
+// file (a restart would re-index it).
+func (r *Registry) Delete(id string) error {
+	r.mu.Lock()
+	if _, ok := r.metas[id]; !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	delete(r.metas, id)
+	if el, ok := r.cache[id]; ok {
+		r.lru.Remove(el)
+		delete(r.cache, id)
+	}
+	r.mu.Unlock()
+	if err := os.Remove(r.path(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("registry: deleting %s left an orphaned file: %w", id, err)
+	}
+	return nil
+}

@@ -1,0 +1,321 @@
+package registry
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rpcrank/internal/core"
+	"rpcrank/internal/order"
+)
+
+// fitTestModel fits a small deterministic RPC for store/reload tests.
+func fitTestModel(t *testing.T) *core.Model {
+	t.Helper()
+	rows := [][]float64{
+		{0.9, 1.2, 8.0}, {2.1, 2.3, 6.5}, {3.2, 3.1, 5.2}, {4.0, 4.2, 4.1},
+		{5.1, 4.9, 3.0}, {6.2, 6.1, 2.2}, {7.0, 7.2, 1.1}, {8.1, 7.9, 0.3},
+	}
+	m, err := core.Fit(rows, core.Options{
+		Alpha: order.MustDirection(1, 1, -1),
+		Seed:  7,
+	})
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	return m
+}
+
+var probeRows = [][]float64{
+	{1.0, 1.5, 7.5}, {4.5, 4.4, 3.9}, {7.7, 7.5, 0.9},
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	reg, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fitTestModel(t)
+	meta, err := reg.Put("wine", m, 8, m.ExplainedVariance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ID != "wine-v1" || meta.Version != 1 || meta.Dim != 3 {
+		t.Errorf("unexpected meta: %+v", meta)
+	}
+	if !meta.Monotone {
+		t.Errorf("cubic fit should be strictly monotone")
+	}
+	got, gotMeta, err := reg.Get("wine-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta.ID != meta.ID {
+		t.Errorf("meta mismatch: %q vs %q", gotMeta.ID, meta.ID)
+	}
+	for _, row := range probeRows {
+		if got.Score(row) != m.Score(row) {
+			t.Errorf("cached model scores differ for %v", row)
+		}
+	}
+}
+
+func TestVersionBumpAndList(t *testing.T) {
+	reg, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fitTestModel(t)
+	for i := 1; i <= 3; i++ {
+		meta, err := reg.Put("wine", m, 8, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meta.Version != i {
+			t.Errorf("put %d assigned version %d", i, meta.Version)
+		}
+	}
+	if _, err := reg.Put("beer", m, 8, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	list := reg.List()
+	var ids []string
+	for _, m := range list {
+		ids = append(ids, m.ID)
+	}
+	want := "beer-v1 wine-v1 wine-v2 wine-v3"
+	if got := strings.Join(ids, " "); got != want {
+		t.Errorf("list order = %q, want %q", got, want)
+	}
+}
+
+func TestReloadServesIdenticalScores(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fitTestModel(t)
+	meta, err := reg.Put("wine", m, 8, m.ExplainedVariance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScores := make([]float64, len(probeRows))
+	for i, row := range probeRows {
+		wantScores[i] = m.Score(row)
+	}
+
+	// A second registry — a fresh process — must index the same rules and
+	// serve byte-identical scores.
+	reg2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg2.Len() != 1 {
+		t.Fatalf("reloaded registry has %d rules, want 1", reg2.Len())
+	}
+	got, gotMeta, err := reg2.Get(meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta.ExplainedVariance != meta.ExplainedVariance || !gotMeta.CreatedAt.Equal(meta.CreatedAt) {
+		t.Errorf("reloaded meta differs: %+v vs %+v", gotMeta, meta)
+	}
+	for i, row := range probeRows {
+		if s := got.Score(row); s != wantScores[i] {
+			t.Errorf("row %d: reloaded score %v != original %v (diff %g)",
+				i, s, wantScores[i], math.Abs(s-wantScores[i]))
+		}
+	}
+	// Another version on the reloaded registry continues the sequence.
+	meta2, err := reg2.Put("wine", m, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2.ID != "wine-v2" {
+		t.Errorf("post-reload version = %q, want wine-v2", meta2.ID)
+	}
+}
+
+func TestDeletedVersionsNeverReissuedAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fitTestModel(t)
+	if _, err := reg.Put("wine", m, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Put("wine", m, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Delete("wine-v2"); err != nil {
+		t.Fatal(err)
+	}
+	// A restarted registry only sees wine-v1 on disk, but it must not hand
+	// the retired ID wine-v2 to a different model.
+	reg2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := reg2.Put("wine", m, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ID != "wine-v3" {
+		t.Errorf("re-issued a deleted version: got %q, want wine-v3", meta.ID)
+	}
+}
+
+func TestCorruptFileStillBurnsItsVersion(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fitTestModel(t)
+	for i := 0; i < 2; i++ {
+		if _, err := reg.Put("wine", m, 8, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a restore that lost the versions file and truncated the
+	// newest rule: wine-v3 was issued, so it must never be re-minted.
+	if err := os.WriteFile(filepath.Join(dir, "wine-v3.json"), []byte("{trunc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, versionsFile)); err != nil {
+		t.Fatal(err)
+	}
+	reg2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := reg2.Put("wine", m, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ID != "wine-v4" {
+		t.Errorf("corrupt wine-v3.json did not burn v3: new id %q, want wine-v4", meta.ID)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fitTestModel(t)
+	if _, err := reg.Put("a", m, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Put("b", m, 8, 0); err != nil { // evicts a-v1
+		t.Fatal(err)
+	}
+	if n := reg.lru.Len(); n != 1 {
+		t.Fatalf("cache holds %d models, want 1", n)
+	}
+	// The evicted rule is still served — transparently reloaded from disk.
+	got, _, err := reg.Get("a-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score(probeRows[0]) != m.Score(probeRows[0]) {
+		t.Errorf("evicted+reloaded model scores differ")
+	}
+}
+
+func TestInvalidNamesAndMissingRules(t *testing.T) {
+	reg, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fitTestModel(t)
+	// Uppercase is rejected too: on case-insensitive filesystems "Wine"
+	// and "wine" would share one physical file.
+	for _, bad := range []string{"", "../escape", "a b", strings.Repeat("x", 80), ".hidden", "Wine", "WINE-v1"} {
+		if _, err := reg.Put(bad, m, 8, 0); err == nil {
+			t.Errorf("Put(%q) should fail", bad)
+		}
+	}
+	if _, _, err := reg.Get("nope-v1"); err == nil {
+		t.Errorf("Get of unknown rule should fail")
+	}
+	if err := reg.Delete("nope-v1"); err == nil {
+		t.Errorf("Delete of unknown rule should fail")
+	}
+}
+
+func TestCorruptFileSkippedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fitTestModel(t)
+	if _, err := reg.Put("good", m, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk.json"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A renamed copy of a healthy rule must not be indexed under an ID
+	// whose file path does not exist.
+	orig, err := os.ReadFile(filepath.Join(dir, "good-v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "backup.json"), orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatalf("bad files must not fail Open: %v", err)
+	}
+	if reg2.Len() != 1 {
+		t.Errorf("healthy rule not indexed (or stray file indexed): %d rules", reg2.Len())
+	}
+	skipped := strings.Join(reg2.Skipped(), "\n")
+	if !strings.Contains(skipped, "junk.json") || !strings.Contains(skipped, "backup.json") {
+		t.Errorf("skipped = %q, want junk.json and backup.json reported", skipped)
+	}
+	if _, _, err := reg2.Get("good-v1"); err != nil {
+		t.Errorf("healthy rule unserveable: %v", err)
+	}
+}
+
+func TestDeleteRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fitTestModel(t)
+	meta, err := reg.Put("wine", m, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Delete(meta.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, meta.ID+".json")); !os.IsNotExist(err) {
+		t.Errorf("rule file still present after delete")
+	}
+	if reg.Len() != 0 {
+		t.Errorf("registry still lists %d rules", reg.Len())
+	}
+	// No temp files left behind by the atomic writes.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"encoding/json"
+
+	"rpcrank/internal/registry"
+)
+
+// FitRequest is the body of POST /v1/models. Exactly one of Rows or Rule
+// must be set: Rows fits a new RPC from raw observations, Rule installs a
+// ranking rule previously saved with Model.Save (or exported by this
+// service).
+type FitRequest struct {
+	// Name groups versions of the rule in the registry. Optional;
+	// defaults to "model".
+	Name string `json:"name,omitempty"`
+	// Alpha is the benefit/cost direction, one ±1 entry per attribute.
+	// Required when fitting from Rows.
+	Alpha []float64 `json:"alpha,omitempty"`
+	// Rows are the training observations (raw space; normalisation is
+	// internal).
+	Rows [][]float64 `json:"rows,omitempty"`
+	// Degree of the Bézier curve (default 3).
+	Degree int `json:"degree,omitempty"`
+	// Restarts of the alternating minimisation (default 3).
+	Restarts int `json:"restarts,omitempty"`
+	// Seed makes the fit deterministic (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Rule is a saved model document, as an alternative to Rows.
+	Rule json.RawMessage `json:"rule,omitempty"`
+}
+
+// FitResponse answers POST /v1/models.
+type FitResponse struct {
+	Model registry.Meta `json:"model"`
+	// Scores and Positions of the training rows (empty when the rule was
+	// installed from a saved document).
+	Scores    []float64 `json:"scores,omitempty"`
+	Positions []int     `json:"positions,omitempty"`
+}
+
+// ScoreRequest is the body of POST /v1/models/{id}/score and /rank.
+type ScoreRequest struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+// ScoreResponse answers POST /v1/models/{id}/score. Scores are parallel to
+// the request rows, each in [0,1] with higher better.
+type ScoreResponse struct {
+	ModelID string    `json:"model_id"`
+	Count   int       `json:"count"`
+	Scores  []float64 `json:"scores"`
+}
+
+// RankResponse answers POST /v1/models/{id}/rank: scores plus the 1-based
+// position of every row (1 = best).
+type RankResponse struct {
+	ModelID   string    `json:"model_id"`
+	Count     int       `json:"count"`
+	Scores    []float64 `json:"scores"`
+	Positions []int     `json:"positions"`
+}
+
+// ModelList answers GET /v1/models.
+type ModelList struct {
+	Models []registry.Meta `json:"models"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Health answers GET /healthz.
+type Health struct {
+	Status string `json:"status"`
+	Models int    `json:"models"`
+}

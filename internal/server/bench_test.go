@@ -1,0 +1,102 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rpcrank/internal/core"
+	"rpcrank/internal/order"
+	"rpcrank/internal/registry"
+)
+
+// BenchmarkServerScoreBatch measures the full HTTP score path — JSON decode,
+// validation, worker-pool scoring, JSON encode — at batch sizes spanning the
+// serial path (1), the threshold region (100), and the sharded path (10k).
+// It anchors the serving-throughput trajectory for later scaling PRs.
+func BenchmarkServerScoreBatch(b *testing.B) {
+	dir := b.TempDir()
+	reg, err := registry.Open(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train := make([][]float64, 64)
+	for i := range train {
+		u := float64(i) / 63
+		train[i] = []float64{10 * u, 5*u*u + 1, 3 - 2*u}
+	}
+	m, err := core.Fit(train, core.Options{Alpha: order.MustDirection(1, 1, -1), Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := reg.Put("bench", m, len(train), 0); err != nil {
+		b.Fatal(err)
+	}
+	s := New(reg, Options{})
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for _, size := range []int{1, 100, 10_000} {
+		rows := make([][]float64, size)
+		for i := range rows {
+			u := float64(i%997) / 996
+			rows[i] = []float64{10 * u, 5*u*u + 1, 3 - 2*u}
+		}
+		body, err := json.Marshal(ScoreRequest{Rows: rows})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("rows=%d", size), func(b *testing.B) {
+			b.SetBytes(int64(len(body)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				resp, err := http.Post(ts.URL+"/v1/models/bench-v1/score", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var out ScoreResponse
+				if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if out.Count != size {
+					b.Fatalf("scored %d rows, want %d", out.Count, size)
+				}
+			}
+			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkPoolScoreBatch isolates the worker pool from HTTP and JSON, for
+// profiling the raw sharded scoring path.
+func BenchmarkPoolScoreBatch(b *testing.B) {
+	train := make([][]float64, 64)
+	for i := range train {
+		u := float64(i) / 63
+		train[i] = []float64{10 * u, 5*u*u + 1, 3 - 2*u}
+	}
+	m, err := core.Fit(train, core.Options{Alpha: order.MustDirection(1, 1, -1), Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := NewPool(0)
+	defer pool.Close()
+	rows := make([][]float64, 10_000)
+	for i := range rows {
+		u := float64(i%997) / 996
+		rows[i] = []float64{10 * u, 5*u*u + 1, 3 - 2*u}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := pool.ScoreBatch(m, rows)
+		if len(out) != len(rows) {
+			b.Fatal("short result")
+		}
+	}
+	b.ReportMetric(float64(len(rows))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}

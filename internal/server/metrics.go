@@ -1,0 +1,106 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBucketsMs are the upper bounds (milliseconds) of the request
+// latency histogram, Prometheus-style cumulative with a +Inf tail.
+var latencyBucketsMs = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// Metrics collects per-route counters and latency histograms. It renders
+// itself in the Prometheus text exposition format at /metrics, with no
+// dependency on a metrics library.
+type Metrics struct {
+	mu     sync.Mutex
+	routes map[string]*routeStats
+	rows   int64 // total rows scored across score/rank
+}
+
+type routeStats struct {
+	count   int64
+	errors  int64 // 4xx + 5xx responses
+	sumMs   float64
+	buckets []int64 // parallel to latencyBucketsMs, plus implicit +Inf via count
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{routes: make(map[string]*routeStats)}
+}
+
+// Observe records one request on a route.
+func (m *Metrics) Observe(route string, status int, elapsed time.Duration) {
+	ms := float64(elapsed.Microseconds()) / 1000
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.routes[route]
+	if !ok {
+		rs = &routeStats{buckets: make([]int64, len(latencyBucketsMs))}
+		m.routes[route] = rs
+	}
+	rs.count++
+	if status >= 400 {
+		rs.errors++
+	}
+	rs.sumMs += ms
+	for i, ub := range latencyBucketsMs {
+		if ms <= ub {
+			rs.buckets[i]++
+		}
+	}
+}
+
+// AddRows adds to the total count of rows scored.
+func (m *Metrics) AddRows(n int) {
+	m.mu.Lock()
+	m.rows += int64(n)
+	m.mu.Unlock()
+}
+
+// ServeHTTP renders the metrics in Prometheus text format. The text is
+// built into a buffer under the lock and written to the connection after
+// releasing it, so a slow scraper cannot stall Observe (and with it every
+// request handler).
+func (m *Metrics) ServeHTTP(rw http.ResponseWriter, _ *http.Request) {
+	var w bytes.Buffer
+	m.mu.Lock()
+	routes := make([]string, 0, len(m.routes))
+	for r := range m.routes {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	fmt.Fprintf(&w, "# HELP rpcd_requests_total Requests served, by route.\n")
+	fmt.Fprintf(&w, "# TYPE rpcd_requests_total counter\n")
+	for _, r := range routes {
+		fmt.Fprintf(&w, "rpcd_requests_total{route=%q} %d\n", r, m.routes[r].count)
+	}
+	fmt.Fprintf(&w, "# HELP rpcd_request_errors_total Requests answered with status >= 400, by route.\n")
+	fmt.Fprintf(&w, "# TYPE rpcd_request_errors_total counter\n")
+	for _, r := range routes {
+		fmt.Fprintf(&w, "rpcd_request_errors_total{route=%q} %d\n", r, m.routes[r].errors)
+	}
+	fmt.Fprintf(&w, "# HELP rpcd_request_duration_ms Request latency histogram in milliseconds.\n")
+	fmt.Fprintf(&w, "# TYPE rpcd_request_duration_ms histogram\n")
+	for _, r := range routes {
+		rs := m.routes[r]
+		for i, ub := range latencyBucketsMs {
+			fmt.Fprintf(&w, "rpcd_request_duration_ms_bucket{route=%q,le=%q} %d\n", r, fmt.Sprintf("%g", ub), rs.buckets[i])
+		}
+		fmt.Fprintf(&w, "rpcd_request_duration_ms_bucket{route=%q,le=\"+Inf\"} %d\n", r, rs.count)
+		fmt.Fprintf(&w, "rpcd_request_duration_ms_sum{route=%q} %g\n", r, rs.sumMs)
+		fmt.Fprintf(&w, "rpcd_request_duration_ms_count{route=%q} %d\n", r, rs.count)
+	}
+	fmt.Fprintf(&w, "# HELP rpcd_rows_scored_total Rows scored across score and rank endpoints.\n")
+	fmt.Fprintf(&w, "# TYPE rpcd_rows_scored_total counter\n")
+	fmt.Fprintf(&w, "rpcd_rows_scored_total %d\n", m.rows)
+	m.mu.Unlock()
+
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rw.Write(w.Bytes())
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rpcrank/internal/core"
+)
+
+// concurrencyThreshold is the batch size below which sharding overhead
+// outweighs the win and scoring stays on the caller's goroutine. Scoring
+// one row is a grid seed plus a 1-D refinement — microseconds — so small
+// batches are cheaper serial.
+const concurrencyThreshold = 64
+
+// Pool is a fixed-size worker pool that shards batch scoring across
+// GOMAXPROCS goroutines. Row projections are independent (Eq. 22), so the
+// sharded result is bit-identical to the serial one. One pool is shared by
+// all requests; tasks are chunks of a batch, fanned out over a channel.
+type Pool struct {
+	workers int
+	tasks   chan poolTask
+	wg      sync.WaitGroup
+
+	// closeMu fences Close against in-flight ScoreBatch submitters: a
+	// batch holds the read side while feeding the channel, so Close
+	// cannot close it mid-send (a shutdown that drains slower than its
+	// timeout would otherwise panic). After Close, batches score inline.
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+type poolTask struct {
+	model *core.Model
+	rows  [][]float64 // the chunk
+	out   []float64   // full output slice
+	base  int         // chunk offset into out
+	done  *sync.WaitGroup
+	fail  *atomic.Pointer[any] // first panic value of the batch, if any
+}
+
+// NewPool starts a pool with the given number of workers (≤ 0 selects
+// GOMAXPROCS). Close releases the workers.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan poolTask, 4*workers),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		p.runTask(t)
+	}
+}
+
+// runTask scores one chunk. A panic in Model.Score (a poison model) must
+// not kill the worker — and with it the process — nor leave the batch's
+// WaitGroup hanging: it is captured for ScoreBatch to re-raise on the
+// request goroutine, where net/http's recover turns it into one failed
+// request instead of a daemon crash.
+func (p *Pool) runTask(t poolTask) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.fail.CompareAndSwap(nil, &r)
+		}
+		t.done.Done()
+	}()
+	for i, row := range t.rows {
+		t.out[t.base+i] = t.model.Score(row)
+	}
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the workers after in-flight batches finish submitting.
+// ScoreBatch calls that race with (or follow) Close fall back to inline
+// scoring, so shutdown never panics a handler.
+func (p *Pool) Close() {
+	p.closeMu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.closeMu.Unlock()
+	p.wg.Wait()
+}
+
+// ScoreBatch scores every row with m. Batches of at least
+// concurrencyThreshold rows are split into chunks and scored by the pool;
+// smaller ones run inline. The scores are identical either way.
+func (p *Pool) ScoreBatch(m *core.Model, rows [][]float64) []float64 {
+	if p == nil || len(rows) < concurrencyThreshold {
+		return m.ScoreAll(rows)
+	}
+	p.closeMu.RLock()
+	if p.closed {
+		p.closeMu.RUnlock()
+		return m.ScoreAll(rows)
+	}
+	out := make([]float64, len(rows))
+	// Aim for a few chunks per worker so an uneven row mix still balances,
+	// but never chunks so small the channel hops dominate.
+	chunk := (len(rows) + 4*p.workers - 1) / (4 * p.workers)
+	if chunk < concurrencyThreshold/2 {
+		chunk = concurrencyThreshold / 2
+	}
+	var done sync.WaitGroup
+	var fail atomic.Pointer[any]
+	for base := 0; base < len(rows); base += chunk {
+		end := base + chunk
+		if end > len(rows) {
+			end = len(rows)
+		}
+		done.Add(1)
+		p.tasks <- poolTask{model: m, rows: rows[base:end], out: out, base: base, done: &done, fail: &fail}
+	}
+	p.closeMu.RUnlock()
+	done.Wait()
+	if r := fail.Load(); r != nil {
+		// Re-raise the worker's panic on the request goroutine, where the
+		// HTTP server's per-connection recover contains it.
+		panic(*r)
+	}
+	return out
+}

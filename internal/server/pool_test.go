@@ -1,0 +1,90 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"rpcrank/internal/core"
+	"rpcrank/internal/order"
+)
+
+func poolTestModel(t *testing.T) *core.Model {
+	t.Helper()
+	rows := make([][]float64, 32)
+	for i := range rows {
+		u := float64(i) / 31
+		rows[i] = []float64{10 * u, 5*u*u + 1, 3 - 2*u}
+	}
+	m, err := core.Fit(rows, core.Options{Alpha: order.MustDirection(1, 1, -1), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestScoreBatchAfterCloseFallsBackSerial(t *testing.T) {
+	m := poolTestModel(t)
+	rows := make([][]float64, 2*concurrencyThreshold)
+	for i := range rows {
+		u := float64(i) / float64(len(rows)-1)
+		rows[i] = []float64{10 * u, 5*u*u + 1, 3 - 2*u}
+	}
+	pool := NewPool(2)
+	want := pool.ScoreBatch(m, rows)
+	pool.Close()
+	// A batch after Close (e.g. a request landing during shutdown drain)
+	// must not panic on the closed channel; it scores inline instead.
+	got := pool.ScoreBatch(m, rows)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: post-close score %v != pooled %v", i, got[i], want[i])
+		}
+	}
+	pool.Close() // idempotent
+}
+
+func TestWorkerPanicSurfacesOnCallerNotWorker(t *testing.T) {
+	m := poolTestModel(t)
+	rows := make([][]float64, 2*concurrencyThreshold)
+	for i := range rows {
+		rows[i] = []float64{1, 1} // wrong dimension: Model.Score panics
+	}
+	pool := NewPool(2)
+	defer pool.Close()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("panic not re-raised on the calling goroutine")
+		}
+		// The pool must still work after containing a poison batch.
+		good := make([][]float64, 2*concurrencyThreshold)
+		for i := range good {
+			good[i] = []float64{1, 2, 3}
+		}
+		if out := pool.ScoreBatch(m, good); len(out) != len(good) {
+			t.Errorf("pool broken after contained panic")
+		}
+	}()
+	pool.ScoreBatch(m, rows)
+}
+
+func TestPoolConcurrentBatchesDuringClose(t *testing.T) {
+	m := poolTestModel(t)
+	rows := make([][]float64, 4*concurrencyThreshold)
+	for i := range rows {
+		u := float64(i) / float64(len(rows)-1)
+		rows[i] = []float64{10 * u, 5*u*u + 1, 3 - 2*u}
+	}
+	pool := NewPool(2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if out := pool.ScoreBatch(m, rows); len(out) != len(rows) {
+				t.Errorf("short result: %d", len(out))
+			}
+		}()
+	}
+	pool.Close() // races the batches; must not panic any submitter
+	wg.Wait()
+}

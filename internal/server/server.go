@@ -1,0 +1,358 @@
+// Package server exposes fitted Ranking Principal Curves over an HTTP/JSON
+// API backed by a registry.Registry. The endpoints mirror the lifecycle of
+// a ranking rule in the paper: fit (or install) a rule, inspect its
+// diagnostics, then reuse it to score and rank fresh observations. Batch
+// scoring shards across a worker pool so throughput scales with cores.
+//
+// Routes:
+//
+//	POST   /v1/models             fit from rows, or install a saved rule
+//	GET    /v1/models             list stored rules (metadata only)
+//	GET    /v1/models/{id}        one rule's metadata
+//	GET    /v1/models/{id}/rule   the saved-rule document (Model.Save output)
+//	DELETE /v1/models/{id}        remove a rule
+//	POST   /v1/models/{id}/score  score rows with a stored rule
+//	POST   /v1/models/{id}/rank   score rows and return 1-based positions
+//	GET    /healthz               liveness + model count
+//	GET    /metrics               Prometheus-style counters and latencies
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"rpcrank/internal/core"
+	"rpcrank/internal/order"
+	"rpcrank/internal/registry"
+)
+
+// Options configures New.
+type Options struct {
+	// Workers sizes the batch-scoring pool (≤ 0 selects GOMAXPROCS).
+	Workers int
+	// MaxBodyBytes bounds request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// MaxBatchRows bounds the row count of one score/rank/fit request
+	// (default 1,000,000).
+	MaxBatchRows int
+}
+
+const (
+	defaultMaxBodyBytes = 32 << 20
+	defaultMaxBatchRows = 1_000_000
+	defaultRuleName     = "model"
+)
+
+// Server routes the API. Create with New; it implements http.Handler.
+type Server struct {
+	reg     *registry.Registry
+	pool    *Pool
+	metrics *Metrics
+	mux     *http.ServeMux
+	opts    Options
+}
+
+// New builds a Server around an open registry.
+func New(reg *registry.Registry, opts Options) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if opts.MaxBatchRows <= 0 {
+		opts.MaxBatchRows = defaultMaxBatchRows
+	}
+	s := &Server{
+		reg:     reg,
+		pool:    NewPool(opts.Workers),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+		opts:    opts,
+	}
+	s.mux.HandleFunc("POST /v1/models", s.instrument("fit", s.handleFit))
+	s.mux.HandleFunc("GET /v1/models", s.instrument("list", s.handleList))
+	s.mux.HandleFunc("GET /v1/models/{id}", s.instrument("get", s.handleGet))
+	s.mux.HandleFunc("GET /v1/models/{id}/rule", s.instrument("rule", s.handleRule))
+	s.mux.HandleFunc("DELETE /v1/models/{id}", s.instrument("delete", s.handleDelete))
+	s.mux.HandleFunc("POST /v1/models/{id}/score", s.instrument("score", s.handleScore))
+	s.mux.HandleFunc("POST /v1/models/{id}/rank", s.instrument("rank", s.handleRank))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.metrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close releases the worker pool.
+func (s *Server) Close() { s.pool.Close() }
+
+// Metrics exposes the collector (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		r.Body = http.MaxBytesReader(sw, r.Body, s.opts.MaxBodyBytes)
+		// Deferred so a panicking handler (net/http recovers it per
+		// connection) still counts as a request — and as an error, not as
+		// the 200 the status writer was initialised with.
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.Observe(route, http.StatusInternalServerError, time.Since(start))
+				panic(rec)
+			}
+			s.metrics.Observe(route, sw.status, time.Since(start))
+		}()
+		h(sw, r)
+	}
+}
+
+// httpError is an error with an HTTP status attached.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.As(err, &mbe):
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, registry.ErrNotFound):
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return mbe
+		}
+		return badRequest("decoding request body: %v", err)
+	}
+	// Reject trailing garbage so truncated uploads fail loudly.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return mbe
+		}
+		return badRequest("unexpected data after JSON body")
+	}
+	return nil
+}
+
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	var req FitRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = defaultRuleName
+	}
+	if !registry.ValidName(name) {
+		writeError(w, badRequest("invalid model name %q", req.Name))
+		return
+	}
+	switch {
+	case len(req.Rule) > 0 && len(req.Rows) > 0:
+		writeError(w, badRequest("request has both rows and rule; send one"))
+	case len(req.Rule) > 0 && (len(req.Alpha) > 0 || req.Degree != 0 || req.Restarts != 0 || req.Seed != 0):
+		// Fit parameters cannot change an already-fitted rule; silently
+		// dropping them would hide a contradictory request.
+		writeError(w, badRequest("rule installs ignore fit parameters; remove alpha/degree/restarts/seed"))
+	case len(req.Rule) > 0:
+		s.installRule(w, name, req.Rule)
+	case len(req.Rows) > 0:
+		s.fitRows(w, name, &req)
+	default:
+		writeError(w, badRequest("request needs rows (to fit) or rule (to install)"))
+	}
+}
+
+func (s *Server) installRule(w http.ResponseWriter, name string, rule json.RawMessage) {
+	m, err := core.Load(bytes.NewReader(rule))
+	if err != nil {
+		writeError(w, badRequest("invalid rule document: %v", err))
+		return
+	}
+	meta, err := s.reg.Put(name, m, 0, 0)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, FitResponse{Model: meta})
+}
+
+func (s *Server) fitRows(w http.ResponseWriter, name string, req *FitRequest) {
+	alpha, err := order.NewDirection(req.Alpha...)
+	if err != nil {
+		writeError(w, badRequest("invalid alpha: %v", err))
+		return
+	}
+	if len(req.Rows) > s.opts.MaxBatchRows {
+		writeError(w, badRequest("%d rows exceeds the limit of %d", len(req.Rows), s.opts.MaxBatchRows))
+		return
+	}
+	// Row shape and finiteness are validated inside core.Fit; its error
+	// surfaces below as a 400.
+	// Restarts multiply the whole alternating-minimisation cost, so an
+	// unbounded client value is a CPU bomb like an oversized grid.
+	const maxRestarts = 32
+	if req.Restarts > maxRestarts {
+		writeError(w, badRequest("restarts %d exceeds the limit of %d", req.Restarts, maxRestarts))
+		return
+	}
+	restarts := req.Restarts
+	if restarts <= 0 {
+		restarts = 3
+	}
+	m, err := core.Fit(req.Rows, core.Options{
+		Alpha:    alpha,
+		Degree:   req.Degree,
+		Restarts: restarts,
+		Seed:     req.Seed,
+		// Parallel projection is bit-identical to serial (per core.Options)
+		// and large fits would otherwise pin one core for minutes.
+		Workers: s.pool.Workers(),
+	})
+	if err != nil {
+		writeError(w, badRequest("fit failed: %v", err))
+		return
+	}
+	meta, err := s.reg.Put(name, m, len(req.Rows), m.ExplainedVariance())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, FitResponse{
+		Model:     meta,
+		Scores:    m.Scores,
+		Positions: order.RankFromScores(m.Scores),
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ModelList{Models: s.reg.List()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	meta, err := s.reg.GetMeta(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, meta)
+}
+
+func (s *Server) handleRule(w http.ResponseWriter, r *http.Request) {
+	doc, err := s.reg.RuleDocument(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(doc)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Delete(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// scoreRows is the shared validation + worker-pool scoring path behind
+// /score and /rank.
+func (s *Server) scoreRows(r *http.Request) (id string, scores []float64, err error) {
+	id = r.PathValue("id")
+	// Validate against the metadata first: a request that will be
+	// rejected must not pay a model load (disk read + decode + LRU churn).
+	meta, err := s.reg.GetMeta(id)
+	if err != nil {
+		return id, nil, err
+	}
+	var req ScoreRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return id, nil, err
+	}
+	if len(req.Rows) > s.opts.MaxBatchRows {
+		return id, nil, badRequest("%d rows exceeds the limit of %d", len(req.Rows), s.opts.MaxBatchRows)
+	}
+	if err := order.ValidateRows(req.Rows, meta.Dim); err != nil {
+		return id, nil, badRequest("invalid rows: %v", err)
+	}
+	m, _, err := s.reg.Get(id)
+	if err != nil {
+		return id, nil, err
+	}
+	scores = s.pool.ScoreBatch(m, req.Rows)
+	s.metrics.AddRows(len(scores))
+	return id, scores, nil
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	id, scores, err := s.scoreRows(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ScoreResponse{ModelID: id, Count: len(scores), Scores: scores})
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	id, scores, err := s.scoreRows(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RankResponse{
+		ModelID:   id,
+		Count:     len(scores),
+		Scores:    scores,
+		Positions: order.RankFromScores(scores),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, Health{Status: "ok", Models: s.reg.Len()})
+}

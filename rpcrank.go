@@ -21,7 +21,8 @@
 //
 // The internal packages expose the substrates (Bézier toolkit, baselines,
 // meta-rule assessment, experiment drivers); this package re-exports the
-// surface a downstream user needs.
+// surface a downstream user needs, including the request/response types of
+// the rpcd ranking service (see service.go and the top-level README.md).
 package rpcrank
 
 import (
@@ -203,19 +204,16 @@ func CrossValidate(rows [][]float64, cfg Config, folds int) (*CrossValResult, er
 	})
 }
 
-// Validate checks that rows form a rectangular numeric table matching alpha.
+// Validate checks that rows form a rectangular numeric table matching
+// alpha, with every entry finite: NaN or ±Inf values would silently poison
+// the normalisation and the fit, so they are rejected here with a per-row
+// error naming the offending entry.
 func Validate(rows [][]float64, alpha Direction) error {
-	if len(rows) == 0 {
-		return fmt.Errorf("rpcrank: no rows")
-	}
 	if err := alpha.Validate(); err != nil {
 		return err
 	}
-	d := alpha.Dim()
-	for i, row := range rows {
-		if len(row) != d {
-			return fmt.Errorf("rpcrank: row %d has %d attributes, want %d", i, len(row), d)
-		}
+	if err := order.ValidateRows(rows, alpha.Dim()); err != nil {
+		return fmt.Errorf("rpcrank: %w", err)
 	}
 	return nil
 }

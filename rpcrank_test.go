@@ -2,6 +2,7 @@ package rpcrank
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"rpcrank/internal/dataset"
@@ -68,6 +69,15 @@ func TestValidate(t *testing.T) {
 	}
 	if err := Validate([][]float64{{1, 2}}, Direction{0, 1}); err == nil {
 		t.Errorf("bad alpha accepted")
+	}
+	err := Validate([][]float64{{1, 2}, {3, math.NaN()}}, alpha)
+	if err == nil {
+		t.Errorf("NaN entry accepted")
+	} else if !strings.Contains(err.Error(), "row 1") {
+		t.Errorf("NaN error %q does not name the offending row", err)
+	}
+	if err := Validate([][]float64{{math.Inf(-1), 2}}, alpha); err == nil {
+		t.Errorf("Inf entry accepted")
 	}
 }
 

@@ -1,0 +1,88 @@
+package rpcrank
+
+import (
+	"net/http"
+
+	"rpcrank/internal/registry"
+	"rpcrank/internal/server"
+)
+
+// This file re-exports the serving surface of the library: the request and
+// response types of the rpcd HTTP API (cmd/rpcd) and the constructors a
+// program needs to embed the same service in its own process. See README.md
+// for the endpoint list and curl examples.
+
+// ModelMeta describes one stored ranking rule in a model registry.
+type ModelMeta = registry.Meta
+
+// FitRequest is the body of POST /v1/models: training rows plus a
+// direction, or a saved rule document to install.
+type FitRequest = server.FitRequest
+
+// FitResponse answers POST /v1/models.
+type FitResponse = server.FitResponse
+
+// ScoreRequest is the body of POST /v1/models/{id}/score and /rank.
+type ScoreRequest = server.ScoreRequest
+
+// ScoreResponse answers POST /v1/models/{id}/score.
+type ScoreResponse = server.ScoreResponse
+
+// RankResponse answers POST /v1/models/{id}/rank.
+type RankResponse = server.RankResponse
+
+// ModelList answers GET /v1/models.
+type ModelList = server.ModelList
+
+// ErrorResponse is the body of every non-2xx API reply.
+type ErrorResponse = server.ErrorResponse
+
+// ServerOptions configures NewServerHandler.
+type ServerOptions = server.Options
+
+// Registry re-exports the versioned model store.
+type Registry = registry.Registry
+
+// OpenRegistry opens (or creates) a model registry rooted at dir.
+// maxLoaded bounds how many decoded models stay resident (≤ 0 selects the
+// default). A directory must be owned by exactly one registry (in one
+// process) at a time; concurrent owners could re-issue rule IDs.
+func OpenRegistry(dir string, maxLoaded int) (*Registry, error) {
+	return registry.Open(dir, maxLoaded)
+}
+
+// Service is the rpcd HTTP API as an embeddable component. It implements
+// http.Handler and owns a scoring worker pool — call Close when done with
+// it to release the workers.
+type Service = server.Server
+
+// NewService returns the rpcd HTTP API backed by the registry at dir
+// (opened with the default LRU bound), for embedding the ranking service
+// in another process. It is safe for concurrent use. The dir must not be
+// shared with another registry owner (including a running rpcd). To tune
+// the registry — e.g. its LRU bound — open it with OpenRegistry and use
+// NewServiceWith.
+func NewService(dir string, opts ServerOptions) (*Service, error) {
+	reg, err := registry.Open(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	return server.New(reg, opts), nil
+}
+
+// NewServiceWith returns the rpcd HTTP API over an already-open registry.
+func NewServiceWith(reg *Registry, opts ServerOptions) *Service {
+	return server.New(reg, opts)
+}
+
+// NewServerHandler is NewService typed as a plain http.Handler, for callers
+// that never tear the service down (the worker pool lives for the process).
+func NewServerHandler(dir string, opts ServerOptions) (http.Handler, error) {
+	s, err := NewService(dir, opts)
+	if err != nil {
+		// Return a bare nil interface: wrapping the nil *Service would
+		// give callers a non-nil http.Handler that panics on use.
+		return nil, err
+	}
+	return s, nil
+}
