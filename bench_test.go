@@ -220,7 +220,9 @@ func BenchmarkFitScalingD(b *testing.B) {
 	}
 }
 
-// BenchmarkScoreOne measures out-of-sample scoring latency.
+// BenchmarkScoreOne measures out-of-sample scoring latency through the
+// compiled scorer — the serving hot path (rpcd scores every row this way).
+// The alloc report must stay at 0.
 func BenchmarkScoreOne(b *testing.B) {
 	alpha := order.MustDirection(1, 1, -1, -1)
 	xs, _, _ := dataset.BezierCloud(alpha, 512, 0.02, 3001)
@@ -228,7 +230,27 @@ func BenchmarkScoreOne(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	sc := m.Compile()
 	probe := xs[17]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sc.Score(probe)
+	}
+}
+
+// BenchmarkScoreOneReference measures the Model.Score convenience path —
+// a pooled compiled scorer per call; the gap to BenchmarkScoreOne is the
+// pool round-trip a dedicated Scorer avoids.
+func BenchmarkScoreOneReference(b *testing.B) {
+	alpha := order.MustDirection(1, 1, -1, -1)
+	xs, _, _ := dataset.BezierCloud(alpha, 512, 0.02, 3001)
+	m, err := core.Fit(xs, core.Options{Alpha: alpha})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := xs[17]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = m.Score(probe)

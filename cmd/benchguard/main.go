@@ -1,0 +1,226 @@
+// Command benchguard compares `go test -bench` output against a committed
+// JSON baseline (BENCH_BASELINE.json) and fails when a benchmark regresses
+// beyond an allowed ratio, or when a benchmark whose baseline is
+// allocation-free starts allocating. CI runs it after the benchmark job so
+// performance regressions break the build instead of landing silently.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_BASELINE.json bench.txt        compare
+//	benchguard -update -baseline BENCH_BASELINE.json bench.txt rewrite baseline
+//	benchguard -emit-text -baseline BENCH_BASELINE.json        print the baseline's
+//	                                                           raw bench lines (for benchstat)
+//
+// Multiple -count runs of one benchmark are reduced to the geometric mean
+// of ns/op (robust to the occasional noisy run) and the maximum allocs/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed BENCH_BASELINE.json document.
+type Baseline struct {
+	// Note documents how the baseline was produced.
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps the benchmark name (CPU suffix stripped) to its
+	// reduced measurements.
+	Benchmarks map[string]Result `json:"benchmarks"`
+	// Raw preserves the original benchmark lines so benchstat can diff a
+	// fresh run against the baseline.
+	Raw []string `json:"raw,omitempty"`
+}
+
+// Result is one benchmark's reduced measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Runs        int     `json:"runs"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+var allocsField = regexp.MustCompile(`(\d+) allocs/op`)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	fs.SetOutput(out)
+	baselinePath := fs.String("baseline", "BENCH_BASELINE.json", "baseline JSON file")
+	maxRatio := fs.Float64("max-ratio", 2.0, "fail when ns/op exceeds baseline by this factor (CI machines are noisy; keep headroom)")
+	update := fs.Bool("update", false, "rewrite the baseline from the given bench output")
+	emitText := fs.Bool("emit-text", false, "print the baseline's raw bench lines and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *emitText {
+		base, err := readBaseline(*baselinePath)
+		if err != nil {
+			return err
+		}
+		for _, l := range base.Raw {
+			fmt.Fprintln(out, l)
+		}
+		return nil
+	}
+
+	var in io.Reader = os.Stdin
+	if fs.NArg() > 1 {
+		return fmt.Errorf("at most one bench output file, got %v", fs.Args())
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	results, raw, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	if *update {
+		base := Baseline{
+			Note:       "reduced go test -bench output; refresh with: go run ./cmd/benchguard -update -baseline BENCH_BASELINE.json bench.txt",
+			Benchmarks: results,
+			Raw:        raw,
+		}
+		b, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*baselinePath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "benchguard: wrote %d benchmarks to %s\n", len(results), *baselinePath)
+		return nil
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		return err
+	}
+	return compare(out, base, results, *maxRatio)
+}
+
+func readBaseline(path string) (Baseline, error) {
+	var base Baseline
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return base, err
+	}
+	if err := json.Unmarshal(b, &base); err != nil {
+		return base, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return base, nil
+}
+
+// parseBench reduces bench output to per-name results plus the raw lines.
+func parseBench(r io.Reader) (map[string]Result, []string, error) {
+	type acc struct {
+		logSum float64
+		allocs int64
+		runs   int
+	}
+	accs := map[string]*acc{}
+	var raw []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || ns <= 0 {
+			continue
+		}
+		raw = append(raw, line)
+		a := accs[m[1]]
+		if a == nil {
+			a = &acc{}
+			accs[m[1]] = a
+		}
+		a.logSum += math.Log(ns)
+		a.runs++
+		if am := allocsField.FindStringSubmatch(m[3]); am != nil {
+			if v, err := strconv.ParseInt(am[1], 10, 64); err == nil && v > a.allocs {
+				a.allocs = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string]Result, len(accs))
+	for name, a := range accs {
+		out[name] = Result{
+			NsPerOp:     math.Exp(a.logSum / float64(a.runs)),
+			AllocsPerOp: a.allocs,
+			Runs:        a.runs,
+		}
+	}
+	return out, raw, nil
+}
+
+func compare(out io.Writer, base Baseline, results map[string]Result, maxRatio float64) error {
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		got := results[name]
+		want, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(out, "benchguard: %-50s %10.1f ns/op (no baseline)\n", name, got.NsPerOp)
+			continue
+		}
+		ratio := got.NsPerOp / want.NsPerOp
+		status := "ok"
+		if ratio > maxRatio {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%.2fx > %.2fx)",
+				name, got.NsPerOp, want.NsPerOp, ratio, maxRatio))
+		}
+		if want.AllocsPerOp == 0 && got.AllocsPerOp > 0 {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, baseline is allocation-free",
+				name, got.AllocsPerOp))
+		}
+		fmt.Fprintf(out, "benchguard: %-50s %10.1f ns/op  baseline %10.1f  ratio %5.2f  %s\n",
+			name, got.NsPerOp, want.NsPerOp, ratio, status)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := results[name]; !ok {
+			fmt.Fprintf(out, "benchguard: %-50s missing from this run\n", name)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}

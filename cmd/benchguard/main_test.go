@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: rpcrank
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScoreOne 	 9931088	       140.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkScoreOne 	 8001382	       160.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkServerScoreBatch/rows=10000     	      54	  8000000 ns/op	  22.45 MB/s	    391923 rows/s	 5463676 B/op	   40314 allocs/op
+PASS
+ok  	rpcrank	20.677s
+`
+
+func TestParseBenchReduces(t *testing.T) {
+	results, raw, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 3 {
+		t.Fatalf("raw lines = %d, want 3", len(raw))
+	}
+	so, ok := results["BenchmarkScoreOne"]
+	if !ok {
+		t.Fatal("BenchmarkScoreOne missing")
+	}
+	// Geomean of 140 and 160.
+	if want := math.Sqrt(140 * 160); math.Abs(so.NsPerOp-want) > 1e-9 {
+		t.Errorf("geomean %v, want %v", so.NsPerOp, want)
+	}
+	if so.AllocsPerOp != 0 || so.Runs != 2 {
+		t.Errorf("ScoreOne reduced to %+v", so)
+	}
+	sb, ok := results["BenchmarkServerScoreBatch/rows=10000"]
+	if !ok {
+		t.Fatal("sub-benchmark missing (CPU suffix handling)")
+	}
+	if sb.AllocsPerOp != 40314 {
+		t.Errorf("allocs %d, want 40314", sb.AllocsPerOp)
+	}
+}
+
+func TestUpdateThenCompareRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_BASELINE.json")
+	benchTxt := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchTxt, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-update", "-baseline", baseline, benchTxt}, &out); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	// Same numbers compare clean.
+	if err := run([]string{"-baseline", baseline, benchTxt}, &out); err != nil {
+		t.Fatalf("self-compare: %v\n%s", err, out.String())
+	}
+	// A 3x slowdown against max-ratio 2 fails.
+	slow := strings.ReplaceAll(sampleBench, "140.0 ns/op", "450.0 ns/op")
+	slow = strings.ReplaceAll(slow, "160.0 ns/op", "450.0 ns/op")
+	slowTxt := filepath.Join(dir, "slow.txt")
+	if err := os.WriteFile(slowTxt, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", baseline, "-max-ratio", "2.0", slowTxt}, &out); err == nil {
+		t.Fatalf("3x regression passed:\n%s", out.String())
+	}
+	// An allocation regression on an allocation-free baseline fails even
+	// with acceptable timing.
+	allocy := strings.ReplaceAll(sampleBench, "0 B/op	       0 allocs/op", "64 B/op	       2 allocs/op")
+	allocTxt := filepath.Join(dir, "alloc.txt")
+	if err := os.WriteFile(allocTxt, []byte(allocy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", baseline, allocTxt}, &out); err == nil {
+		t.Fatalf("alloc regression passed:\n%s", out.String())
+	}
+	// -emit-text replays the stored raw lines for benchstat.
+	out.Reset()
+	if err := run([]string{"-emit-text", "-baseline", baseline}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BenchmarkScoreOne") {
+		t.Errorf("emit-text output missing bench lines:\n%s", out.String())
+	}
+}
+
+func TestCompareToleratesMissingAndNew(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "b.json")
+	a := filepath.Join(dir, "a.txt")
+	if err := os.WriteFile(a, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-update", "-baseline", baseline, a}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// A run with an extra benchmark and one missing must still pass.
+	other := `BenchmarkScoreOne 	 100	 150.0 ns/op	 0 B/op	 0 allocs/op
+BenchmarkBrandNew 	 100	 99.0 ns/op
+`
+	b := filepath.Join(dir, "b.txt")
+	if err := os.WriteFile(b, []byte(other), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", baseline, b}, &out); err != nil {
+		t.Fatalf("compare with missing/new benchmarks: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no baseline") || !strings.Contains(out.String(), "missing from this run") {
+		t.Errorf("expected informational lines:\n%s", out.String())
+	}
+}

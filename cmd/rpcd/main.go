@@ -8,7 +8,9 @@
 //	rpcd -addr :8080 -model-dir ./models
 //
 // The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests up to -shutdown-timeout.
+// requests up to -shutdown-timeout. Passing -pprof-addr (off by default)
+// serves net/http/pprof on a separate listener for production profiling of
+// the scoring path; bind it to localhost, it is unauthenticated.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,9 +40,10 @@ func main() {
 
 // run starts the daemon and blocks until ctx is cancelled, a termination
 // signal arrives, or the listener fails. onReady, when non-nil, receives
-// the bound address once the server is accepting connections (used by
-// tests that listen on port 0).
-func run(ctx context.Context, args []string, out io.Writer, onReady func(addr string)) error {
+// the bound API address — and the bound pprof address, "" when disabled —
+// once the server is accepting connections (used by tests that listen on
+// port 0).
+func run(ctx context.Context, args []string, out io.Writer, onReady func(addr, pprofAddr string)) error {
 	fs := flag.NewFlagSet("rpcd", flag.ContinueOnError)
 	fs.SetOutput(out)
 	addr := fs.String("addr", ":8080", "listen address")
@@ -51,6 +55,7 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr st
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
 	writeTimeout := fs.Duration("write-timeout", 2*time.Minute, "HTTP write timeout (covers fit time)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "drain window on shutdown")
+	pprofAddr := fs.String("pprof-addr", "", "listen address for net/http/pprof profiling (empty = disabled); bind it to localhost, the endpoint is unauthenticated")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -86,12 +91,34 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr st
 		IdleTimeout:  time.Minute,
 	}
 
+	// The profiling endpoint lives on its own listener (off by default) so
+	// production captures of the scoring hot path never share a port — or
+	// a timeout configuration — with the public API.
+	boundPprof := ""
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Handler: pmux}
+		defer pprofSrv.Close()
+		go pprofSrv.Serve(pln)
+		boundPprof = pln.Addr().String()
+		fmt.Fprintf(out, "rpcd: pprof listening on %s\n", boundPprof)
+	}
+
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	fmt.Fprintf(out, "rpcd: serving %d models from %s on %s\n", reg.Len(), *modelDir, ln.Addr())
 	if onReady != nil {
-		onReady(ln.Addr().String())
+		onReady(ln.Addr().String(), boundPprof)
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()

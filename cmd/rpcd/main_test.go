@@ -23,7 +23,7 @@ func startDaemon(t *testing.T, modelDir string) (string, func()) {
 	done := make(chan error, 1)
 	var out bytes.Buffer
 	go func() {
-		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-model-dir", modelDir}, &out, func(addr string) {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-model-dir", modelDir}, &out, func(addr, _ string) {
 			ready <- addr
 		})
 	}()
@@ -145,5 +145,93 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"positional"}, &out, nil); err == nil {
 		t.Errorf("positional args should error")
+	}
+}
+
+// TestPprofFlagGated verifies the profiling endpoint serves on its own
+// listener when -pprof-addr is set, and is absent from the API listener
+// (and entirely when the flag is unset).
+func TestPprofFlagGated(t *testing.T) {
+	modelDir := filepath.Join(t.TempDir(), "models")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type addrs struct{ api, pprof string }
+	ready := make(chan addrs, 1)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-pprof-addr", "127.0.0.1:0",
+			"-model-dir", modelDir,
+		}, &out, func(addr, pprofAddr string) {
+			ready <- addrs{addr, pprofAddr}
+		})
+	}()
+	var a addrs
+	select {
+	case a = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon failed to start: %v (output: %s)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+	if a.pprof == "" {
+		t.Fatal("pprof address empty despite -pprof-addr")
+	}
+	resp, err := http.Get("http://" + a.pprof + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof endpoint unreachable: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline status %d", resp.StatusCode)
+	}
+	// The API listener must NOT expose the profiler.
+	resp, err = http.Get("http://" + a.api + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("API listener unexpectedly serves pprof")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("daemon exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Errorf("daemon did not shut down")
+	}
+}
+
+// TestPprofDisabledByDefault pins the off-by-default contract.
+func TestPprofDisabledByDefault(t *testing.T) {
+	modelDir := filepath.Join(t.TempDir(), "models")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-model-dir", modelDir}, &out, func(addr, pprofAddr string) {
+			if pprofAddr != "" {
+				t.Errorf("pprof bound to %q without the flag", pprofAddr)
+			}
+			ready <- addr
+		})
+	}()
+	select {
+	case <-ready:
+	case err := <-done:
+		t.Fatalf("daemon failed to start: %v (output: %s)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("daemon exit: %v", err)
 	}
 }

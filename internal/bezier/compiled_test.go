@@ -1,0 +1,132 @@
+package bezier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randCurve(rng *rand.Rand, deg, dim int) *Curve {
+	pts := make([][]float64, deg+1)
+	for r := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[r] = p
+	}
+	return MustNew(pts)
+}
+
+func TestCompiledEvalMatchesCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for deg := 2; deg <= 6; deg++ {
+		for _, dim := range []int{1, 3, 7} {
+			c := randCurve(rng, deg, dim)
+			cc := Compile(c)
+			if cc.Degree() != deg || cc.Dim() != dim {
+				t.Fatalf("deg/dim lost in compilation")
+			}
+			dst := make([]float64, dim)
+			for trial := 0; trial < 50; trial++ {
+				s := rng.Float64()
+				want := c.Eval(s)
+				got := cc.EvalInto(dst, s)
+				for j := range want {
+					if math.Abs(got[j]-want[j]) > 1e-13 {
+						t.Fatalf("deg=%d dim=%d s=%v coord %d: %v vs %v", deg, dim, s, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCompiledDistanceToMatchesCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for deg := 2; deg <= 6; deg++ {
+		c := randCurve(rng, deg, 4)
+		cc := Compile(c)
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		for trial := 0; trial < 50; trial++ {
+			s := rng.Float64()
+			want := c.DistanceTo(x, s)
+			got := cc.DistanceTo(x, s)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("deg=%d s=%v: compiled %v vs curve %v", deg, s, got, want)
+			}
+		}
+	}
+}
+
+func TestCompiledDistPoly(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for deg := 2; deg <= 6; deg++ {
+		for _, dim := range []int{1, 2, 5, 16} {
+			c := randCurve(rng, deg, dim)
+			cc := Compile(c)
+			x := make([]float64, dim)
+			for j := range x {
+				x[j] = rng.Float64()
+			}
+			dc := cc.DistPolyInto(make([]float64, 2*deg+1), x)
+			for trial := 0; trial < 30; trial++ {
+				s := rng.Float64()
+				want := c.DistanceTo(x, s)
+				got := EvalPoly(dc, s-DistPolyOrigin)
+				if math.Abs(got-want) > 1e-13*float64(dim) {
+					t.Fatalf("deg=%d dim=%d s=%v: poly %v vs direct %v", deg, dim, s, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCompiledDerivRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	c := randCurve(rng, 3, 2)
+	cc := Compile(c)
+	for trial := 0; trial < 30; trial++ {
+		s := rng.Float64()
+		want := c.TangentAt(s)
+		for j := 0; j < 2; j++ {
+			got := EvalPoly(cc.DerivRow(j), s)
+			if math.Abs(got-want[j]) > 1e-12 {
+				t.Fatalf("s=%v coord %d: deriv %v vs tangent %v", s, j, got, want[j])
+			}
+		}
+	}
+}
+
+func TestEvalPolyUnrolledMatchesLoop(t *testing.T) {
+	// The degree-6 unrolled fast path must be bit-identical to the generic
+	// Horner loop: the projection engine depends on the two agreeing.
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 200; trial++ {
+		coeffs := make([]float64, 7)
+		for i := range coeffs {
+			coeffs[i] = rng.NormFloat64()
+		}
+		s := rng.Float64()
+		fast := EvalPoly(coeffs, s)
+		acc := 0.0
+		for p := 6; p >= 0; p-- {
+			acc = acc*s + coeffs[p]
+		}
+		if fast != acc {
+			t.Fatalf("unrolled %v != loop %v", fast, acc)
+		}
+	}
+}
+
+func BenchmarkCompiledDistPolyEval(b *testing.B) {
+	c := benchCubic()
+	cc := Compile(c)
+	x := []float64{0.5, 0.5, 0.5, 0.5}
+	dc := cc.DistPolyInto(make([]float64, 7), x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvalPoly(dc, 0.37-DistPolyOrigin)
+	}
+}

@@ -167,6 +167,22 @@ func fitOnce(xs [][]float64, opts Options) (*Model, error) {
 	bestScores := make([]float64, n)
 	bestResid := make([]float64, n)
 
+	// Work matrices of the control-point step, allocated once and reused
+	// across all Algorithm-1 iterations: every product below has a fixed
+	// shape, so re-forming it in place saves (k+1)·n-sized allocations per
+	// iteration — on large fits the garbage otherwise dwarfs the model.
+	kp1 := k + 1
+	Z := mat.Zeros(kp1, n)
+	MZ := mat.Zeros(kp1, n)
+	P := mat.Zeros(d, kp1)
+	A := mat.Zeros(kp1, kp1)
+	At := mat.Zeros(kp1, kp1)
+	grad := mat.Zeros(d, kp1)
+	XMZt := mat.Zeros(d, kp1)
+	cand := mat.Zeros(d, kp1)
+	PMZ := mat.Zeros(d, n)
+	dinv := make([]float64, kp1)
+
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		// Score step (Eq. 22): project every observation onto the curve.
 		projectAll(curve, u, scores, resid, opts)
@@ -176,7 +192,11 @@ func fitOnce(xs [][]float64, opts Options) (*Model, error) {
 		}
 		if J < bestJ {
 			bestJ = J
-			bestCurve = cloneCurve(curve)
+			if bestCurve == nil {
+				bestCurve = cloneCurve(curve)
+			} else {
+				copyCurveInto(bestCurve, curve)
+			}
 			copy(bestScores, scores)
 			copy(bestResid, resid)
 		}
@@ -193,17 +213,17 @@ func fitOnce(xs [][]float64, opts Options) (*Model, error) {
 		prevJ = J
 
 		// Control-point step (Eq. 21).
-		Z := monomialMatrix(scores, k) // (k+1)×n
-		MZ := mat.Mul(M, Z)            // (k+1)×n
-		P := curveAsMatrix(curve)      // d×(k+1)
+		monomialMatrixInto(Z, scores) // (k+1)×n
+		mat.MulInto(MZ, M, Z)         // (k+1)×n
+		curveIntoMat(P, curve)        // d×(k+1)
 		switch opts.Updater {
 		case UpdaterRichardson:
-			A := mat.Gram(MZ) // (MZ)(MZ)ᵀ, (k+1)×(k+1)
+			mat.GramInto(A, MZ) // (MZ)(MZ)ᵀ, (k+1)×(k+1)
 			if opts.KeepTrajectory {
 				m.ConditionNumbers = append(m.ConditionNumbers, mat.ConditionNumber(A))
 			}
 			// Preconditioner D: diagonal of column L2 norms of A (Eq. 27).
-			dinv := mat.ColNorms(A)
+			mat.ColNormsInto(dinv, A)
 			for i, v := range dinv {
 				if v > 0 {
 					dinv[i] = 1 / v
@@ -217,7 +237,6 @@ func fitOnce(xs [][]float64, opts Options) (*Model, error) {
 			// eigenvalues of A (the literal reading of Eq. 28) overshoots
 			// whenever D deviates from identity, so we apply Eq. 28 to the
 			// preconditioned matrix.
-			At := A.Clone()
 			for i := 0; i < At.Rows(); i++ {
 				for j := 0; j < At.Cols(); j++ {
 					At.Set(i, j, A.At(i, j)*math.Sqrt(dinv[i])*math.Sqrt(dinv[j]))
@@ -228,22 +247,25 @@ func fitOnce(xs [][]float64, opts Options) (*Model, error) {
 			if lo+hi > 0 {
 				gamma = 2 / (lo + hi)
 			}
-			grad := mat.Sub(mat.Mul(P, A), mat.Mul(X, mat.T(MZ)))
-			step := mat.MulDiagRight(grad, dinv)
+			mat.MulInto(grad, P, A)
+			mat.MulABTInto(XMZt, X, MZ)
+			mat.SubInto(grad, grad, XMZt)
+			mat.MulDiagRightInPlace(grad, dinv) // grad is now the step
 			// Backtracking safeguard: a single Richardson step must not
 			// increase the (fixed-Z) objective, otherwise Algorithm 1's
 			// ΔJ < 0 stop would fire spuriously on the next iteration.
-			base := fixedZObjective(X, P, MZ)
+			base := fixedZObjective(PMZ, X, P, MZ)
 			for try := 0; try < 40; try++ {
-				cand := mat.Sub(P, mat.Scale(gamma, step))
-				if fixedZObjective(X, cand, MZ) <= base || gamma == 0 {
-					P = cand
+				mat.SubScaledInto(cand, P, gamma, grad)
+				if fixedZObjective(PMZ, X, cand, MZ) <= base || gamma == 0 {
+					P.CopyFrom(cand)
 					break
 				}
 				gamma /= 2
 			}
 		case UpdaterPseudoInverse:
-			// P = X·(MZ)⁺  (Eq. 26)
+			// P = X·(MZ)⁺  (Eq. 26). The ablation path keeps the
+			// allocating pseudo-inverse — it is not the production updater.
 			P = mat.Mul(X, mat.Pinv(MZ))
 		default:
 			return nil, fmt.Errorf("core: unknown updater %v", opts.Updater)
@@ -267,19 +289,41 @@ func fitOnce(xs [][]float64, opts Options) (*Model, error) {
 }
 
 // Score projects a single raw observation onto the fitted curve and returns
-// its score in [0,1].
+// its score in [0,1]. It scores through a pooled compiled scorer (see
+// Model.Compile), so casual per-row use is fast and safe for concurrent
+// callers; dedicated hot loops should still hold their own Scorer and skip
+// the pool round-trip. The result agrees with the uncompiled reference
+// projection to within 1e-12 (the compiled-scorer contract).
 func (m *Model) Score(x []float64) float64 {
+	sc, _ := m.scorers.Get().(*Scorer)
+	if sc == nil {
+		sc = m.Compile()
+	}
+	s := sc.Score(x)
+	m.scorers.Put(sc)
+	return s
+}
+
+// scoreReference is the uncompiled projection path — normalise, then the
+// grid/search/Newton-polish reference projector over direct curve
+// evaluations. The parity property tests hold the compiled engine to this
+// implementation.
+func scoreReference(m *Model, x []float64) float64 {
 	u := m.Norm.Apply(x)
 	s, _ := projectOne(m.Curve, u, m.opts)
 	return s
 }
 
-// ScoreAll scores every row.
+// ScoreAll scores every row through a pooled compiled scorer (see
+// Model.Compile), so a batch costs one output-slice allocation; the scores
+// are identical to per-row Model.Score, which borrows from the same pool.
 func (m *Model) ScoreAll(xs [][]float64) []float64 {
-	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = m.Score(x)
+	sc, _ := m.scorers.Get().(*Scorer)
+	if sc == nil {
+		sc = m.Compile()
 	}
+	out := sc.ScoreInto(make([]float64, len(xs)), xs)
+	m.scorers.Put(sc)
 	return out
 }
 
@@ -337,22 +381,25 @@ func constrainCurve(c *bezier.Curve, opts Options, d, k int) {
 	}
 }
 
+// projectAll runs the score step (Eq. 22) over every row through a compiled
+// projection engine: the curve is compiled once per call (per iteration of
+// Algorithm 1), not re-derived per row, and each worker goroutine gets its
+// own scratch via engine.clone, so the parallel result stays bit-identical
+// to the serial one.
 func projectAll(c *bezier.Curve, u [][]float64, scores, resid []float64, opts Options) {
+	eng := newEngine(c, opts)
 	workers := opts.Workers
 	if workers == -1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers <= 1 || len(u) < 4*workers {
 		for i, row := range u {
-			s, r2 := projectOne(c, row, opts)
-			scores[i] = s
-			resid[i] = r2
+			scores[i], resid[i] = eng.project(row)
 		}
 		return
 	}
 	// Each worker owns a disjoint index stripe, so no synchronisation
-	// beyond the WaitGroup is needed and the result is bit-identical to
-	// the serial loop.
+	// beyond the WaitGroup is needed.
 	var wg sync.WaitGroup
 	chunk := (len(u) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -365,21 +412,24 @@ func projectAll(c *bezier.Curve, u [][]float64, scores, resid []float64, opts Op
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		e := eng
+		if w > 0 {
+			e = eng.clone()
+		}
+		go func(e *engine, lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				s, r2 := projectOne(c, u[i], opts)
-				scores[i] = s
-				resid[i] = r2
+				scores[i], resid[i] = e.project(u[i])
 			}
-		}(lo, hi)
+		}(e, lo, hi)
 	}
 	wg.Wait()
 }
 
-func monomialMatrix(scores []float64, k int) *mat.Dense {
-	n := len(scores)
-	Z := mat.Zeros(k+1, n)
+// monomialMatrixInto fills the pre-sized Z (degree+1 rows × n cols) with
+// the monomial moments of the scores: Z[r][i] = scoreᵢ^r.
+func monomialMatrixInto(Z *mat.Dense, scores []float64) {
+	k := Z.Rows() - 1
 	for i, s := range scores {
 		v := 1.0
 		for r := 0; r <= k; r++ {
@@ -387,19 +437,15 @@ func monomialMatrix(scores []float64, k int) *mat.Dense {
 			v *= s
 		}
 	}
-	return Z
 }
 
-func curveAsMatrix(c *bezier.Curve) *mat.Dense {
-	d := c.Dim()
-	k := c.Degree()
-	P := mat.Zeros(d, k+1)
+// curveIntoMat fills the pre-sized P (d×(k+1)) with the control points.
+func curveIntoMat(P *mat.Dense, c *bezier.Curve) {
 	for r, p := range c.Points {
 		for j, v := range p {
 			P.Set(j, r, v)
 		}
 	}
-	return P
 }
 
 func matIntoCurve(P *mat.Dense, c *bezier.Curve) {
@@ -418,12 +464,19 @@ func cloneCurve(c *bezier.Curve) *bezier.Curve {
 	return bezier.MustNew(pts)
 }
 
+// copyCurveInto copies src's control-point values into dst (same layout),
+// so tracking the best iterate never reallocates.
+func copyCurveInto(dst, src *bezier.Curve) {
+	for i, p := range src.Points {
+		copy(dst.Points[i], p)
+	}
+}
+
 // fixedZObjective evaluates ‖X − P·MZ‖²_F, the Eq. 24 objective with the
-// score matrix held fixed.
-func fixedZObjective(X, P, MZ *mat.Dense) float64 {
-	diff := mat.Sub(X, mat.Mul(P, MZ))
-	n := mat.FrobeniusNorm(diff)
-	return n * n
+// score matrix held fixed, using PMZ as the product scratch.
+func fixedZObjective(PMZ, X, P, MZ *mat.Dense) float64 {
+	mat.MulInto(PMZ, P, MZ)
+	return mat.SumSqDiff(X, PMZ)
 }
 
 func sum(v []float64) float64 {

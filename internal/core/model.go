@@ -13,6 +13,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"rpcrank/internal/bezier"
 	"rpcrank/internal/order"
@@ -33,6 +34,13 @@ const (
 	// exactly as a quintic polynomial (the Jenkins–Traub route the paper
 	// cites). Only valid for cubic curves.
 	ProjectorQuintic
+	// ProjectorNewton seeds with the coarse grid and refines by safeguarded
+	// Newton iteration on the derivative of the squared-distance profile,
+	// converging to the same local minimiser as the 1-D search projectors
+	// but to machine precision and in far fewer evaluations. It is the
+	// strategy the compiled scorer of Model.Compile uses; selecting it for
+	// Fit makes the score step take the same fast path. Any degree.
+	ProjectorNewton
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +52,8 @@ func (p Projector) String() string {
 		return "brent"
 	case ProjectorQuintic:
 		return "quintic"
+	case ProjectorNewton:
+		return "newton"
 	}
 	return "unknown"
 }
@@ -235,6 +245,10 @@ type Model struct {
 
 	opts Options
 	data [][]float64 // normalised training rows, retained for diagnostics
+
+	// scorers recycles compiled scorers for Model.Score, which must stay
+	// safe for concurrent use while a Scorer (owning scratch) is not.
+	scorers sync.Pool
 }
 
 // Dim returns the attribute dimension.

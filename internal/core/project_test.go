@@ -61,11 +61,11 @@ func TestQuinticProjectorHandlesEndpoints(t *testing.T) {
 	// A point beyond the curve's end must project exactly to s=1 (the
 	// orthogonality condition has no interior root there).
 	c := bezier.MustNew([][]float64{{0, 0}, {0.3, 0.3}, {0.7, 0.7}, {1, 1}})
-	s := projectQuintic(c, []float64{2, 2})
+	s, _ := projectQuintic(c, []float64{2, 2})
 	if s != 1 {
 		t.Errorf("projection of far dominating point = %v, want 1", s)
 	}
-	s = projectQuintic(c, []float64{-2, -2})
+	s, _ = projectQuintic(c, []float64{-2, -2})
 	if s != 0 {
 		t.Errorf("projection of far dominated point = %v, want 0", s)
 	}

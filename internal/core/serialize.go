@@ -115,6 +115,8 @@ func Load(r io.Reader) (*Model, error) {
 	switch in.Projector {
 	case "brent":
 		opts.Projector = ProjectorBrent
+	case "newton":
+		opts.Projector = ProjectorNewton
 	case "quintic":
 		// Mirror Options.validate: the quintic projector solves a cubic's
 		// orthogonality condition and panics on any other degree.

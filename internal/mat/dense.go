@@ -202,3 +202,11 @@ func (m *Dense) String() string {
 	}
 	return b.String()
 }
+
+// CopyFrom copies the elements of n into m. Dimensions must match.
+func (m *Dense) CopyFrom(n *Dense) {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic(fmt.Sprintf("mat: CopyFrom dimension mismatch %dx%d vs %dx%d", m.rows, m.cols, n.rows, n.cols))
+	}
+	copy(m.data, n.data)
+}

@@ -1,0 +1,123 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randDense(rng *rand.Rand, r, c int) *Dense {
+	m := Zeros(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// TestIntoVariantsMatchAllocating pins every *Into variant to its
+// allocating counterpart: same values, shared-buffer reuse safe.
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randDense(rng, 4, 9)
+	b := randDense(rng, 9, 5)
+	c := randDense(rng, 4, 9)
+
+	if got := MulInto(Zeros(4, 5), a, b); !got.Equal(Mul(a, b)) {
+		t.Errorf("MulInto mismatch")
+	}
+	if got := MulABTInto(Zeros(4, 4), a, c); !got.Equal(Mul(a, T(c))) {
+		t.Errorf("MulABTInto mismatch")
+	}
+	if got := GramInto(Zeros(4, 4), a); !got.Equal(Gram(a)) {
+		t.Errorf("GramInto mismatch")
+	}
+	if got := SubInto(Zeros(4, 9), a, c); !got.Equal(Sub(a, c)) {
+		t.Errorf("SubInto mismatch")
+	}
+	if got := ScaleInto(Zeros(4, 9), 2.5, a); !got.Equal(Scale(2.5, a)) {
+		t.Errorf("ScaleInto mismatch")
+	}
+	if got := SubScaledInto(Zeros(4, 9), a, 0.75, c); !got.Equal(Sub(a, Scale(0.75, c))) {
+		t.Errorf("SubScaledInto mismatch")
+	}
+
+	d := []float64{1, 2, 3, 4, 5}
+	m := Mul(a, b)
+	want := MulDiagRight(m, d)
+	MulDiagRightInPlace(m, d)
+	if !m.Equal(want) {
+		t.Errorf("MulDiagRightInPlace mismatch")
+	}
+
+	dst := make([]float64, a.Cols())
+	ColNormsInto(dst, a)
+	for j, v := range ColNorms(a) {
+		if dst[j] != v {
+			t.Errorf("ColNormsInto col %d: %v vs %v", j, dst[j], v)
+		}
+	}
+
+	diff := Sub(a, c)
+	fn := FrobeniusNorm(diff)
+	if got := SumSqDiff(a, c); got < fn*fn-1e-12 || got > fn*fn+1e-12 {
+		t.Errorf("SumSqDiff %v vs Frobenius² %v", got, fn*fn)
+	}
+
+	cp := Zeros(4, 9)
+	cp.CopyFrom(a)
+	if !cp.Equal(a) {
+		t.Errorf("CopyFrom mismatch")
+	}
+}
+
+// TestIntoVariantsReuseIsClean verifies a dirty destination is fully
+// overwritten (MulInto must zero, not accumulate).
+func TestIntoVariantsReuseIsClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randDense(rng, 3, 6)
+	b := randDense(rng, 6, 4)
+	dst := randDense(rng, 3, 4) // garbage in
+	if !MulInto(dst, a, b).Equal(Mul(a, b)) {
+		t.Errorf("MulInto with dirty destination mismatch")
+	}
+	g := randDense(rng, 3, 3)
+	if !GramInto(g, a).Equal(Gram(a)) {
+		t.Errorf("GramInto with dirty destination mismatch")
+	}
+}
+
+func TestIntoVariantsPanicOnAliasOrShape(t *testing.T) {
+	a := Zeros(3, 3)
+	b := Zeros(3, 3)
+	for name, fn := range map[string]func(){
+		"MulInto alias":    func() { MulInto(a, a, b) },
+		"MulInto shape":    func() { MulInto(Zeros(2, 2), a, b) },
+		"GramInto alias":   func() { GramInto(a, a) },
+		"MulABTInto alias": func() { MulABTInto(b, a, b) },
+		"SubInto shape":    func() { SubInto(Zeros(2, 3), a, b) },
+		"ColNormsInto len": func() { ColNormsInto(make([]float64, 2), a) },
+		"CopyFrom shape":   func() { a.CopyFrom(Zeros(2, 2)) },
+		"MulDiagRight len": func() { MulDiagRightInPlace(a, []float64{1}) },
+		"SubScaled shape":  func() { SubScaledInto(a, a, 1, Zeros(2, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// SubInto aliasing its own operand is documented as safe.
+func TestSubIntoAliasSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randDense(rng, 3, 3)
+	b := randDense(rng, 3, 3)
+	want := Sub(a, b)
+	SubInto(a, a, b)
+	if !a.Equal(want) {
+		t.Errorf("SubInto(a, a, b) mismatch")
+	}
+}

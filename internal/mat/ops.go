@@ -205,3 +205,165 @@ func Gram(m *Dense) *Dense {
 	}
 	return out
 }
+
+// The *Into variants below write their result into a caller-owned matrix so
+// iterative algorithms (the RPC fit loop re-forms the same products every
+// Algorithm-1 iteration) allocate their work matrices once, outside the
+// loop. Destinations must already have the right shape; where aliasing the
+// inputs would corrupt the computation it is rejected with a panic.
+
+func sameBacking(a, b *Dense) bool {
+	return len(a.data) > 0 && len(b.data) > 0 && &a.data[0] == &b.data[0]
+}
+
+// MulInto computes dst = a·b. dst must be a.rows×b.cols and must not alias
+// a or b.
+func MulInto(dst, a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulInto dimension mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulInto destination %dx%d, want %dx%d", dst.rows, dst.cols, a.rows, b.cols))
+	}
+	if sameBacking(dst, a) || sameBacking(dst, b) {
+		panic("mat: MulInto destination aliases an operand")
+	}
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// MulABTInto computes dst = a·bᵀ without materialising the transpose.
+// dst must be a.rows×b.rows and must not alias a or b.
+func MulABTInto(dst, a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulABTInto dimension mismatch %dx%d · (%dx%d)ᵀ", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulABTInto destination %dx%d, want %dx%d", dst.rows, dst.cols, a.rows, b.rows))
+	}
+	if sameBacking(dst, a) || sameBacking(dst, b) {
+		panic("mat: MulABTInto destination aliases an operand")
+	}
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		for j := 0; j < b.rows; j++ {
+			brow := b.data[j*b.cols : (j+1)*b.cols]
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			dst.data[i*dst.cols+j] = s
+		}
+	}
+	return dst
+}
+
+// GramInto computes dst = m·mᵀ. dst must be m.rows×m.rows and must not
+// alias m.
+func GramInto(dst, m *Dense) *Dense {
+	if dst.rows != m.rows || dst.cols != m.rows {
+		panic(fmt.Sprintf("mat: GramInto destination %dx%d, want %dx%d", dst.rows, dst.cols, m.rows, m.rows))
+	}
+	if sameBacking(dst, m) {
+		panic("mat: GramInto destination aliases the operand")
+	}
+	for i := 0; i < m.rows; i++ {
+		ri := m.data[i*m.cols : (i+1)*m.cols]
+		for j := i; j < m.rows; j++ {
+			rj := m.data[j*m.cols : (j+1)*m.cols]
+			var s float64
+			for k, v := range ri {
+				s += v * rj[k]
+			}
+			dst.data[i*dst.cols+j] = s
+			dst.data[j*dst.cols+i] = s
+		}
+	}
+	return dst
+}
+
+// SubInto computes dst = a − b elementwise. dst may alias a or b.
+func SubInto(dst, a, b *Dense) *Dense {
+	checkSameDims("SubInto", a, b)
+	checkSameDims("SubInto", dst, a)
+	for i, v := range a.data {
+		dst.data[i] = v - b.data[i]
+	}
+	return dst
+}
+
+// ScaleInto computes dst = c·m elementwise. dst may alias m.
+func ScaleInto(dst *Dense, c float64, m *Dense) *Dense {
+	checkSameDims("ScaleInto", dst, m)
+	for i, v := range m.data {
+		dst.data[i] = c * v
+	}
+	return dst
+}
+
+// SubScaledInto computes dst = a − c·b elementwise (the backtracking trial
+// step of the Richardson update). dst may alias a or b.
+func SubScaledInto(dst, a *Dense, c float64, b *Dense) *Dense {
+	checkSameDims("SubScaledInto", a, b)
+	checkSameDims("SubScaledInto", dst, a)
+	for i, v := range a.data {
+		dst.data[i] = v - c*b.data[i]
+	}
+	return dst
+}
+
+// MulDiagRightInPlace scales column j of m by d[j], in place.
+func MulDiagRightInPlace(m *Dense, d []float64) {
+	if len(d) != m.cols {
+		panic(fmt.Sprintf("mat: MulDiagRightInPlace diag length %d want %d", len(d), m.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j := range row {
+			row[j] *= d[j]
+		}
+	}
+}
+
+// ColNormsInto writes the L2 norm of each column of m into dst (len m.cols).
+func ColNormsInto(dst []float64, m *Dense) []float64 {
+	if len(dst) != m.cols {
+		panic(fmt.Sprintf("mat: ColNormsInto destination length %d want %d", len(dst), m.cols))
+	}
+	for j := 0; j < m.cols; j++ {
+		var s float64
+		for i := 0; i < m.rows; i++ {
+			v := m.data[i*m.cols+j]
+			s += v * v
+		}
+		dst[j] = math.Sqrt(s)
+	}
+	return dst
+}
+
+// SumSqDiff returns Σ (a−b)² over all elements — ‖a−b‖²_F without forming
+// the difference matrix.
+func SumSqDiff(a, b *Dense) float64 {
+	checkSameDims("SumSqDiff", a, b)
+	var s float64
+	for i, v := range a.data {
+		d := v - b.data[i]
+		s += d * d
+	}
+	return s
+}

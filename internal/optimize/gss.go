@@ -14,8 +14,22 @@ var invPhi = (math.Sqrt(5) - 1) / 2
 
 // GoldenSection minimises f over [lo, hi] assuming f is unimodal there,
 // shrinking the bracket until its width is at most tol (or maxIter
-// evaluposts pass). It returns the midpoint of the final bracket.
+// evaluations pass). It returns the best *evaluated* point seen, never an
+// unevaluated midpoint, so the returned parameter always has a known
+// objective value.
+//
+// Tolerance contract: for a unimodal f the true minimiser lies inside the
+// final bracket, so the returned point is within tol of it; the attained
+// value can exceed the true minimum by up to f″/2·tol². Callers that need
+// the value use GoldenSectionMin and avoid re-evaluating f.
 func GoldenSection(f func(float64) float64, lo, hi, tol float64, maxIter int) float64 {
+	x, _ := GoldenSectionMin(f, lo, hi, tol, maxIter)
+	return x
+}
+
+// GoldenSectionMin is GoldenSection returning both the best evaluated point
+// and its objective value, saving the caller a final re-evaluation.
+func GoldenSectionMin(f func(float64) float64, lo, hi, tol float64, maxIter int) (x, fx float64) {
 	if hi < lo {
 		panic(fmt.Sprintf("optimize: GoldenSection inverted bracket [%v,%v]", lo, hi))
 	}
@@ -26,18 +40,28 @@ func GoldenSection(f func(float64) float64, lo, hi, tol float64, maxIter int) fl
 	c := b - invPhi*(b-a)
 	d := a + invPhi*(b-a)
 	fc, fd := f(c), f(d)
+	x, fx = c, fc
+	if fd < fx {
+		x, fx = d, fd
+	}
 	for i := 0; i < maxIter && b-a > tol; i++ {
 		if fc < fd {
 			b, d, fd = d, c, fc
 			c = b - invPhi*(b-a)
 			fc = f(c)
+			if fc < fx {
+				x, fx = c, fc
+			}
 		} else {
 			a, c, fc = c, d, fd
 			d = a + invPhi*(b-a)
 			fd = f(d)
+			if fd < fx {
+				x, fx = d, fd
+			}
 		}
 	}
-	return (a + b) / 2
+	return x, fx
 }
 
 // GridSeed evaluates f at cells+1 evenly spaced points on [lo, hi] and
@@ -46,6 +70,13 @@ func GoldenSection(f func(float64) float64, lo, hi, tol float64, maxIter int) fl
 // local minima, so GSS alone could land in the wrong basin; a coarse grid
 // pass first makes the combined projector reliable.
 func GridSeed(f func(float64) float64, lo, hi float64, cells int) (left, right float64) {
+	left, right, _, _ = GridSeedBest(f, lo, hi, cells)
+	return left, right
+}
+
+// GridSeedBest is GridSeed returning also the best sample and its value, so
+// callers seeding a refinement step start from an already-evaluated point.
+func GridSeedBest(f func(float64) float64, lo, hi float64, cells int) (left, right, best, fbest float64) {
 	if cells < 1 {
 		panic(fmt.Sprintf("optimize: GridSeed needs at least 1 cell, got %d", cells))
 	}
@@ -69,7 +100,50 @@ func GridSeed(f func(float64) float64, lo, hi float64, cells int) (left, right f
 	if right > hi {
 		right = hi
 	}
-	return left, right
+	return left, right, lo + float64(bestI)*h, bestV
+}
+
+// NewtonBisect finds a root of g inside [a, b] given g(a) ≤ 0 ≤ g(b), by
+// Newton steps (using the derivative dg) safeguarded with bisection: a step
+// that leaves the current sign-bracket, or lands where dg is not positive,
+// is replaced by the bracket midpoint, so the iteration always converges.
+// x0 is the starting point (clamped into [a, b]). The RPC projectors use it
+// to refine the projection parameter to machine precision: the projection
+// objective's derivative crosses zero from below at a local minimum, which
+// is exactly the g(a) ≤ 0 ≤ g(b) precondition.
+//
+// The compiled projection engine in internal/core inlines this control flow
+// over Horner-evaluated polynomials; keep the two in sync.
+func NewtonBisect(g, dg func(float64) float64, a, b, x0 float64, maxIter int) float64 {
+	s := x0
+	if s < a {
+		s = a
+	}
+	if s > b {
+		s = b
+	}
+	for i := 0; i < maxIter; i++ {
+		gs := g(s)
+		if gs == 0 {
+			return s
+		}
+		if gs < 0 {
+			a = s
+		} else {
+			b = s
+		}
+		t := s - gs/dg(s)
+		// Reject non-finite, out-of-bracket, or non-contracting steps
+		// (dg ≤ 0 yields one of those) and bisect instead.
+		if !(t > a && t < b) {
+			t = 0.5 * (a + b)
+		}
+		if t == s {
+			return s
+		}
+		s = t
+	}
+	return s
 }
 
 // MinimizeUnit minimises f on [0,1] by grid seeding followed by golden
@@ -85,6 +159,14 @@ func MinimizeUnit(f func(float64) float64, cells int, tol float64) float64 {
 // misbehave. It typically converges in far fewer evaluations than pure GSS
 // and is offered as the "fast projector" ablation.
 func Brent(f func(float64) float64, lo, hi, tol float64, maxIter int) float64 {
+	x, _ := BrentMin(f, lo, hi, tol, maxIter)
+	return x
+}
+
+// BrentMin is Brent returning both the minimiser and its objective value.
+// The returned point is always the best one evaluated (an invariant of
+// Brent's bookkeeping), so callers need not re-evaluate f.
+func BrentMin(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, float64) {
 	if hi < lo {
 		panic(fmt.Sprintf("optimize: Brent inverted bracket [%v,%v]", lo, hi))
 	}
@@ -161,5 +243,5 @@ func Brent(f func(float64) float64, lo, hi, tol float64, maxIter int) float64 {
 			}
 		}
 	}
-	return x
+	return x, fx
 }

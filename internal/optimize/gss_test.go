@@ -137,3 +137,66 @@ func TestBrentPanicsInverted(t *testing.T) {
 	}()
 	Brent(func(x float64) float64 { return x }, 1, 0, 1e-9, 10)
 }
+
+func TestGoldenSectionReturnsEvaluatedPoint(t *testing.T) {
+	// The returned minimiser must be a point that f was actually called
+	// with (the best one), not a synthetic midpoint.
+	evaluated := map[float64]bool{}
+	f := func(x float64) float64 {
+		evaluated[x] = true
+		return (x - 0.31) * (x - 0.31)
+	}
+	x, fx := GoldenSectionMin(f, 0, 1, 1e-10, 200)
+	if !evaluated[x] {
+		t.Errorf("returned point %v was never evaluated", x)
+	}
+	if fx != (x-0.31)*(x-0.31) {
+		t.Errorf("returned value %v does not match f(x)=%v", fx, (x-0.31)*(x-0.31))
+	}
+	for e := range evaluated {
+		if (e-0.31)*(e-0.31) < fx {
+			t.Errorf("evaluated point %v beats the returned one", e)
+		}
+	}
+}
+
+func TestBrentMinReturnsAttainedValue(t *testing.T) {
+	f := func(x float64) float64 { return math.Cosh(x - 0.4) }
+	x, fx := BrentMin(f, 0, 1, 1e-12, 200)
+	if fx != f(x) {
+		t.Errorf("BrentMin value %v != f(x) %v", fx, f(x))
+	}
+	if math.Abs(x-0.4) > 1e-6 {
+		t.Errorf("BrentMin x = %v, want 0.4", x)
+	}
+}
+
+func TestNewtonBisect(t *testing.T) {
+	// Root of g(x) = x³ − 0.2 in [0,1]; g(0) < 0 < g(1).
+	g := func(x float64) float64 { return x*x*x - 0.2 }
+	dg := func(x float64) float64 { return 3 * x * x }
+	want := math.Cbrt(0.2)
+	for _, x0 := range []float64{0, 0.5, 1, 0.03} {
+		got := NewtonBisect(g, dg, 0, 1, x0, 80)
+		if math.Abs(got-want) > 1e-14 {
+			t.Errorf("NewtonBisect from %v = %.16g, want %.16g", x0, got, want)
+		}
+	}
+	// Pathological derivative: dg = 0 everywhere forces pure bisection,
+	// which must still converge.
+	got := NewtonBisect(g, func(float64) float64 { return 0 }, 0, 1, 0.9, 200)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("bisection fallback = %.16g, want %.16g", got, want)
+	}
+}
+
+func TestGridSeedBestReturnsSample(t *testing.T) {
+	f := func(x float64) float64 { return (x - 0.52) * (x - 0.52) }
+	lo, hi, best, fbest := GridSeedBest(f, 0, 1, 32)
+	if best < lo || best > hi {
+		t.Errorf("best sample %v outside bracket [%v,%v]", best, lo, hi)
+	}
+	if fbest != f(best) {
+		t.Errorf("fbest %v != f(best) %v", fbest, f(best))
+	}
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"math"
+	"strconv"
+)
+
+// This file holds the hand-rolled JSON fast paths of the scoring hot loop.
+// encoding/json decodes [][]float64 through reflection, one small slice
+// allocation per row; at 10k-row batches that is most of the request
+// latency. The parser below handles exactly the documented request shape
+// {"rows": [[...], ...]} — one flat backing array for all values, strict
+// JSON number grammar — and reports !ok for anything else, in which case
+// the caller re-decodes with encoding/json so every error message, unknown
+// field and type mismatch behaves exactly as the stdlib path. The encoder
+// is the mirror image for the score/rank responses, whose payload is almost
+// entirely float and int arrays.
+
+// parseScoreRows decodes {"rows": [[numbers...], ...]}. The returned rows
+// share one backing array. ok is false whenever the body is not exactly
+// that shape (including any JSON error or an out-of-range number).
+func parseScoreRows(b []byte) (rows [][]float64, ok bool) {
+	p := fastParser{b: b}
+	p.ws()
+	if !p.eat('{') || !p.skipWSEat('"') {
+		return nil, false
+	}
+	// Key must be exactly "rows" (no escapes to worry about: anything else
+	// fails the literal match and falls back).
+	if !p.lit(`rows"`) || !p.skipWSEat(':') || !p.skipWSEat('[') {
+		return nil, false
+	}
+	// Pre-size the flat value store from the body size (shortest-form
+	// float64 text runs ~18 bytes; /8 overshoots mildly without paying
+	// for megabytes of zeroing) so large batches avoid growth copies.
+	flat := make([]float64, 0, len(b)/8+8)
+	var lens []int
+	p.ws()
+	if !p.eat(']') {
+		for {
+			if !p.skipWSEat('[') {
+				return nil, false
+			}
+			start := len(flat)
+			p.ws()
+			if !p.eat(']') {
+				for {
+					p.ws()
+					v, numOK := p.number()
+					if !numOK {
+						return nil, false
+					}
+					flat = append(flat, v)
+					p.ws()
+					if p.eat(',') {
+						continue
+					}
+					if p.eat(']') {
+						break
+					}
+					return nil, false
+				}
+			}
+			lens = append(lens, len(flat)-start)
+			p.ws()
+			if p.eat(',') {
+				continue
+			}
+			if p.eat(']') {
+				break
+			}
+			return nil, false
+		}
+	}
+	if !p.skipWSEat('}') {
+		return nil, false
+	}
+	p.ws()
+	if p.i != len(p.b) {
+		return nil, false
+	}
+	rows = make([][]float64, len(lens))
+	off := 0
+	for i, n := range lens {
+		rows[i] = flat[off : off+n : off+n]
+		off += n
+	}
+	return rows, true
+}
+
+type fastParser struct {
+	b []byte
+	i int
+}
+
+func (p *fastParser) ws() {
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+func (p *fastParser) eat(c byte) bool {
+	if p.i < len(p.b) && p.b[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *fastParser) skipWSEat(c byte) bool {
+	p.ws()
+	return p.eat(c)
+}
+
+func (p *fastParser) lit(s string) bool {
+	if p.i+len(s) > len(p.b) || string(p.b[p.i:p.i+len(s)]) != s {
+		return false
+	}
+	p.i += len(s)
+	return true
+}
+
+// number scans one value obeying the strict JSON number grammar
+// (-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?) and parses it.
+// strconv.ParseFloat alone is too lenient ("Inf", "0x1p2", "1_000"), so the
+// grammar is checked first; rejecting here sends the request down the
+// stdlib path for an authoritative error.
+func (p *fastParser) number() (float64, bool) {
+	start := p.i
+	if p.i < len(p.b) && p.b[p.i] == '-' {
+		p.i++
+	}
+	switch {
+	case p.i < len(p.b) && p.b[p.i] == '0':
+		p.i++
+	case p.i < len(p.b) && p.b[p.i] >= '1' && p.b[p.i] <= '9':
+		for p.i < len(p.b) && p.b[p.i] >= '0' && p.b[p.i] <= '9' {
+			p.i++
+		}
+	default:
+		return 0, false
+	}
+	if p.i < len(p.b) && p.b[p.i] == '.' {
+		p.i++
+		if p.i >= len(p.b) || p.b[p.i] < '0' || p.b[p.i] > '9' {
+			return 0, false
+		}
+		for p.i < len(p.b) && p.b[p.i] >= '0' && p.b[p.i] <= '9' {
+			p.i++
+		}
+	}
+	if p.i < len(p.b) && (p.b[p.i] == 'e' || p.b[p.i] == 'E') {
+		p.i++
+		if p.i < len(p.b) && (p.b[p.i] == '+' || p.b[p.i] == '-') {
+			p.i++
+		}
+		if p.i >= len(p.b) || p.b[p.i] < '0' || p.b[p.i] > '9' {
+			return 0, false
+		}
+		for p.i < len(p.b) && p.b[p.i] >= '0' && p.b[p.i] <= '9' {
+			p.i++
+		}
+	}
+	v, err := strconv.ParseFloat(string(p.b[start:p.i]), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// appendScoreResponse encodes the /score (positions == nil) or /rank
+// response into dst. ok is false when the payload needs stdlib escaping or
+// encoding (a model id with exotic bytes, a non-finite score) — callers
+// fall back to writeJSON then.
+func appendScoreResponse(dst []byte, id string, scores []float64, positions []int) ([]byte, bool) {
+	if !plainJSONString(id) {
+		return nil, false
+	}
+	for _, v := range scores {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, false
+		}
+	}
+	b := append(dst, `{"model_id":"`...)
+	b = append(b, id...)
+	b = append(b, `","count":`...)
+	b = strconv.AppendInt(b, int64(len(scores)), 10)
+	b = append(b, `,"scores":[`...)
+	for i, v := range scores {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	}
+	b = append(b, ']')
+	if positions != nil {
+		b = append(b, `,"positions":[`...)
+		for i, v := range positions {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(v), 10)
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}'), true
+}
+
+// plainJSONString reports whether s encodes as itself inside quotes: no
+// escapes, no control bytes, no non-ASCII (registry ids always qualify).
+func plainJSONString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}

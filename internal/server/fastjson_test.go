@@ -1,0 +1,169 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseScoreRowsAgreesWithStdlib(t *testing.T) {
+	accept := []string{
+		`{"rows":[[1,2,3],[4.5,-6e2,0.75]]}`,
+		`{"rows":[[0.1]]}`,
+		`{"rows":[]}`,
+		` { "rows" : [ [ 1 , 2 ] , [ 3 , 4 ] ] } `,
+		"{\n\t\"rows\": [[1e-9, 2E+4, -0.5]]\r\n}",
+		`{"rows":[[0],[1],[2]]}`,
+		`{"rows":[[-0]]}`,
+	}
+	for _, body := range accept {
+		got, ok := parseScoreRows([]byte(body))
+		if !ok {
+			t.Errorf("fast parser rejected valid body %q", body)
+			continue
+		}
+		var want ScoreRequest
+		if err := json.Unmarshal([]byte(body), &want); err != nil {
+			t.Fatalf("stdlib rejected %q: %v", body, err)
+		}
+		if len(got) != len(want.Rows) {
+			t.Errorf("%q: %d rows vs stdlib %d", body, len(got), len(want.Rows))
+			continue
+		}
+		for i := range got {
+			if !reflect.DeepEqual(append([]float64{}, got[i]...), append([]float64{}, want.Rows[i]...)) {
+				t.Errorf("%q row %d: %v vs stdlib %v", body, i, got[i], want.Rows[i])
+			}
+		}
+	}
+}
+
+func TestParseScoreRowsRejectsNonCanonical(t *testing.T) {
+	// Everything here must fall back to the stdlib decoder (ok=false):
+	// either invalid JSON, or valid JSON the fast path does not cover.
+	reject := []string{
+		``,
+		`{"rows":[[1,2],[3]]`,          // truncated
+		`{"rows":[[1,2]]} trailing`,    // garbage after body
+		`{"rows":[[1,2]],"x":1}`,       // unknown field
+		`{"ROWS":[[1]]}`,               // wrong key case
+		`{"rows":[[01]]}`,              // leading zero
+		`{"rows":[[1.]]}`,              // bare fraction dot
+		`{"rows":[[.5]]}`,              // missing integer part
+		`{"rows":[[+1]]}`,              // leading plus
+		`{"rows":[[Inf]]}`,             // not a JSON number
+		`{"rows":[[NaN]]}`,             // not a JSON number
+		`{"rows":[[0x10]]}`,            // hex float
+		`{"rows":[[1_000]]}`,           // underscores
+		`{"rows":[[1e999]]}`,           // out of range
+		`{"rows":[["1"]]}`,             // string element
+		`{"rows":[[1],null]}`,          // null row
+		`{"rows":null}`,                // null rows
+		`{"rows":[[1,]]}`,              // trailing comma
+		`{"rows":[[1],[2],]}`,          // trailing comma
+		`[["rows"]]`,                   // not an object
+		`{"rows":[[2]]}{"rows":[[2]]}`, // two documents
+	}
+	for _, body := range reject {
+		if _, ok := parseScoreRows([]byte(body)); ok {
+			t.Errorf("fast parser accepted %q, must fall back", body)
+		}
+	}
+}
+
+func TestAppendScoreResponseMatchesStdlib(t *testing.T) {
+	scores := []float64{0, 1, 0.12345678901234567, 6.21801796743513e-05, 1e-9}
+	positions := []int{5, 1, 3, 4, 2}
+
+	b, ok := appendScoreResponse(nil, "bench-v1", scores, nil)
+	if !ok {
+		t.Fatal("fast encoder declined a plain payload")
+	}
+	var got ScoreResponse
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("fast /score response is not valid JSON: %v\n%s", err, b)
+	}
+	want := ScoreResponse{ModelID: "bench-v1", Count: len(scores), Scores: scores}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	b, ok = appendScoreResponse(nil, "bench-v1", scores, positions)
+	if !ok {
+		t.Fatal("fast encoder declined a rank payload")
+	}
+	var gotR RankResponse
+	if err := json.Unmarshal(b, &gotR); err != nil {
+		t.Fatalf("fast /rank response is not valid JSON: %v\n%s", err, b)
+	}
+	wantR := RankResponse{ModelID: "bench-v1", Count: len(scores), Scores: scores, Positions: positions}
+	if !reflect.DeepEqual(gotR, wantR) {
+		t.Errorf("rank round-trip mismatch:\n got %+v\nwant %+v", gotR, wantR)
+	}
+}
+
+func TestAppendScoreResponseFallsBack(t *testing.T) {
+	if _, ok := appendScoreResponse(nil, "we\"ird", []float64{1}, nil); ok {
+		t.Errorf("id needing escapes must fall back")
+	}
+	if _, ok := appendScoreResponse(nil, "ok", []float64{math.NaN()}, nil); ok {
+		t.Errorf("non-finite score must fall back")
+	}
+	if _, ok := appendScoreResponse(nil, "ok", []float64{math.Inf(1)}, nil); ok {
+		t.Errorf("infinite score must fall back")
+	}
+}
+
+// TestScoreEndpointFastAndFallbackAgree exercises the full /score handler
+// with a body the fast parser accepts and a semantically identical one it
+// must decline (the key spelled with a \u escape, which only the stdlib
+// decoder understands), asserting identical scores either way.
+func TestScoreEndpointFastAndFallbackAgree(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	fit := decodeBody[FitResponse](t, postJSON(t, ts.URL+"/v1/models", FitRequest{
+		Name:  "fj",
+		Alpha: []float64{1, 1, -1},
+		Rows:  trainingRows(40),
+	}))
+	id := fit.Model.ID
+
+	post := func(body string) ScoreResponse {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/models/"+id+"/score", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+		return decodeBody[ScoreResponse](t, resp)
+	}
+
+	fast := post(`{"rows":[[1,2,3],[9,1.5,0.5]]}`)
+	// The \u0072 escape spells "rows" in a form only the stdlib decoder
+	// resolves, forcing the fallback path with identical content.
+	slow := post(`{"\u0072ows":[[1,2,3],[9,1.5,0.5]]}`)
+	if !reflect.DeepEqual(fast.Scores, slow.Scores) {
+		t.Errorf("fast path scores %v != fallback scores %v", fast.Scores, slow.Scores)
+	}
+	if fast.Count != 2 || fast.ModelID != id {
+		t.Errorf("unexpected response %+v", fast)
+	}
+
+	// The empty batch must 400 on the fast-parsed shape exactly like the
+	// fallback shape {"rows":null} (see the score-validation test).
+	resp, err := http.Post(ts.URL+"/v1/models/"+id+"/score", "application/json", strings.NewReader(`{"rows":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty fast-path batch: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -32,12 +32,12 @@ type Pool struct {
 }
 
 type poolTask struct {
-	model *core.Model
-	rows  [][]float64 // the chunk
-	out   []float64   // full output slice
-	base  int         // chunk offset into out
-	done  *sync.WaitGroup
-	fail  *atomic.Pointer[any] // first panic value of the batch, if any
+	scorer *core.Scorer // chunk-owned compiled scorer (clone of the batch's)
+	rows   [][]float64  // the chunk
+	out    []float64    // full output slice
+	base   int          // chunk offset into out
+	done   *sync.WaitGroup
+	fail   *atomic.Pointer[any] // first panic value of the batch, if any
 }
 
 // NewPool starts a pool with the given number of workers (≤ 0 selects
@@ -64,7 +64,7 @@ func (p *Pool) worker() {
 	}
 }
 
-// runTask scores one chunk. A panic in Model.Score (a poison model) must
+// runTask scores one chunk. A panic in Scorer.Score (a poison model) must
 // not kill the worker — and with it the process — nor leave the batch's
 // WaitGroup hanging: it is captured for ScoreBatch to re-raise on the
 // request goroutine, where net/http's recover turns it into one failed
@@ -77,7 +77,7 @@ func (p *Pool) runTask(t poolTask) {
 		t.done.Done()
 	}()
 	for i, row := range t.rows {
-		t.out[t.base+i] = t.model.Score(row)
+		t.out[t.base+i] = t.scorer.Score(row)
 	}
 }
 
@@ -97,9 +97,12 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 }
 
-// ScoreBatch scores every row with m. Batches of at least
-// concurrencyThreshold rows are split into chunks and scored by the pool;
-// smaller ones run inline. The scores are identical either way.
+// ScoreBatch scores every row with m, compiling the model once per batch
+// (core.Model.Compile) so the per-row work is allocation-free however the
+// batch is scheduled. Batches of at least concurrencyThreshold rows are
+// split into chunks and scored by the pool — each chunk gets its own cheap
+// clone of the compiled scorer, sharing the coefficients — while smaller
+// ones run inline. The scores are identical either way.
 func (p *Pool) ScoreBatch(m *core.Model, rows [][]float64) []float64 {
 	if p == nil || len(rows) < concurrencyThreshold {
 		return m.ScoreAll(rows)
@@ -109,6 +112,7 @@ func (p *Pool) ScoreBatch(m *core.Model, rows [][]float64) []float64 {
 		p.closeMu.RUnlock()
 		return m.ScoreAll(rows)
 	}
+	sc := m.Compile()
 	out := make([]float64, len(rows))
 	// Aim for a few chunks per worker so an uneven row mix still balances,
 	// but never chunks so small the channel hops dominate.
@@ -118,13 +122,19 @@ func (p *Pool) ScoreBatch(m *core.Model, rows [][]float64) []float64 {
 	}
 	var done sync.WaitGroup
 	var fail atomic.Pointer[any]
+	first := true
 	for base := 0; base < len(rows); base += chunk {
 		end := base + chunk
 		if end > len(rows) {
 			end = len(rows)
 		}
+		cs := sc
+		if !first {
+			cs = sc.Clone()
+		}
+		first = false
 		done.Add(1)
-		p.tasks <- poolTask{model: m, rows: rows[base:end], out: out, base: base, done: &done, fail: &fail}
+		p.tasks <- poolTask{scorer: cs, rows: rows[base:end], out: out, base: base, done: &done, fail: &fail}
 	}
 	p.closeMu.RUnlock()
 	done.Wait()

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"rpcrank/internal/core"
@@ -155,6 +156,92 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// decodeJSONBytes is decodeJSON over an already-read body, used when the
+// fast-path parser declined it.
+func decodeJSONBytes(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("decoding request body: %v", err)
+	}
+	// Reject trailing garbage so truncated uploads fail loudly.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return badRequest("unexpected data after JSON body")
+	}
+	return nil
+}
+
+// writeRawJSON writes a pre-encoded JSON document, mirroring writeJSON's
+// framing (json.Encoder terminates documents with a newline).
+func writeRawJSON(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+	w.Write([]byte{'\n'})
+}
+
+// bodyPool and respPool recycle request-body and response-encode buffers
+// between score/rank calls; buffers past poolMaxBuf are left for the
+// collector rather than pinned forever. Pooled as *[]byte so Put does not
+// re-box the slice header every time.
+var (
+	bodyPool sync.Pool
+	respPool sync.Pool
+)
+
+const poolMaxBuf = 1 << 20
+
+func getBuf(pool *sync.Pool) []byte {
+	if p, ok := pool.Get().(*[]byte); ok {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+func putBuf(pool *sync.Pool, b []byte) {
+	if cap(b) == 0 || cap(b) > poolMaxBuf {
+		return
+	}
+	pool.Put(&b)
+}
+
+// readBody reads the whole (MaxBytesReader-limited) body into a pooled
+// buffer pre-sized from Content-Length, avoiding io.ReadAll's growth
+// copies on megabyte batches. Content-Length is only trusted up to
+// maxBody — the same bound MaxBytesReader enforces on the actual read —
+// so a forged header cannot allocate beyond the configured request cap.
+// The caller returns the buffer via putBuf (which keeps only buffers up
+// to poolMaxBuf).
+func readBody(r *http.Request, maxBody int64) ([]byte, error) {
+	buf := getBuf(&bodyPool)
+	if n := r.ContentLength; n > 0 && n+1 <= maxBody+2 && int64(cap(buf)) < n+1 {
+		putBuf(&bodyPool, buf)
+		buf = make([]byte, 0, n+1)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+func uniformDim(rows [][]float64, dim int) bool {
+	for _, row := range rows {
+		if len(row) != dim {
+			return false
+		}
+	}
+	return true
 }
 
 func decodeJSON(r *http.Request, v any) error {
@@ -302,7 +389,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 // scoreRows is the shared validation + worker-pool scoring path behind
-// /score and /rank.
+// /score and /rank. The request body goes through a hand-rolled decoder for
+// the overwhelmingly common {"rows": [[...]]} shape (reflection-based JSON
+// decoding dominates large-batch latency otherwise); anything that parser
+// does not recognise byte-for-byte falls back to encoding/json so error
+// behaviour — unknown fields, type mismatches, trailing garbage — is
+// exactly the stdlib's.
 func (s *Server) scoreRows(r *http.Request) (id string, scores []float64, err error) {
 	id = r.PathValue("id")
 	// Validate against the metadata first: a request that will be
@@ -311,21 +403,46 @@ func (s *Server) scoreRows(r *http.Request) (id string, scores []float64, err er
 	if err != nil {
 		return id, nil, err
 	}
-	var req ScoreRequest
-	if err := decodeJSON(r, &req); err != nil {
-		return id, nil, err
+	body, err := readBody(r, s.opts.MaxBodyBytes)
+	if err != nil {
+		putBuf(&bodyPool, body)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return id, nil, mbe
+		}
+		return id, nil, badRequest("reading request body: %v", err)
 	}
-	if len(req.Rows) > s.opts.MaxBatchRows {
-		return id, nil, badRequest("%d rows exceeds the limit of %d", len(req.Rows), s.opts.MaxBatchRows)
+	rows, fast := parseScoreRows(body)
+	if !fast {
+		var req ScoreRequest
+		err := decodeJSONBytes(body, &req)
+		putBuf(&bodyPool, body)
+		if err != nil {
+			return id, nil, err
+		}
+		rows = req.Rows
+	} else {
+		// The parsed rows own their values; the body is done.
+		putBuf(&bodyPool, body)
 	}
-	if err := order.ValidateRows(req.Rows, meta.Dim); err != nil {
-		return id, nil, badRequest("invalid rows: %v", err)
+	if len(rows) > s.opts.MaxBatchRows {
+		return id, nil, badRequest("%d rows exceeds the limit of %d", len(rows), s.opts.MaxBatchRows)
+	}
+	// The fast parser only yields finite values (JSON has no NaN/Inf
+	// literals and range errors reject), so when every row already has the
+	// model's dimension the ValidateRows value scan is redundant; any
+	// mismatch — and the empty batch, which must 400 exactly like the
+	// fallback path — still goes through it for the canonical error.
+	if !fast || len(rows) == 0 || !uniformDim(rows, meta.Dim) {
+		if err := order.ValidateRows(rows, meta.Dim); err != nil {
+			return id, nil, badRequest("invalid rows: %v", err)
+		}
 	}
 	m, _, err := s.reg.Get(id)
 	if err != nil {
 		return id, nil, err
 	}
-	scores = s.pool.ScoreBatch(m, req.Rows)
+	scores = s.pool.ScoreBatch(m, rows)
 	s.metrics.AddRows(len(scores))
 	return id, scores, nil
 }
@@ -336,6 +453,13 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	buf := getBuf(&respPool)
+	if b, ok := appendScoreResponse(buf, id, scores, nil); ok {
+		writeRawJSON(w, b)
+		putBuf(&respPool, b)
+		return
+	}
+	putBuf(&respPool, buf)
 	writeJSON(w, http.StatusOK, ScoreResponse{ModelID: id, Count: len(scores), Scores: scores})
 }
 
@@ -345,11 +469,19 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	positions := order.RankFromScores(scores)
+	buf := getBuf(&respPool)
+	if b, ok := appendScoreResponse(buf, id, scores, positions); ok {
+		writeRawJSON(w, b)
+		putBuf(&respPool, b)
+		return
+	}
+	putBuf(&respPool, buf)
 	writeJSON(w, http.StatusOK, RankResponse{
 		ModelID:   id,
 		Count:     len(scores),
 		Scores:    scores,
-		Positions: order.RankFromScores(scores),
+		Positions: positions,
 	})
 }
 

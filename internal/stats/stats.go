@@ -61,12 +61,19 @@ func (n *Normalizer) Dim() int { return len(n.Min) }
 
 // Apply maps a row into [0,1]^d.
 func (n *Normalizer) Apply(x []float64) []float64 {
+	return n.ApplyInto(make([]float64, len(x)), x)
+}
+
+// ApplyInto maps a row into [0,1]^d writing the result into dst (which must
+// have the normaliser's dimension) and returns dst. It is the
+// allocation-free form of Apply for scoring hot paths; dst may alias x.
+func (n *Normalizer) ApplyInto(dst, x []float64) []float64 {
 	n.check(x)
-	out := make([]float64, len(x))
+	n.check(dst)
 	for j, v := range x {
-		out[j] = (v - n.Min[j]) / (n.Max[j] - n.Min[j])
+		dst[j] = (v - n.Min[j]) / (n.Max[j] - n.Min[j])
 	}
-	return out
+	return dst
 }
 
 // ApplyAll maps every row.

@@ -194,3 +194,36 @@ func TestMinMax(t *testing.T) {
 	}()
 	MinMax(nil)
 }
+
+func TestApplyIntoMatchesApply(t *testing.T) {
+	n, err := FitNormalizer([][]float64{{1, 10, -5}, {3, 20, 5}, {2, 12, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{2.5, 11, 4}
+	want := n.Apply(x)
+	dst := make([]float64, 3)
+	got := n.ApplyInto(dst, x)
+	if &got[0] != &dst[0] {
+		t.Errorf("ApplyInto must return dst")
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Errorf("col %d: %v vs %v", j, got[j], want[j])
+		}
+	}
+	// Aliasing dst and x is documented as safe.
+	inPlace := append([]float64{}, x...)
+	n.ApplyInto(inPlace, inPlace)
+	for j := range want {
+		if inPlace[j] != want[j] {
+			t.Errorf("aliased col %d: %v vs %v", j, inPlace[j], want[j])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("short dst must panic")
+		}
+	}()
+	n.ApplyInto(make([]float64, 2), x)
+}
