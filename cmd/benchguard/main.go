@@ -12,7 +12,8 @@
 //	                                                           raw bench lines (for benchstat)
 //
 // Multiple -count runs of one benchmark are reduced to the geometric mean
-// of ns/op (robust to the occasional noisy run) and the maximum allocs/op.
+// of ns/op (robust to the occasional noisy run) and the maximum allocs/op
+// and B/op (bytes allocated).
 package main
 
 import (
@@ -45,11 +46,13 @@ type Baseline struct {
 type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
 	Runs        int     `json:"runs"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
 var allocsField = regexp.MustCompile(`(\d+) allocs/op`)
+var bytesField = regexp.MustCompile(`(\d+) B/op`)
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -141,6 +144,7 @@ func parseBench(r io.Reader) (map[string]Result, []string, error) {
 	type acc struct {
 		logSum float64
 		allocs int64
+		bytes  int64
 		runs   int
 	}
 	accs := map[string]*acc{}
@@ -170,6 +174,11 @@ func parseBench(r io.Reader) (map[string]Result, []string, error) {
 				a.allocs = v
 			}
 		}
+		if bm := bytesField.FindStringSubmatch(m[3]); bm != nil {
+			if v, err := strconv.ParseInt(bm[1], 10, 64); err == nil && v > a.bytes {
+				a.bytes = v
+			}
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, nil, err
@@ -179,6 +188,7 @@ func parseBench(r io.Reader) (map[string]Result, []string, error) {
 		out[name] = Result{
 			NsPerOp:     math.Exp(a.logSum / float64(a.runs)),
 			AllocsPerOp: a.allocs,
+			BytesPerOp:  a.bytes,
 			Runs:        a.runs,
 		}
 	}
@@ -211,8 +221,8 @@ func compare(out io.Writer, base Baseline, results map[string]Result, maxRatio f
 			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, baseline is allocation-free",
 				name, got.AllocsPerOp))
 		}
-		fmt.Fprintf(out, "benchguard: %-50s %10.1f ns/op  baseline %10.1f  ratio %5.2f  %s\n",
-			name, got.NsPerOp, want.NsPerOp, ratio, status)
+		fmt.Fprintf(out, "benchguard: %-50s %10.1f ns/op  baseline %10.1f  ratio %5.2f  %6d B/op (baseline %d)  %s\n",
+			name, got.NsPerOp, want.NsPerOp, ratio, got.BytesPerOp, want.BytesPerOp, status)
 	}
 	for name := range base.Benchmarks {
 		if _, ok := results[name]; !ok {

@@ -23,9 +23,9 @@ func main() {
 	smca := res.Table.Index("IEEE T SYST MAN CY A")
 	fmt.Println("\nthe paper's headline pair:")
 	fmt.Printf("  SMCA: IF %.3f  influence %.3f  -> RPC rank %d\n",
-		res.Table.Rows[smca][0], res.Table.Rows[smca][4], res.RPCOrder[smca])
+		res.Table.Row(smca)[0], res.Table.Row(smca)[4], res.RPCOrder[smca])
 	fmt.Printf("  TKDE: IF %.3f  influence %.3f  -> RPC rank %d\n",
-		res.Table.Rows[tkde][0], res.Table.Rows[tkde][4], res.RPCOrder[tkde])
+		res.Table.Row(tkde)[0], res.Table.Row(tkde)[4], res.RPCOrder[tkde])
 	fmt.Println("  SMCA has the higher Impact Factor, yet TKDE ranks higher overall,")
 	fmt.Println("  because the RPC weighs all five indicators through the data skeleton.")
 }

@@ -1,5 +1,7 @@
 package core
 
+import "rpcrank/internal/frame"
+
 // Scorer is the compiled serving form of a fitted Model: the curve's
 // distance profile precomputed into Horner-evaluated polynomial
 // coefficients, plus reusable scratch, so scoring one observation performs
@@ -127,7 +129,9 @@ func (sc *Scorer) Score(x []float64) float64 {
 
 // ScoreInto scores every row into dst, reusing dst's backing array when it
 // has the capacity (allocating a fresh slice otherwise), and returns the
-// slice of len(rows) scores.
+// slice of len(rows) scores. Beyond the possible dst growth it allocates
+// nothing, and each score carries the Score/Model.Score 1e-12 agreement
+// contract with the uncompiled reference projection.
 func (sc *Scorer) ScoreInto(dst []float64, rows [][]float64) []float64 {
 	if cap(dst) >= len(rows) {
 		dst = dst[:len(rows)]
@@ -138,4 +142,31 @@ func (sc *Scorer) ScoreInto(dst []float64, rows [][]float64) []float64 {
 		dst[i] = sc.Score(x)
 	}
 	return dst
+}
+
+// ScoreFrame scores every row of the frame into dst under the same reuse
+// and parity contract as ScoreInto: dst's backing array is kept when it has
+// the capacity, nothing else is allocated, and every score agrees with the
+// uncompiled reference projection (Model.Score) to within 1e-12 on
+// componentwise-monotone curves. Rows are zero-copy strided views into the
+// frame's contiguous backing array, so large batches stream through the
+// cache instead of chasing row pointers.
+func (sc *Scorer) ScoreFrame(dst []float64, f *frame.Frame) []float64 {
+	if cap(dst) >= f.N() {
+		dst = dst[:f.N()]
+	} else {
+		dst = make([]float64, f.N())
+	}
+	sc.ScoreFrameRange(dst, f, 0, f.N())
+	return dst
+}
+
+// ScoreFrameRange scores frame rows [lo, hi) into dst[lo:hi]. It is the
+// sharding primitive behind worker pools: several goroutines, each holding
+// its own Scorer, write disjoint ranges of one shared dst over one shared
+// read-only frame with no synchronisation.
+func (sc *Scorer) ScoreFrameRange(dst []float64, f *frame.Frame, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = sc.Score(f.Row(i))
+	}
 }

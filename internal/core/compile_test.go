@@ -10,6 +10,8 @@ import (
 	"rpcrank/internal/bezier"
 	"rpcrank/internal/order"
 	"rpcrank/internal/stats"
+
+	"rpcrank/internal/frame"
 )
 
 // scoreParityTol is the compiled-scorer contract: Model.Compile().Score
@@ -81,6 +83,8 @@ func TestCompiledScoreParityProperty(t *testing.T) {
 				m := randParityModel(rng, deg, dim, proj)
 				sc := m.Compile()
 				x := make([]float64, dim)
+				fr := frame.WithCapacity(dim, rowsPer)
+				refs := make([]float64, 0, rowsPer)
 				worst := 0.0
 				for trial := 0; trial < rowsPer; trial++ {
 					for j := range x {
@@ -94,10 +98,21 @@ func TestCompiledScoreParityProperty(t *testing.T) {
 					if d := math.Abs(ref - got); d > worst {
 						worst = d
 					}
+					fr.AppendRow(x)
+					refs = append(refs, ref)
 				}
 				if worst > scoreParityTol {
 					t.Errorf("deg=%d dim=%d proj=%v: worst |ref−compiled| = %.3g > %.0g",
 						deg, dim, proj, worst, scoreParityTol)
+				}
+				// ScoreFrame carries the same 1e-12 contract against the
+				// reference projection over the whole batch at once.
+				batch := sc.ScoreFrame(nil, fr)
+				for i, b := range batch {
+					if math.Abs(refs[i]-b) > scoreParityTol {
+						t.Errorf("deg=%d dim=%d proj=%v row %d: ScoreFrame %v vs reference %v",
+							deg, dim, proj, i, b, refs[i])
+					}
 				}
 			}
 		}
@@ -150,6 +165,42 @@ func TestScorerZeroAllocs(t *testing.T) {
 			if n := testing.AllocsPerRun(200, func() { sc.Score(probe) }); n != 0 {
 				t.Errorf("proj=%v deg=%d: Scorer.Score allocates %v times per call", proj, deg, n)
 			}
+		}
+	}
+}
+
+// TestScoreFrameReusesBuffer pins ScoreFrame's buffer contract: dst is
+// kept when it has the capacity, the scores match per-row Score exactly,
+// and a warm scorer allocates nothing for the whole batch.
+func TestScoreFrameReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	m := randParityModel(rng, 3, 2, ProjectorNewton)
+	sc := m.Compile()
+	fr := frame.MustFromRows([][]float64{
+		{m.Norm.Min[0], m.Norm.Min[1]},
+		{m.Norm.Max[0], m.Norm.Max[1]},
+		{0.5 * (m.Norm.Min[0] + m.Norm.Max[0]), 0.5 * (m.Norm.Min[1] + m.Norm.Max[1])},
+	})
+	dst := make([]float64, 0, 8)
+	out := sc.ScoreFrame(dst, fr)
+	if len(out) != fr.N() {
+		t.Fatalf("ScoreFrame returned %d scores, want %d", len(out), fr.N())
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Errorf("ScoreFrame did not reuse the provided backing array")
+	}
+	for i := range out {
+		if got := sc.Score(fr.Row(i)); got != out[i] {
+			t.Errorf("row %d: ScoreFrame %v vs Score %v", i, out[i], got)
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() { sc.ScoreFrame(out, fr) }); n != 0 {
+		t.Errorf("warm ScoreFrame allocates %v times per batch", n)
+	}
+	// Model.ScoreFrame (pooled scorer) agrees with the direct path.
+	for i, v := range m.ScoreFrame(fr) {
+		if v != out[i] {
+			t.Errorf("row %d: Model.ScoreFrame %v vs Scorer.ScoreFrame %v", i, v, out[i])
 		}
 	}
 }

@@ -41,7 +41,7 @@ type Diagnostics struct {
 // accessors.
 func (m *Model) Diagnose() Diagnostics {
 	d := Diagnostics{
-		N:                 len(m.data),
+		N:                 m.data.N(),
 		Dim:               m.Dim(),
 		Degree:            m.Curve.Degree(),
 		Iterations:        m.Iterations,
@@ -64,8 +64,9 @@ func (m *Model) Diagnose() Diagnostics {
 			resid[len(resid)-1],
 		}
 	}
-	d.DominanceViolations, d.ComparablePairs = order.ViolatedPairs(m.Alpha, m.data, m.Scores)
-	d.FrontConsistency = m.Alpha.FrontConsistency(m.data, m.Scores)
+	rows := m.data.ToRows()
+	d.DominanceViolations, d.ComparablePairs = order.ViolatedPairs(m.Alpha, rows, m.Scores)
+	d.FrontConsistency = m.Alpha.FrontConsistency(rows, m.Scores)
 	if len(m.Scores) > 0 {
 		lo, hi := m.Scores[0], m.Scores[0]
 		for _, s := range m.Scores {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"math/rand"
 	"strings"
 	"testing"
@@ -63,5 +64,37 @@ func TestQuantileEdgeCases(t *testing.T) {
 	}
 	if got := quantile(two, 1); got != 10 {
 		t.Errorf("q=1 of {0,10} = %v, want 10", got)
+	}
+}
+
+// TestDiagnoseLoadedModel pins the degraded-but-safe behavior of
+// diagnostics on models whose training data was not retained (Load,
+// ServingCopy): no panic, zero counts, explained variance 1.
+func TestDiagnoseLoadedModel(t *testing.T) {
+	xs := make([][]float64, 24)
+	for i := range xs {
+		u := float64(i) / 23
+		xs[i] = []float64{u, 1 - u}
+	}
+	m, err := Fit(xs, Options{Alpha: order.MustDirection(1, -1), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, lm := range map[string]*Model{"loaded": loaded, "serving copy": m.ServingCopy()} {
+		d := lm.Diagnose()
+		if d.N != 0 || d.DominanceViolations != 0 {
+			t.Errorf("%s: diagnose = %+v, want empty", name, d)
+		}
+		if ev := lm.ExplainedVariance(); ev != 1 {
+			t.Errorf("%s: explained variance %v, want 1 (no residuals retained)", name, ev)
+		}
 	}
 }

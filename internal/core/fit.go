@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"rpcrank/internal/bezier"
+	"rpcrank/internal/frame"
 	"rpcrank/internal/mat"
 	"rpcrank/internal/order"
 	"rpcrank/internal/stats"
@@ -24,7 +25,6 @@ import (
 //     pseudo-inverse), clamp the interior control points into the open box;
 //  4. stop when ΔJ < ξ, when J would increase, or at MaxIter.
 func Fit(xs [][]float64, opts Options) (*Model, error) {
-	opts = opts.withDefaults()
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("core: no observations")
 	}
@@ -35,13 +35,39 @@ func Fit(xs [][]float64, opts Options) (*Model, error) {
 	if err := order.ValidateRows(xs, len(xs[0])); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	if err := opts.validate(len(xs), len(xs[0])); err != nil {
+	f, err := frame.FromRows(xs)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return fitValidated(f, opts)
+}
+
+// FitFrame is Fit over a contiguous frame — the native entry point of the
+// data plane: dataset tables, cross-validation folds, and the server's fit
+// endpoint all hold frames already, so no slice-of-slice round trip is
+// paid. The frame is read, never modified; the model keeps its own
+// normalised copy.
+func FitFrame(f *frame.Frame, opts Options) (*Model, error) {
+	if f == nil || f.N() == 0 {
+		return nil, fmt.Errorf("core: no observations")
+	}
+	if err := order.ValidateFrame(f, f.Dim()); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return fitValidated(f, opts)
+}
+
+// fitValidated is the shared Algorithm-1 driver behind Fit and FitFrame;
+// the input frame has passed shape/finiteness validation.
+func fitValidated(f *frame.Frame, opts Options) (*Model, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(f.N(), f.Dim()); err != nil {
 		return nil, err
 	}
 	if opts.Restarts > 1 {
-		return fitMultiStart(xs, opts)
+		return fitMultiStart(f, opts)
 	}
-	return fitOnce(xs, opts)
+	return fitOnce(f, opts)
 }
 
 // fitMultiStart runs fitOnce from several initialisations and returns the
@@ -50,27 +76,27 @@ func Fit(xs [][]float64, opts Options) (*Model, error) {
 // interior quantiles of a rough weighted-sum ordering (a deterministic
 // version of Algorithm 1's sample-based init), and further restarts draw
 // random data rows.
-func fitMultiStart(xs [][]float64, opts Options) (*Model, error) {
+func fitMultiStart(f *frame.Frame, opts Options) (*Model, error) {
 	restarts := opts.Restarts
 	rng := rand.New(rand.NewSource(opts.Seed + 1000003))
 
 	// Normalised rows for building inits (fitOnce re-normalises the data
-	// itself, so inits must live in the same unit box).
-	var u [][]float64
-	if opts.NoNormalize {
-		u = xs
-	} else {
-		norm, err := stats.FitNormalizer(xs)
+	// itself, so inits must live in the same unit box). NoNormalize input
+	// is already in the unit box and is only read here.
+	u := f
+	if !opts.NoNormalize {
+		norm, err := stats.FitNormalizerFrame(f)
 		if err != nil {
 			return nil, err
 		}
-		u = norm.ApplyAll(xs)
+		u = f.Clone()
+		norm.ApplyFrame(u)
 	}
 	// Rough ordering by the oriented attribute sum.
-	rough := make([]float64, len(u))
-	for i, row := range u {
+	rough := make([]float64, u.N())
+	for i := range rough {
 		for j, s := range opts.Alpha {
-			rough[i] += s * row[j]
+			rough[i] += s * u.At(i, j)
 		}
 	}
 	byRough := order.SortByScoreDesc(rough) // best-first
@@ -88,17 +114,17 @@ func fitMultiStart(xs [][]float64, opts Options) (*Model, error) {
 				// inner[0] is the *low*-score row (near p₀'s corner).
 				q := float64(i+1) / float64(o.Degree)
 				pos := byRough[len(byRough)-1-int(q*float64(len(byRough)-1))]
-				inner[i] = append([]float64{}, u[pos]...)
+				inner[i] = append([]float64{}, u.Row(pos)...)
 			}
 			o.InitInner = inner
 		case r > 1:
 			inner := make([][]float64, o.Degree-1)
 			for i := range inner {
-				inner[i] = append([]float64{}, u[rng.Intn(len(u))]...)
+				inner[i] = append([]float64{}, u.Row(rng.Intn(u.N()))...)
 			}
 			o.InitInner = inner
 		}
-		m, err := fitOnce(xs, o)
+		m, err := fitOnce(f, o)
 		if err != nil {
 			return nil, err
 		}
@@ -109,20 +135,22 @@ func fitMultiStart(xs [][]float64, opts Options) (*Model, error) {
 	return best, nil
 }
 
-// fitOnce is a single run of Algorithm 1.
-func fitOnce(xs [][]float64, opts Options) (*Model, error) {
+// fitOnce is a single run of Algorithm 1. The input frame is read, never
+// written: the normalised working copy u is cloned off it (one contiguous
+// memcpy) and transformed in place.
+func fitOnce(f *frame.Frame, opts Options) (*Model, error) {
 
 	var norm *stats.Normalizer
 	if opts.NoNormalize {
-		d := len(xs[0])
+		d := f.Dim()
 		norm = &stats.Normalizer{Min: make([]float64, d), Max: make([]float64, d)}
 		for j := 0; j < d; j++ {
 			norm.Max[j] = 1
 		}
 		// Fit already rejected ragged rows and non-finite entries via
-		// order.ValidateRows; only the unit-box constraint is left.
-		for i, row := range xs {
-			for j, v := range row {
+		// order.ValidateFrame; only the unit-box constraint is left.
+		for i := 0; i < f.N(); i++ {
+			for j, v := range f.Row(i) {
 				if v < 0 || v > 1 {
 					return nil, fmt.Errorf("core: NoNormalize requires data in [0,1]; row %d column %d is %v", i, j, v)
 				}
@@ -130,22 +158,23 @@ func fitOnce(xs [][]float64, opts Options) (*Model, error) {
 		}
 	} else {
 		var err error
-		norm, err = stats.FitNormalizer(xs)
+		norm, err = stats.FitNormalizerFrame(f)
 		if err != nil {
 			return nil, err
 		}
 	}
-	u := norm.ApplyAll(xs)
-	n := len(u)
-	d := len(u[0])
+	u := f.Clone()
+	norm.ApplyFrame(u)
+	n := u.N()
+	d := u.Dim()
 	k := opts.Degree
 
 	curve := initCurve(opts, d, k)
 
 	// X as a d×n matrix (columns are observations), as in Eq. 23–27.
 	X := mat.Zeros(d, n)
-	for i, row := range u {
-		for j, v := range row {
+	for i := 0; i < n; i++ {
+		for j, v := range u.Row(i) {
 			X.Set(j, i, v)
 		}
 	}
@@ -295,12 +324,9 @@ func fitOnce(xs [][]float64, opts Options) (*Model, error) {
 // the pool round-trip. The result agrees with the uncompiled reference
 // projection to within 1e-12 (the compiled-scorer contract).
 func (m *Model) Score(x []float64) float64 {
-	sc, _ := m.scorers.Get().(*Scorer)
-	if sc == nil {
-		sc = m.Compile()
-	}
+	sc := m.AcquireScorer()
 	s := sc.Score(x)
-	m.scorers.Put(sc)
+	m.ReleaseScorer(sc)
 	return s
 }
 
@@ -318,12 +344,19 @@ func scoreReference(m *Model, x []float64) float64 {
 // Model.Compile), so a batch costs one output-slice allocation; the scores
 // are identical to per-row Model.Score, which borrows from the same pool.
 func (m *Model) ScoreAll(xs [][]float64) []float64 {
-	sc, _ := m.scorers.Get().(*Scorer)
-	if sc == nil {
-		sc = m.Compile()
-	}
+	sc := m.AcquireScorer()
 	out := sc.ScoreInto(make([]float64, len(xs)), xs)
-	m.scorers.Put(sc)
+	m.ReleaseScorer(sc)
+	return out
+}
+
+// ScoreFrame scores every frame row through a pooled compiled scorer; the
+// batch costs one output-slice allocation and the scores are identical to
+// per-row Model.Score.
+func (m *Model) ScoreFrame(f *frame.Frame) []float64 {
+	sc := m.AcquireScorer()
+	out := sc.ScoreFrame(make([]float64, f.N()), f)
+	m.ReleaseScorer(sc)
 	return out
 }
 
@@ -381,32 +414,34 @@ func constrainCurve(c *bezier.Curve, opts Options, d, k int) {
 	}
 }
 
-// projectAll runs the score step (Eq. 22) over every row through a compiled
-// projection engine: the curve is compiled once per call (per iteration of
-// Algorithm 1), not re-derived per row, and each worker goroutine gets its
-// own scratch via engine.clone, so the parallel result stays bit-identical
-// to the serial one.
-func projectAll(c *bezier.Curve, u [][]float64, scores, resid []float64, opts Options) {
+// projectAll runs the score step (Eq. 22) over every frame row through a
+// compiled projection engine: the curve is compiled once per call (per
+// iteration of Algorithm 1), not re-derived per row, the rows are strided
+// views into one contiguous array, and each worker goroutine gets its own
+// scratch via engine.clone, so the parallel result stays bit-identical to
+// the serial one.
+func projectAll(c *bezier.Curve, u *frame.Frame, scores, resid []float64, opts Options) {
 	eng := newEngine(c, opts)
 	workers := opts.Workers
 	if workers == -1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers <= 1 || len(u) < 4*workers {
-		for i, row := range u {
-			scores[i], resid[i] = eng.project(row)
+	n := u.N()
+	if workers <= 1 || n < 4*workers {
+		for i := 0; i < n; i++ {
+			scores[i], resid[i] = eng.project(u.Row(i))
 		}
 		return
 	}
-	// Each worker owns a disjoint index stripe, so no synchronisation
-	// beyond the WaitGroup is needed.
+	// Each worker owns a disjoint index stripe of the shared frame, so no
+	// synchronisation beyond the WaitGroup is needed.
 	var wg sync.WaitGroup
-	chunk := (len(u) + workers - 1) / workers
+	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > len(u) {
-			hi = len(u)
+		if hi > n {
+			hi = n
 		}
 		if lo >= hi {
 			break
@@ -419,7 +454,7 @@ func projectAll(c *bezier.Curve, u [][]float64, scores, resid []float64, opts Op
 		go func(e *engine, lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				scores[i], resid[i] = e.project(u[i])
+				scores[i], resid[i] = e.project(u.Row(i))
 			}
 		}(e, lo, hi)
 	}

@@ -7,6 +7,8 @@ import (
 
 	"rpcrank/internal/bezier"
 	"rpcrank/internal/order"
+
+	"rpcrank/internal/frame"
 )
 
 // genBezierCloud samples n points from a known strictly monotone cubic in
@@ -167,7 +169,7 @@ func TestFitStrictMonotonicityGuarantee(t *testing.T) {
 	if !m.StrictlyMonotone() {
 		t.Errorf("curve must stay strictly monotone on any data")
 	}
-	if v, _ := order.ViolatedPairs(alpha, m.data, m.Scores); v != 0 {
+	if v, _ := order.ViolatedPairs(alpha, m.data.ToRows(), m.Scores); v != 0 {
 		// Note: on the normalised training data, a strictly monotone curve
 		// cannot produce violated comparable pairs if projection is exact;
 		// tolerate nothing here.
@@ -399,6 +401,53 @@ func TestConditionNumbersRecorded(t *testing.T) {
 	for _, c := range m.ConditionNumbers {
 		if c < 1 {
 			t.Errorf("condition number %v < 1", c)
+		}
+	}
+}
+
+// TestFitFrameMatchesFit pins the two fit entry points to each other: the
+// slice-of-slice shim and the frame-native path must produce identical
+// models (same curve, scores, residuals) for the same data and options.
+func TestFitFrameMatchesFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	alpha := order.MustDirection(1, 1, -1)
+	xs, _ := genBezierCloud(rng, 80, alpha, 0.05)
+	opts := Options{Alpha: alpha, Seed: 7, Restarts: 2}
+
+	a, err := Fit(xs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitFrame(frame.MustFromRows(xs), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range a.Curve.Points {
+		for j := range a.Curve.Points[r] {
+			if a.Curve.Points[r][j] != b.Curve.Points[r][j] {
+				t.Fatalf("control point (%d,%d): %v vs %v", r, j, a.Curve.Points[r][j], b.Curve.Points[r][j])
+			}
+		}
+	}
+	for i := range a.Scores {
+		if a.Scores[i] != b.Scores[i] || a.ResidualsSq[i] != b.ResidualsSq[i] {
+			t.Fatalf("row %d: scores %v/%v residuals %v/%v", i, a.Scores[i], b.Scores[i], a.ResidualsSq[i], b.ResidualsSq[i])
+		}
+	}
+	if a.ExplainedVariance() != b.ExplainedVariance() {
+		t.Fatalf("explained variance %v vs %v", a.ExplainedVariance(), b.ExplainedVariance())
+	}
+	// FitFrame must not mutate the caller's frame (it clones before
+	// normalising in place).
+	f := frame.MustFromRows(xs)
+	if _, err := FitFrame(f, Options{Alpha: alpha, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		for j := range xs[i] {
+			if f.At(i, j) != xs[i][j] {
+				t.Fatalf("FitFrame mutated its input at (%d,%d)", i, j)
+			}
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"rpcrank/internal/bezier"
+	"rpcrank/internal/frame"
 	"rpcrank/internal/order"
 	"rpcrank/internal/stats"
 )
@@ -244,12 +245,30 @@ type Model struct {
 	ConditionNumbers []float64
 
 	opts Options
-	data [][]float64 // normalised training rows, retained for diagnostics
+	data *frame.Frame // normalised training rows, retained for diagnostics
 
 	// scorers recycles compiled scorers for Model.Score, which must stay
 	// safe for concurrent use while a Scorer (owning scratch) is not.
 	scorers sync.Pool
 }
+
+// AcquireScorer borrows a compiled scorer from the model's internal pool,
+// compiling one when the pool is empty. Callers that score a bounded chunk
+// of work — a batch shard, a request — should Acquire, score, and
+// ReleaseScorer instead of calling Compile per batch: after warm-up the
+// borrow is allocation-free. The scorer is owned by the caller until
+// released and is not safe for concurrent use.
+func (m *Model) AcquireScorer() *Scorer {
+	sc, _ := m.scorers.Get().(*Scorer)
+	if sc == nil {
+		sc = m.Compile()
+	}
+	return sc
+}
+
+// ReleaseScorer returns a scorer obtained from AcquireScorer to the pool.
+// The scorer must not be used after release.
+func (m *Model) ReleaseScorer(sc *Scorer) { m.scorers.Put(sc) }
 
 // Dim returns the attribute dimension.
 func (m *Model) Dim() int { return m.Alpha.Dim() }
@@ -257,7 +276,7 @@ func (m *Model) Dim() int { return m.Alpha.Dim() }
 // ExplainedVariance returns 1 − Σresidual²/total variance in normalised
 // space, the quality measure of §6.2.1.
 func (m *Model) ExplainedVariance() float64 {
-	return stats.ExplainedVariance(m.data, m.ResidualsSq)
+	return stats.ExplainedVarianceFrame(m.data, m.ResidualsSq)
 }
 
 // MSE returns the mean squared orthogonal residual in normalised space.

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"rpcrank/internal/core"
+	"rpcrank/internal/frame"
 	"rpcrank/internal/order"
 )
 
@@ -70,7 +71,14 @@ func Run(xs [][]float64, opts Options) (*Result, error) {
 	if n < 2*opts.Folds {
 		return nil, fmt.Errorf("crossval: %d rows is too few for %d folds", n, opts.Folds)
 	}
-	full, err := core.Fit(xs, opts.Fit)
+	// One contiguous copy of the data serves the full fit and every fold's
+	// training set (a single backing-array gather instead of a per-row
+	// append loop).
+	data, err := frame.FromRows(xs)
+	if err != nil {
+		return nil, fmt.Errorf("crossval: %w", err)
+	}
+	full, err := core.FitFrame(data, opts.Fit)
 	if err != nil {
 		return nil, fmt.Errorf("crossval: full fit: %w", err)
 	}
@@ -86,11 +94,7 @@ func Run(xs [][]float64, opts Options) (*Result, error) {
 				trainIdx = append(trainIdx, i)
 			}
 		}
-		train := make([][]float64, len(trainIdx))
-		for k, i := range trainIdx {
-			train[k] = xs[i]
-		}
-		m, err := core.Fit(train, opts.Fit)
+		m, err := core.FitFrame(data.Gather(trainIdx), opts.Fit)
 		if err != nil {
 			return nil, fmt.Errorf("crossval: fold %d: %w", f, err)
 		}

@@ -52,14 +52,9 @@ const CountriesN = 171
 // the same S-shaped latent-quality model (see DESIGN.md, Substitutions).
 func Countries() *Table {
 	rng := rand.New(rand.NewSource(20160517)) // fixed: dataset is part of the spec
-	t := &Table{
-		Name:  "countries",
-		Attrs: append([]string{}, CountryAttrs...),
-		Alpha: CountryAlpha(),
-	}
+	t := NewTable("countries", CountryAttrs, CountryAlpha(), CountriesN)
 	for _, c := range paperCountries {
-		t.Objects = append(t.Objects, c.name)
-		t.Rows = append(t.Rows, c.row[:])
+		t.Append(c.name, c.row[:])
 	}
 	need := CountriesN - len(paperCountries)
 	for i := 0; i < need; i++ {
@@ -68,8 +63,7 @@ func Countries() *Table {
 		// the dataset extremes, as in the paper's source table).
 		q := (float64(i) + 0.5) / float64(need)
 		q = 0.05 + 0.88*q
-		t.Objects = append(t.Objects, fmt.Sprintf("Country-%03d", i+1))
-		t.Rows = append(t.Rows, synthCountry(rng, q))
+		t.Append(fmt.Sprintf("Country-%03d", i+1), synthCountry(rng, q))
 	}
 	return t
 }

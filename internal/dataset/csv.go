@@ -23,7 +23,8 @@ func WriteCSV(w io.Writer, t *Table) error {
 		return err
 	}
 	rec := make([]string, t.Dim()+1)
-	for i, row := range t.Rows {
+	for i := 0; i < t.N(); i++ {
+		row := t.Row(i)
 		rec[0] = t.Objects[i]
 		for j, v := range row {
 			rec[j+1] = strconv.FormatFloat(v, 'g', -1, 64)
@@ -51,7 +52,7 @@ func ReadCSV(r io.Reader, name string, alpha order.Direction) (*Table, error) {
 	if !strings.EqualFold(header[0], "object") {
 		return nil, fmt.Errorf("dataset: first CSV column must be %q, got %q", "object", header[0])
 	}
-	t := &Table{Name: name, Attrs: header[1:], Alpha: alpha}
+	t := NewTable(name, header[1:], alpha, 0)
 	line := 1
 	for {
 		rec, err := cr.Read()
@@ -73,8 +74,7 @@ func ReadCSV(r io.Reader, name string, alpha order.Direction) (*Table, error) {
 			}
 			row[j] = v
 		}
-		t.Objects = append(t.Objects, rec[0])
-		t.Rows = append(t.Rows, row)
+		t.Append(rec[0], row)
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err

@@ -15,10 +15,14 @@ package dataset
 import (
 	"fmt"
 
+	"rpcrank/internal/frame"
 	"rpcrank/internal/order"
 )
 
-// Table is a named multi-attribute dataset ready for ranking.
+// Table is a named multi-attribute dataset ready for ranking. The numeric
+// observations live in Data, a contiguous row-major frame.Frame — one
+// backing array for the whole table, so fits and scores walk cache-friendly
+// memory instead of chasing per-row slices.
 type Table struct {
 	// Name identifies the dataset.
 	Name string
@@ -28,17 +32,74 @@ type Table struct {
 	Attrs []string
 	// Alpha is the benefit/cost direction for the ranking task.
 	Alpha order.Direction
-	// Rows holds the numeric observations, one row per object.
-	Rows [][]float64
+	// Data holds the numeric observations, one row per object, in a single
+	// contiguous backing array.
+	Data *frame.Frame
 }
 
-// Validate checks internal consistency.
+// NewTable returns an empty table with the given column labels and
+// direction, pre-sized for capRows appends.
+func NewTable(name string, attrs []string, alpha order.Direction, capRows int) *Table {
+	return &Table{
+		Name:  name,
+		Attrs: append([]string{}, attrs...),
+		Alpha: append(order.Direction{}, alpha...),
+		Data:  frame.WithCapacity(len(attrs), capRows),
+	}
+}
+
+// FromRows builds a table over a copy of the given rows, with generated
+// object labels when objects is nil.
+func FromRows(name string, objects, attrs []string, alpha order.Direction, rows [][]float64) (*Table, error) {
+	f, err := frame.FromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	if objects == nil {
+		objects = make([]string, len(rows))
+		for i := range objects {
+			objects[i] = fmt.Sprintf("%s-%04d", name, i)
+		}
+	} else {
+		// Copy like Attrs/Alpha (and the rows themselves): the table owns
+		// its labels, the caller keeps theirs.
+		objects = append([]string{}, objects...)
+	}
+	t := &Table{
+		Name:    name,
+		Objects: objects,
+		Attrs:   append([]string{}, attrs...),
+		Alpha:   append(order.Direction{}, alpha...),
+		Data:    f,
+	}
+	return t, nil
+}
+
+// Append adds one labelled observation to the table.
+func (t *Table) Append(object string, row []float64) {
+	t.Objects = append(t.Objects, object)
+	t.Data.AppendRow(row)
+}
+
+// Rows returns one zero-copy view per row sharing the table's backing
+// array.
+//
+// Deprecated: it exists as a migration shim for call sites typed
+// [][]float64 and allocates the slice of row headers on every call. New
+// code should use Data (or Row) directly.
+func (t *Table) Rows() [][]float64 { return t.Data.ToRows() }
+
+// Row returns a zero-copy view of row i.
+func (t *Table) Row(i int) []float64 { return t.Data.Row(i) }
+
+// Validate checks internal consistency. Rectangularity is guaranteed by the
+// frame; what is left is the cross-field bookkeeping.
 func (t *Table) Validate() error {
-	if len(t.Rows) == 0 {
+	if t.Data == nil || t.Data.N() == 0 {
 		return fmt.Errorf("dataset %q: no rows", t.Name)
 	}
-	if len(t.Objects) != len(t.Rows) {
-		return fmt.Errorf("dataset %q: %d objects for %d rows", t.Name, len(t.Objects), len(t.Rows))
+	if len(t.Objects) != t.Data.N() {
+		return fmt.Errorf("dataset %q: %d objects for %d rows", t.Name, len(t.Objects), t.Data.N())
 	}
 	d := len(t.Attrs)
 	if err := t.Alpha.Validate(); err != nil {
@@ -47,16 +108,19 @@ func (t *Table) Validate() error {
 	if t.Alpha.Dim() != d {
 		return fmt.Errorf("dataset %q: alpha dim %d != %d attributes", t.Name, t.Alpha.Dim(), d)
 	}
-	for i, row := range t.Rows {
-		if len(row) != d {
-			return fmt.Errorf("dataset %q: row %d has %d values, want %d", t.Name, i, len(row), d)
-		}
+	if t.Data.Dim() != d {
+		return fmt.Errorf("dataset %q: data dim %d != %d attributes", t.Name, t.Data.Dim(), d)
 	}
 	return nil
 }
 
 // N returns the number of objects.
-func (t *Table) N() int { return len(t.Rows) }
+func (t *Table) N() int {
+	if t.Data == nil {
+		return 0
+	}
+	return t.Data.N()
+}
 
 // Dim returns the number of attributes.
 func (t *Table) Dim() int { return len(t.Attrs) }
@@ -71,16 +135,19 @@ func (t *Table) Index(object string) int {
 	return -1
 }
 
-// Subset returns a new table restricted to the given row indices.
+// Subset returns a new table restricted to the given row indices. The rows
+// are copied through the frame's single backing array (one allocation, one
+// pass), and the result is fully detached from the parent.
 func (t *Table) Subset(idx []int) *Table {
 	out := &Table{
 		Name:  t.Name + "-subset",
 		Attrs: append([]string{}, t.Attrs...),
 		Alpha: append(order.Direction{}, t.Alpha...),
+		Data:  t.Data.Gather(idx),
 	}
+	out.Objects = make([]string, 0, len(idx))
 	for _, i := range idx {
 		out.Objects = append(out.Objects, t.Objects[i])
-		out.Rows = append(out.Rows, append([]float64{}, t.Rows[i]...))
 	}
 	return out
 }
@@ -93,11 +160,11 @@ func Table1A() *Table {
 		Objects: []string{"A", "B", "C"},
 		Attrs:   []string{"x1", "x2"},
 		Alpha:   order.MustDirection(1, 1),
-		Rows: [][]float64{
+		Data: frame.MustFromRows([][]float64{
 			{0.30, 0.25},
 			{0.25, 0.55},
 			{0.70, 0.70},
-		},
+		}),
 	}
 }
 
@@ -110,10 +177,10 @@ func Table1B() *Table {
 		Objects: []string{"A'", "B", "C"},
 		Attrs:   []string{"x1", "x2"},
 		Alpha:   order.MustDirection(1, 1),
-		Rows: [][]float64{
+		Data: frame.MustFromRows([][]float64{
 			{0.35, 0.40},
 			{0.25, 0.55},
 			{0.70, 0.70},
-		},
+		}),
 	}
 }

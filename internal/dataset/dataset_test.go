@@ -18,11 +18,11 @@ func TestTableValidate(t *testing.T) {
 		name string
 		mut  func(*Table)
 	}{
-		{"no rows", func(x *Table) { x.Rows = nil; x.Objects = nil }},
+		{"no rows", func(x *Table) { x.Data = nil; x.Objects = nil }},
 		{"object mismatch", func(x *Table) { x.Objects = x.Objects[:1] }},
 		{"bad alpha", func(x *Table) { x.Alpha = order.Direction{2, 1} }},
 		{"alpha dim", func(x *Table) { x.Alpha = order.MustDirection(1) }},
-		{"ragged", func(x *Table) { x.Rows[1] = []float64{1} }},
+		{"data dim", func(x *Table) { x.Data = x.Data.DropCol(1); x.Alpha = order.MustDirection(1) }},
 	}
 	for _, c := range cases {
 		x := Table1A()
@@ -42,25 +42,30 @@ func TestTableHelpers(t *testing.T) {
 		t.Errorf("Index misbehaves")
 	}
 	sub := tab.Subset([]int{2, 0})
-	if sub.N() != 2 || sub.Objects[0] != "C" || sub.Rows[1][0] != 0.30 {
+	if sub.N() != 2 || sub.Objects[0] != "C" || sub.Row(1)[0] != 0.30 {
 		t.Errorf("Subset = %+v", sub)
 	}
-	// Subset rows are copies.
-	sub.Rows[0][0] = 99
-	if tab.Rows[2][0] == 99 {
-		t.Errorf("Subset must copy rows")
+	// The subset owns its own backing array: writes on either side must not
+	// reach the other.
+	sub.Row(0)[0] = 99
+	if tab.Row(2)[0] == 99 {
+		t.Errorf("Subset must copy rows, not alias the parent")
+	}
+	tab.Row(0)[1] = -7
+	if sub.Row(1)[1] == -7 {
+		t.Errorf("parent writes must not reach the subset")
 	}
 }
 
 func TestTable1Variants(t *testing.T) {
 	a, b := Table1A(), Table1B()
-	if a.Rows[0][0] == b.Rows[0][0] {
+	if a.Row(0)[0] == b.Row(0)[0] {
 		t.Errorf("A and A' must differ")
 	}
 	// B and C are shared between the variants.
 	for i := 1; i < 3; i++ {
 		for j := 0; j < 2; j++ {
-			if a.Rows[i][j] != b.Rows[i][j] {
+			if a.Row(i)[j] != b.Row(i)[j] {
 				t.Errorf("row %d must match across variants", i)
 			}
 		}
@@ -85,20 +90,20 @@ func TestCountriesShape(t *testing.T) {
 	}
 	want := []float64{70014, 79.56, 6, 4}
 	for j, w := range want {
-		if c.Rows[lux][j] != w {
-			t.Errorf("Luxembourg[%d] = %v, want %v", j, c.Rows[lux][j], w)
+		if c.Row(lux)[j] != w {
+			t.Errorf("Luxembourg[%d] = %v, want %v", j, c.Row(lux)[j], w)
 		}
 	}
-	if sw := c.Index("Swaziland"); sw < 0 || c.Rows[sw][2] != 422 {
+	if sw := c.Index("Swaziland"); sw < 0 || c.Row(sw)[2] != 422 {
 		t.Errorf("Swaziland row wrong")
 	}
 }
 
 func TestCountriesDeterministic(t *testing.T) {
 	a, b := Countries(), Countries()
-	for i := range a.Rows {
-		for j := range a.Rows[i] {
-			if a.Rows[i][j] != b.Rows[i][j] {
+	for i := 0; i < a.N(); i++ {
+		for j := 0; j < a.Dim(); j++ {
+			if a.Row(i)[j] != b.Row(i)[j] {
 				t.Fatalf("Countries() not deterministic at (%d,%d)", i, j)
 			}
 		}
@@ -107,7 +112,7 @@ func TestCountriesDeterministic(t *testing.T) {
 
 func TestCountriesRangesPlausible(t *testing.T) {
 	c := Countries()
-	for i, row := range c.Rows {
+	for i, row := range c.Rows() {
 		gdp, leb, imr, tb := row[0], row[1], row[2], row[3]
 		if gdp < 400 || gdp > 75000 {
 			t.Errorf("row %d (%s): GDP %v out of range", i, c.Objects[i], gdp)
@@ -128,8 +133,8 @@ func TestCountriesDominanceDirection(t *testing.T) {
 	// Luxembourg must dominate Swaziland outright under α (sanity of the
 	// embedded extremes).
 	c := Countries()
-	lux := c.Rows[c.Index("Luxembourg")]
-	swz := c.Rows[c.Index("Swaziland")]
+	lux := c.Row(c.Index("Luxembourg"))
+	swz := c.Row(c.Index("Swaziland"))
 	if !c.Alpha.StrictlyDominates(swz, lux) {
 		t.Errorf("Swaziland should be strictly dominated by Luxembourg")
 	}
@@ -152,18 +157,18 @@ func TestJournalsShape(t *testing.T) {
 	if tkde < 0 || smca < 0 {
 		t.Fatalf("TKDE/SMCA missing")
 	}
-	if j.Rows[smca][0] <= j.Rows[tkde][0] {
+	if j.Row(smca)[0] <= j.Row(tkde)[0] {
 		t.Errorf("SMCA IF (%v) must exceed TKDE IF (%v) — that is the point of the example",
-			j.Rows[smca][0], j.Rows[tkde][0])
+			j.Row(smca)[0], j.Row(tkde)[0])
 	}
-	if j.Rows[tkde][4] <= j.Rows[smca][4] {
-		t.Errorf("TKDE influence (%v) must exceed SMCA (%v)", j.Rows[tkde][4], j.Rows[smca][4])
+	if j.Row(tkde)[4] <= j.Row(smca)[4] {
+		t.Errorf("TKDE influence (%v) must exceed SMCA (%v)", j.Row(tkde)[4], j.Row(smca)[4])
 	}
 }
 
 func TestJournalsPositiveIndicators(t *testing.T) {
 	j := Journals()
-	for i, row := range j.Rows {
+	for i, row := range j.Rows() {
 		for k, v := range row {
 			if v <= 0 || math.IsNaN(v) {
 				t.Errorf("row %d (%s) attr %s = %v", i, j.Objects[i], j.Attrs[k], v)
@@ -265,13 +270,13 @@ func TestCSVRoundTrip(t *testing.T) {
 	if back.N() != orig.N() || back.Dim() != orig.Dim() {
 		t.Fatalf("round-trip shape mismatch")
 	}
-	for i := range orig.Rows {
+	for i := 0; i < orig.N(); i++ {
 		if back.Objects[i] != orig.Objects[i] {
 			t.Errorf("object %d: %q vs %q", i, back.Objects[i], orig.Objects[i])
 		}
-		for j := range orig.Rows[i] {
-			if back.Rows[i][j] != orig.Rows[i][j] {
-				t.Errorf("cell (%d,%d): %v vs %v", i, j, back.Rows[i][j], orig.Rows[i][j])
+		for j := 0; j < orig.Dim(); j++ {
+			if back.Row(i)[j] != orig.Row(i)[j] {
+				t.Errorf("cell (%d,%d): %v vs %v", i, j, back.Row(i)[j], orig.Row(i)[j])
 			}
 		}
 	}
@@ -287,9 +292,9 @@ func TestCSVRoundTripCountries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range orig.Rows {
-		for j := range orig.Rows[i] {
-			if back.Rows[i][j] != orig.Rows[i][j] {
+	for i := 0; i < orig.N(); i++ {
+		for j := 0; j < orig.Dim(); j++ {
+			if back.Row(i)[j] != orig.Row(i)[j] {
 				t.Fatalf("cell (%d,%d) changed in round trip", i, j)
 			}
 		}

@@ -48,21 +48,15 @@ const JournalsN = 393
 // indicators.
 func Journals() *Table {
 	rng := rand.New(rand.NewSource(20121229))
-	t := &Table{
-		Name:  "journals",
-		Attrs: append([]string{}, JournalAttrs...),
-		Alpha: JournalAlpha(),
-	}
+	t := NewTable("journals", JournalAttrs, JournalAlpha(), JournalsN)
 	for _, j := range paperJournals {
-		t.Objects = append(t.Objects, j.name)
-		t.Rows = append(t.Rows, j.row[:])
+		t.Append(j.name, j.row[:])
 	}
 	need := JournalsN - len(paperJournals)
 	for i := 0; i < need; i++ {
 		q := (float64(i) + 0.5) / float64(need)
 		q = 0.01 + 0.97*q
-		t.Objects = append(t.Objects, fmt.Sprintf("JOURNAL-%03d", i+1))
-		t.Rows = append(t.Rows, synthJournal(rng, q))
+		t.Append(fmt.Sprintf("JOURNAL-%03d", i+1), synthJournal(rng, q))
 	}
 	return t
 }

@@ -106,12 +106,13 @@ func BezierCloud(alpha order.Direction, n int, noise float64, seed int64) (xs []
 	return xs, latent, truth
 }
 
-// ToTable wraps raw rows into a Table with generated object names.
+// ToTable copies raw rows into a Table (one contiguous backing array) with
+// generated object names. It panics on ragged rows — the generators above
+// never produce them.
 func ToTable(name string, attrs []string, alpha order.Direction, rows [][]float64) *Table {
-	t := &Table{Name: name, Attrs: attrs, Alpha: alpha, Rows: rows}
-	t.Objects = make([]string, len(rows))
-	for i := range rows {
-		t.Objects[i] = fmt.Sprintf("%s-%04d", name, i)
+	t, err := FromRows(name, nil, attrs, alpha, rows)
+	if err != nil {
+		panic(err)
 	}
 	return t
 }

@@ -30,15 +30,10 @@ const UniversitiesN = 200
 // indicators.
 func Universities() *Table {
 	rng := rand.New(rand.NewSource(20030815))
-	t := &Table{
-		Name:  "universities",
-		Attrs: append([]string{}, UniversityAttrs...),
-		Alpha: UniversityAlpha(),
-	}
+	t := NewTable("universities", UniversityAttrs, UniversityAlpha(), UniversitiesN)
 	for i := 0; i < UniversitiesN; i++ {
 		q := 1 - float64(i)/float64(UniversitiesN) // roughly ordered list
-		t.Objects = append(t.Objects, fmt.Sprintf("University-%03d", i+1))
-		t.Rows = append(t.Rows, synthUniversity(rng, q))
+		t.Append(fmt.Sprintf("University-%03d", i+1), synthUniversity(rng, q))
 	}
 	return t
 }

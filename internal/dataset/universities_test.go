@@ -14,9 +14,9 @@ func TestUniversitiesShape(t *testing.T) {
 
 func TestUniversitiesDeterministic(t *testing.T) {
 	a, b := Universities(), Universities()
-	for i := range a.Rows {
-		for j := range a.Rows[i] {
-			if a.Rows[i][j] != b.Rows[i][j] {
+	for i := 0; i < a.N(); i++ {
+		for j := 0; j < a.Dim(); j++ {
+			if a.Row(i)[j] != b.Row(i)[j] {
 				t.Fatalf("not deterministic at (%d,%d)", i, j)
 			}
 		}
@@ -28,7 +28,7 @@ func TestUniversitiesPrizeSparsity(t *testing.T) {
 	// that heavy-tailed regime is the point of the dataset.
 	u := Universities()
 	zeroAlumni, zeroAwards := 0, 0
-	for _, row := range u.Rows {
+	for _, row := range u.Rows() {
 		if row[0] == 0 {
 			zeroAlumni++
 		}
@@ -48,8 +48,8 @@ func TestUniversitiesPrizeSparsity(t *testing.T) {
 
 func TestUniversitiesTopDominatesBottom(t *testing.T) {
 	u := Universities()
-	first := u.Rows[0]
-	last := u.Rows[u.N()-1]
+	first := u.Row(0)
+	last := u.Row(u.N() - 1)
 	if !u.Alpha.StrictlyDominates(last, first) {
 		t.Errorf("the generated list extremes should be dominance-ordered")
 	}

@@ -134,7 +134,7 @@ func RunFig6() (*Fig6Result, error) {
 		return nil, err
 	}
 	fitCurve := func(t *dataset.Table) (*core.Model, error) {
-		return core.Fit(t.Rows, core.Options{
+		return core.FitFrame(t.Data, core.Options{
 			Alpha: t.Alpha, Seed: 3, NoNormalize: true,
 			Restarts: 8, MaxIter: 5000, Tol: 1e-12,
 		})
@@ -156,7 +156,7 @@ func RunFig6() (*Fig6Result, error) {
 	}
 	pts := func(t *dataset.Table, color string) svgplot.Series {
 		xy := make([][2]float64, t.N())
-		for i, row := range t.Rows {
+		for i, row := range t.Rows() {
 			xy[i] = [2]float64{row[0], row[1]}
 		}
 		return svgplot.Series{Kind: "scatter", Color: color, Radius: 4, XY: xy}
@@ -206,11 +206,11 @@ func RunFig8() (*ProjectionGridResult, error) {
 }
 
 func projectionGrid(name string, t *dataset.Table) (*ProjectionGridResult, error) {
-	m, err := core.Fit(t.Rows, core.Options{Alpha: t.Alpha, Restarts: 3})
+	m, err := core.FitFrame(t.Data, core.Options{Alpha: t.Alpha, Restarts: 3})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	u := m.Norm.ApplyAll(t.Rows)
+	u := m.Norm.ApplyAll(t.Rows())
 	d := t.Dim()
 	grid := &svgplot.Grid{Cols: d, CellW: 150, CellH: 130}
 	for i := 0; i < d; i++ {

@@ -65,7 +65,7 @@ func RunTable1() (*Table1Result, error) {
 }
 
 func runTable1Variant(t *dataset.Table) ([]Table1Row, error) {
-	kappaCols, err := rankagg.AttributeRanks(t.Rows, t.Alpha)
+	kappaCols, err := rankagg.AttributeRanks(t.Rows(), t.Alpha)
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +85,7 @@ func runTable1Variant(t *dataset.Table) ([]Table1Row, error) {
 	// three points the alternating minimisation has two nearby local
 	// minima, and only the deeper one (found from sample-based inits, as in
 	// Algorithm 1 step 2) reproduces the paper's BA′C ordering.
-	m, err := core.Fit(t.Rows, core.Options{
+	m, err := core.FitFrame(t.Data, core.Options{
 		Alpha:       t.Alpha,
 		Seed:        3,
 		NoNormalize: true,
@@ -102,8 +102,8 @@ func runTable1Variant(t *dataset.Table) ([]Table1Row, error) {
 	for i := range rows {
 		rows[i] = Table1Row{
 			Object:       t.Objects[i],
-			X1:           t.Rows[i][0],
-			X2:           t.Rows[i][1],
+			X1:           t.Row(i)[0],
+			X2:           t.Row(i)[1],
 			RankAggScore: kappa[i],
 			RankAggOrder: aggOrder[i],
 			RPCScore:     m.Scores[i],

@@ -38,7 +38,7 @@ type Table2Result struct {
 // RunTable2 executes the country experiment.
 func RunTable2() (*Table2Result, error) {
 	t := dataset.Countries()
-	m, err := core.Fit(t.Rows, core.Options{Alpha: t.Alpha, Restarts: 3})
+	m, err := core.FitFrame(t.Data, core.Options{Alpha: t.Alpha, Restarts: 3})
 	if err != nil {
 		return nil, fmt.Errorf("table2 RPC: %w", err)
 	}
@@ -52,7 +52,7 @@ func RunTable2() (*Table2Result, error) {
 	// stiff elastic chain rather than a free polyline; an unregularised
 	// 20-node chain would out-fit any parametric curve in raw explained
 	// variance and say nothing about the comparison the paper makes.
-	u := m.Norm.ApplyAll(t.Rows)
+	u := m.Norm.ApplyAll(t.Rows())
 	em, err := princurve.FitElmap(u, princurve.ElmapOptions{Nodes: 12, Lambda: 0.05, Mu: 2})
 	if err != nil {
 		return nil, fmt.Errorf("table2 Elmap: %w", err)
@@ -120,7 +120,7 @@ func (r *Table2Result) Report(w io.Writer) {
 		if i < 0 {
 			continue
 		}
-		row := r.Table.Rows[i]
+		row := r.Table.Row(i)
 		tw.addRowf("%s\t%.0f\t%.2f\t%.0f\t%.0f\t%+.3f\t%d\t%.4f\t%d",
 			name, row[0], row[1], row[2], row[3],
 			r.ElmapScores[i], r.ElmapOrder[i], r.RPCScores[i], r.RPCOrder[i])

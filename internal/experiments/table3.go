@@ -29,7 +29,7 @@ type Table3Result struct {
 // RunTable3 executes the journal experiment.
 func RunTable3() (*Table3Result, error) {
 	t := dataset.Journals()
-	m, err := core.Fit(t.Rows, core.Options{Alpha: t.Alpha, Restarts: 3})
+	m, err := core.FitFrame(t.Data, core.Options{Alpha: t.Alpha, Restarts: 3})
 	if err != nil {
 		return nil, fmt.Errorf("table3: %w", err)
 	}
@@ -68,7 +68,7 @@ func (r *Table3Result) Report(w io.Writer) {
 		if i < 0 {
 			continue
 		}
-		row := r.Table.Rows[i]
+		row := r.Table.Row(i)
 		tw.addRowf("%s\t%.3f\t%.3f\t%.3f\t%.5f\t%.3f\t%.4f\t%d",
 			name, row[0], row[1], row[2], row[3], row[4], r.RPCScores[i], r.RPCOrder[i])
 	}

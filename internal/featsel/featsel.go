@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"rpcrank/internal/core"
+	"rpcrank/internal/frame"
 	"rpcrank/internal/order"
 )
 
@@ -49,26 +50,36 @@ type Result struct {
 // Rank fits the full model plus one leave-one-out model per attribute.
 // names may be nil. opts.Alpha must cover all attributes.
 func Rank(xs [][]float64, names []string, opts core.Options) (*Result, error) {
-	if len(xs) == 0 {
+	f, err := frame.FromRows(xs)
+	if err != nil {
+		return nil, fmt.Errorf("featsel: %w", err)
+	}
+	return rankFrame(f, names, opts)
+}
+
+// rankFrame is Rank over an already-packed frame, shared with Select so
+// the dataset is copied contiguous exactly once per call chain.
+func rankFrame(f *frame.Frame, names []string, opts core.Options) (*Result, error) {
+	if f.N() == 0 {
 		return nil, fmt.Errorf("featsel: no observations")
 	}
-	d := len(xs[0])
+	d := f.Dim()
 	if d < 2 {
 		return nil, fmt.Errorf("featsel: need at least 2 attributes, got %d", d)
 	}
 	if names != nil && len(names) != d {
 		return nil, fmt.Errorf("featsel: %d names for %d attributes", len(names), d)
 	}
-	full, err := core.Fit(xs, opts)
+	full, err := core.FitFrame(f, opts)
 	if err != nil {
 		return nil, fmt.Errorf("featsel: full fit: %w", err)
 	}
 	res := &Result{FullModel: full}
 	for j := 0; j < d; j++ {
-		sub := dropColumn(xs, j)
+		sub := f.DropCol(j)
 		subOpts := opts
 		subOpts.Alpha = dropEntry(opts.Alpha, j)
-		m, err := core.Fit(sub, subOpts)
+		m, err := core.FitFrame(sub, subOpts)
 		if err != nil {
 			return nil, fmt.Errorf("featsel: fit without attribute %d: %w", j, err)
 		}
@@ -94,7 +105,11 @@ func Rank(xs [][]float64, names []string, opts core.Options) (*Result, error) {
 // influence) whose leave-rest-out model still agrees with the full ranking
 // at Kendall τ ≥ minTau. It greedily adds attributes most-influential first.
 func Select(xs [][]float64, opts core.Options, minTau float64) ([]int, error) {
-	res, err := Rank(xs, nil, opts)
+	f, err := frame.FromRows(xs)
+	if err != nil {
+		return nil, fmt.Errorf("featsel: %w", err)
+	}
+	res, err := rankFrame(f, nil, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -109,10 +124,10 @@ func Select(xs [][]float64, opts core.Options, minTau float64) ([]int, error) {
 			// curve ranking over a single column is just sorting
 		}
 		sort.Ints(chosen)
-		sub := keepColumns(xs, chosen)
+		sub := f.SelectCols(chosen)
 		subOpts := opts
 		subOpts.Alpha = keepEntries(opts.Alpha, chosen)
-		m, err := core.Fit(sub, subOpts)
+		m, err := core.FitFrame(sub, subOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -121,7 +136,7 @@ func Select(xs [][]float64, opts core.Options, minTau float64) ([]int, error) {
 		}
 	}
 	// All attributes needed.
-	all := make([]int, len(xs[0]))
+	all := make([]int, f.Dim())
 	for i := range all {
 		all[i] = i
 	}
@@ -144,33 +159,10 @@ func coordinateCurvature(m *core.Model, j int) float64 {
 	return dev / (samples + 1)
 }
 
-func dropColumn(xs [][]float64, j int) [][]float64 {
-	out := make([][]float64, len(xs))
-	for i, row := range xs {
-		r := make([]float64, 0, len(row)-1)
-		r = append(r, row[:j]...)
-		r = append(r, row[j+1:]...)
-		out[i] = r
-	}
-	return out
-}
-
 func dropEntry(a order.Direction, j int) order.Direction {
 	out := make(order.Direction, 0, len(a)-1)
 	out = append(out, a[:j]...)
 	out = append(out, a[j+1:]...)
-	return out
-}
-
-func keepColumns(xs [][]float64, idx []int) [][]float64 {
-	out := make([][]float64, len(xs))
-	for i, row := range xs {
-		r := make([]float64, len(idx))
-		for k, j := range idx {
-			r[k] = row[j]
-		}
-		out[i] = r
-	}
 	return out
 }
 

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"rpcrank/internal/frame"
 )
 
 // Direction is the α vector of Eq. 3: one entry per attribute, +1 when a
@@ -150,6 +152,31 @@ func ValidateRows(rows [][]float64, d int) error {
 			return fmt.Errorf("row %d has %d attributes, want %d", i, len(row), d)
 		}
 		for j, v := range row {
+			if math.IsNaN(v) {
+				return fmt.Errorf("row %d attribute %d is NaN", i, j)
+			}
+			if math.IsInf(v, 0) {
+				return fmt.Errorf("row %d attribute %d is infinite", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateFrame is ValidateRows for a contiguous frame: the frame already
+// guarantees rectangularity, so only the width match and the finiteness of
+// every entry are checked, in one pass over the flat backing array. Error
+// messages match ValidateRows exactly — the server's fast and fallback
+// decode paths must report identically.
+func ValidateFrame(f *frame.Frame, d int) error {
+	if f == nil || f.N() == 0 {
+		return fmt.Errorf("no rows")
+	}
+	if f.Dim() != d {
+		return fmt.Errorf("row %d has %d attributes, want %d", 0, f.Dim(), d)
+	}
+	for i := 0; i < f.N(); i++ {
+		for j, v := range f.Row(i) {
 			if math.IsNaN(v) {
 				return fmt.Errorf("row %d attribute %d is NaN", i, j)
 			}

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"rpcrank/internal/frame"
 )
 
 func TestNewDirectionValidation(t *testing.T) {
@@ -258,4 +260,36 @@ func randVec(rng *rand.Rand, d int) []float64 {
 		v[i] = rng.NormFloat64()
 	}
 	return v
+}
+
+func TestValidateFrameMatchesValidateRows(t *testing.T) {
+	good := frame.MustFromRows([][]float64{{1, 2}, {3, 4}})
+	if err := ValidateFrame(good, 2); err != nil {
+		t.Fatalf("valid frame rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		f    *frame.Frame
+		d    int
+	}{
+		{"nil", nil, 2},
+		{"empty", &frame.Frame{}, 2},
+		{"dim mismatch", good, 3},
+		{"NaN", frame.MustFromRows([][]float64{{1, math.NaN()}}), 2},
+		{"Inf", frame.MustFromRows([][]float64{{math.Inf(-1), 0}}), 2},
+	}
+	for _, c := range cases {
+		err := ValidateFrame(c.f, c.d)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		// The message must match ValidateRows verbatim so the server's
+		// fast and fallback paths report identically.
+		if c.f != nil && c.f.N() > 0 {
+			if rowsErr := ValidateRows(c.f.ToRows(), c.d); rowsErr == nil || rowsErr.Error() != err.Error() {
+				t.Errorf("%s: frame says %q, rows say %v", c.name, err, rowsErr)
+			}
+		}
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"rpcrank/internal/frame"
 	"rpcrank/internal/mat"
 	"rpcrank/internal/order"
 	"rpcrank/internal/stats"
@@ -157,10 +158,9 @@ func FitKernelPC(xs [][]float64, sigma float64) (*KernelPC, error) {
 			a[i] *= scale
 		}
 	}
-	rows := make([][]float64, n)
-	for i, r := range xs {
-		rows[i] = append([]float64{}, r...)
-	}
+	// The anchors are copied through one contiguous backing array; X's row
+	// headers are views into it, so Score's kernel pass streams the cache.
+	rows := frame.MustFromRows(xs).ToRows()
 	return &KernelPC{X: rows, AlphaVec: a, Sigma: sigma, colMean: colMean, totalMean: total}, nil
 }
 

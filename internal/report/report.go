@@ -41,10 +41,13 @@ func Generate(w io.Writer, t *dataset.Table, opts Options) error {
 	if fit.Alpha == nil {
 		fit.Alpha = t.Alpha
 	}
-	m, err := core.Fit(t.Rows, fit)
+	m, err := core.FitFrame(t.Data, fit)
 	if err != nil {
 		return fmt.Errorf("report: %w", err)
 	}
+	// One set of row views serves every [][]float64-typed section below;
+	// the values stay in t.Data's contiguous backing array.
+	rows := t.Rows()
 
 	fmt.Fprintf(w, "# Ranking report: %s\n\n", t.Name)
 	fmt.Fprintf(w, "%d objects x %d attributes; direction %s\n\n",
@@ -57,7 +60,7 @@ func Generate(w io.Writer, t *dataset.Table, opts Options) error {
 	fmt.Fprintln(w)
 
 	// Section 2: Pareto structure.
-	fronts := t.Alpha.ParetoFronts(t.Rows)
+	fronts := t.Alpha.ParetoFronts(rows)
 	fmt.Fprintln(w, "## Dominance structure")
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%d Pareto fronts; front sizes:", len(fronts))
@@ -66,12 +69,12 @@ func Generate(w io.Writer, t *dataset.Table, opts Options) error {
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "front consistency of the RPC scores: %.4f\n\n",
-		t.Alpha.FrontConsistency(t.Rows, m.Scores))
+		t.Alpha.FrontConsistency(rows, m.Scores))
 
 	// Optional: stability.
 	var stab *stability.Result
 	if opts.Stability > 0 {
-		stab, err = stability.Run(t.Rows, stability.Options{
+		stab, err = stability.Run(rows, stability.Options{
 			Resamples: opts.Stability,
 			Fit:       fit,
 		})
@@ -85,7 +88,7 @@ func Generate(w io.Writer, t *dataset.Table, opts Options) error {
 
 	// Optional: cross-validation.
 	if opts.CrossVal > 1 {
-		cv, err := crossval.Run(t.Rows, crossval.Options{Folds: opts.CrossVal, Fit: fit})
+		cv, err := crossval.Run(rows, crossval.Options{Folds: opts.CrossVal, Fit: fit})
 		if err != nil {
 			return fmt.Errorf("report: crossval: %w", err)
 		}
@@ -117,7 +120,7 @@ func Generate(w io.Writer, t *dataset.Table, opts Options) error {
 
 	// Optional: features.
 	if opts.Features {
-		fr, err := featsel.Rank(t.Rows, t.Attrs, fit)
+		fr, err := featsel.Rank(rows, t.Attrs, fit)
 		if err != nil {
 			return fmt.Errorf("report: features: %w", err)
 		}

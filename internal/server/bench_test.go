@@ -13,13 +13,9 @@ import (
 	"rpcrank/internal/registry"
 )
 
-// BenchmarkServerScoreBatch measures the full HTTP score path — JSON decode,
-// validation, worker-pool scoring, JSON encode — at batch sizes spanning the
-// serial path (1), the threshold region (100), and the sharded path (10k).
-// It anchors the serving-throughput trajectory for later scaling PRs.
-func BenchmarkServerScoreBatch(b *testing.B) {
-	dir := b.TempDir()
-	reg, err := registry.Open(dir, 0)
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	reg, err := registry.Open(b.TempDir(), 0)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -35,18 +31,102 @@ func BenchmarkServerScoreBatch(b *testing.B) {
 	if _, err := reg.Put("bench", m, len(train), 0); err != nil {
 		b.Fatal(err)
 	}
-	s := New(reg, Options{})
+	return New(reg, Options{})
+}
+
+func benchRows(size int) [][]float64 {
+	rows := make([][]float64, size)
+	for i := range rows {
+		u := float64(i%997) / 996
+		rows[i] = []float64{10 * u, 5*u*u + 1, 3 - 2*u}
+	}
+	return rows
+}
+
+// replayBody is a resettable io.ReadCloser over one request body, so the
+// benchmark loop re-serves the same bytes without per-iteration reader
+// allocations.
+type replayBody struct{ r bytes.Reader }
+
+func (rb *replayBody) Read(p []byte) (int, error) { return rb.r.Read(p) }
+func (rb *replayBody) Close() error               { return nil }
+
+// discardWriter is a reusable ResponseWriter that counts body bytes and
+// keeps the status, adding no per-request allocations of its own.
+type discardWriter struct {
+	h      http.Header
+	status int
+	n      int
+}
+
+func (d *discardWriter) Header() http.Header { return d.h }
+func (d *discardWriter) Write(p []byte) (int, error) {
+	d.n += len(p)
+	return len(p), nil
+}
+func (d *discardWriter) WriteHeader(code int) { d.status = code }
+
+// BenchmarkServerScoreBatch measures the server data plane of the score
+// path — mux routing, frame decode, validation, worker-pool scoring over
+// the shared frame, response encode — by driving ServeHTTP directly, at
+// batch sizes spanning the serial path (1), the threshold region (100), and
+// the sharded path (10k). Transport cost is excluded (see
+// BenchmarkServerScoreHTTP for the socket-level number), so allocs/op here
+// is the data plane's own footprint: pooled body, frame, scores, and
+// response buffers make it independent of the row count.
+func BenchmarkServerScoreBatch(b *testing.B) {
+	s := benchServer(b)
+	defer s.Close()
+
+	for _, size := range []int{1, 100, 10_000} {
+		body, err := json.Marshal(ScoreRequest{Rows: benchRows(size)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("rows=%d", size), func(b *testing.B) {
+			rb := &replayBody{}
+			req := httptest.NewRequest("POST", "/v1/models/bench-v1/score", nil)
+			req.Header.Set("Content-Type", "application/json")
+			req.ContentLength = int64(len(body))
+			w := &discardWriter{h: make(http.Header)}
+
+			// One warm-up round trip, checked for correctness outside the
+			// timed loop.
+			rb.r.Reset(body)
+			req.Body = rb
+			s.ServeHTTP(w, req)
+			if w.status != http.StatusOK {
+				b.Fatalf("status %d", w.status)
+			}
+
+			b.SetBytes(int64(len(body)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rb.r.Reset(body)
+				req.Body = rb
+				w.status, w.n = http.StatusOK, 0
+				s.ServeHTTP(w, req)
+				if w.status != http.StatusOK {
+					b.Fatalf("status %d", w.status)
+				}
+			}
+			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkServerScoreHTTP measures the same path end to end over a real
+// TCP connection — HTTP client, transport, server goroutine, response
+// decode — anchoring the number a remote caller actually sees.
+func BenchmarkServerScoreHTTP(b *testing.B) {
+	s := benchServer(b)
 	defer s.Close()
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
-	for _, size := range []int{1, 100, 10_000} {
-		rows := make([][]float64, size)
-		for i := range rows {
-			u := float64(i%997) / 996
-			rows[i] = []float64{10 * u, 5*u*u + 1, 3 - 2*u}
-		}
-		body, err := json.Marshal(ScoreRequest{Rows: rows})
+	for _, size := range []int{1, 10_000} {
+		body, err := json.Marshal(ScoreRequest{Rows: benchRows(size)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +153,7 @@ func BenchmarkServerScoreBatch(b *testing.B) {
 }
 
 // BenchmarkPoolScoreBatch isolates the worker pool from HTTP and JSON, for
-// profiling the raw sharded scoring path.
+// profiling the raw sharded scoring path over a contiguous frame.
 func BenchmarkPoolScoreBatch(b *testing.B) {
 	train := make([][]float64, 64)
 	for i := range train {
@@ -86,11 +166,7 @@ func BenchmarkPoolScoreBatch(b *testing.B) {
 	}
 	pool := NewPool(0)
 	defer pool.Close()
-	rows := make([][]float64, 10_000)
-	for i := range rows {
-		u := float64(i%997) / 996
-		rows[i] = []float64{10 * u, 5*u*u + 1, 3 - 2*u}
-	}
+	rows := benchRows(10_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out := pool.ScoreBatch(m, rows)

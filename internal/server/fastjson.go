@@ -3,54 +3,60 @@ package server
 import (
 	"math"
 	"strconv"
+
+	"rpcrank/internal/frame"
 )
 
 // This file holds the hand-rolled JSON fast paths of the scoring hot loop.
 // encoding/json decodes [][]float64 through reflection, one small slice
 // allocation per row; at 10k-row batches that is most of the request
 // latency. The parser below handles exactly the documented request shape
-// {"rows": [[...], ...]} — one flat backing array for all values, strict
-// JSON number grammar — and reports !ok for anything else, in which case
-// the caller re-decodes with encoding/json so every error message, unknown
-// field and type mismatch behaves exactly as the stdlib path. The encoder
-// is the mirror image for the score/rank responses, whose payload is almost
-// entirely float and int arrays.
+// {"rows": [[...], ...]} — values streamed straight into one pooled
+// contiguous frame, strict JSON number grammar — and reports !ok for
+// anything else, in which case the caller re-decodes with encoding/json so
+// every error message, unknown field and type mismatch behaves exactly as
+// the stdlib path. The encoder is the mirror image for the score/rank
+// responses, whose payload is almost entirely float and int arrays.
 
-// parseScoreRows decodes {"rows": [[numbers...], ...]}. The returned rows
-// share one backing array. ok is false whenever the body is not exactly
-// that shape (including any JSON error or an out-of-range number).
-func parseScoreRows(b []byte) (rows [][]float64, ok bool) {
+// parseScoreFrame decodes {"rows": [[numbers...], ...]} directly into fr,
+// which is Reset to width d and filled row by row — for a pooled frame the
+// whole batch costs zero allocations once the backing array has grown to
+// the working set. ok is false whenever the body is not exactly that shape
+// (including any JSON error, an out-of-range number, or a row whose width
+// is not d); fr's contents are then unspecified and the caller must
+// re-decode with encoding/json for the authoritative error.
+func parseScoreFrame(fr *frame.Frame, b []byte, d int) (ok bool) {
+	fr.Reset(d)
+	// Pre-size the backing from the body size (shortest-form float64 text
+	// runs ~18 bytes; /8 overshoots mildly without paying for megabytes of
+	// zeroing): batches past the pool's size cap arrive with a cold frame
+	// and would otherwise regrow it a dozen times.
+	fr.Reserve(len(b)/8 + 8)
 	p := fastParser{b: b}
 	p.ws()
 	if !p.eat('{') || !p.skipWSEat('"') {
-		return nil, false
+		return false
 	}
 	// Key must be exactly "rows" (no escapes to worry about: anything else
 	// fails the literal match and falls back).
 	if !p.lit(`rows"`) || !p.skipWSEat(':') || !p.skipWSEat('[') {
-		return nil, false
+		return false
 	}
-	// Pre-size the flat value store from the body size (shortest-form
-	// float64 text runs ~18 bytes; /8 overshoots mildly without paying
-	// for megabytes of zeroing) so large batches avoid growth copies.
-	flat := make([]float64, 0, len(b)/8+8)
-	var lens []int
 	p.ws()
 	if !p.eat(']') {
 		for {
 			if !p.skipWSEat('[') {
-				return nil, false
+				return false
 			}
-			start := len(flat)
 			p.ws()
 			if !p.eat(']') {
 				for {
 					p.ws()
 					v, numOK := p.number()
 					if !numOK {
-						return nil, false
+						return false
 					}
-					flat = append(flat, v)
+					fr.PushValue(v)
 					p.ws()
 					if p.eat(',') {
 						continue
@@ -58,10 +64,12 @@ func parseScoreRows(b []byte) (rows [][]float64, ok bool) {
 					if p.eat(']') {
 						break
 					}
-					return nil, false
+					return false
 				}
 			}
-			lens = append(lens, len(flat)-start)
+			if !fr.EndRow() {
+				return false
+			}
 			p.ws()
 			if p.eat(',') {
 				continue
@@ -69,23 +77,14 @@ func parseScoreRows(b []byte) (rows [][]float64, ok bool) {
 			if p.eat(']') {
 				break
 			}
-			return nil, false
+			return false
 		}
 	}
 	if !p.skipWSEat('}') {
-		return nil, false
+		return false
 	}
 	p.ws()
-	if p.i != len(p.b) {
-		return nil, false
-	}
-	rows = make([][]float64, len(lens))
-	off := 0
-	for i, n := range lens {
-		rows[i] = flat[off : off+n : off+n]
-		off += n
-	}
-	return rows, true
+	return p.i == len(p.b)
 }
 
 type fastParser struct {

@@ -8,9 +8,11 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"rpcrank/internal/frame"
 )
 
-func TestParseScoreRowsAgreesWithStdlib(t *testing.T) {
+func TestParseScoreFrameAgreesWithStdlib(t *testing.T) {
 	accept := []string{
 		`{"rows":[[1,2,3],[4.5,-6e2,0.75]]}`,
 		`{"rows":[[0.1]]}`,
@@ -21,31 +23,39 @@ func TestParseScoreRowsAgreesWithStdlib(t *testing.T) {
 		`{"rows":[[-0]]}`,
 	}
 	for _, body := range accept {
-		got, ok := parseScoreRows([]byte(body))
-		if !ok {
-			t.Errorf("fast parser rejected valid body %q", body)
-			continue
-		}
 		var want ScoreRequest
 		if err := json.Unmarshal([]byte(body), &want); err != nil {
 			t.Fatalf("stdlib rejected %q: %v", body, err)
 		}
-		if len(got) != len(want.Rows) {
-			t.Errorf("%q: %d rows vs stdlib %d", body, len(got), len(want.Rows))
+		d := 1
+		if len(want.Rows) > 0 {
+			d = len(want.Rows[0])
+		}
+		fr := &frame.Frame{}
+		if !parseScoreFrame(fr, []byte(body), d) {
+			t.Errorf("fast parser rejected valid body %q", body)
 			continue
 		}
-		for i := range got {
-			if !reflect.DeepEqual(append([]float64{}, got[i]...), append([]float64{}, want.Rows[i]...)) {
-				t.Errorf("%q row %d: %v vs stdlib %v", body, i, got[i], want.Rows[i])
+		if fr.N() != len(want.Rows) {
+			t.Errorf("%q: %d rows vs stdlib %d", body, fr.N(), len(want.Rows))
+			continue
+		}
+		for i := 0; i < fr.N(); i++ {
+			if !reflect.DeepEqual(append([]float64{}, fr.Row(i)...), append([]float64{}, want.Rows[i]...)) {
+				t.Errorf("%q row %d: %v vs stdlib %v", body, i, fr.Row(i), want.Rows[i])
 			}
 		}
 	}
 }
 
-func TestParseScoreRowsRejectsNonCanonical(t *testing.T) {
+func TestParseScoreFrameRejectsNonCanonical(t *testing.T) {
 	// Everything here must fall back to the stdlib decoder (ok=false):
-	// either invalid JSON, or valid JSON the fast path does not cover.
+	// either invalid JSON, valid JSON the fast path does not cover, or rows
+	// that do not match the expected dimension (so the stdlib path can
+	// produce the canonical dimension error).
 	reject := []string{
+		`{"rows":[[1,2],[3,4,5]]}`, // ragged
+		`{"rows":[[1,2,3,4]]}`,     // uniform but not the model dimension
 		``,
 		`{"rows":[[1,2],[3]]`,          // truncated
 		`{"rows":[[1,2]]} trailing`,    // garbage after body
@@ -69,8 +79,10 @@ func TestParseScoreRowsRejectsNonCanonical(t *testing.T) {
 		`{"rows":[[2]]}{"rows":[[2]]}`, // two documents
 	}
 	for _, body := range reject {
-		if _, ok := parseScoreRows([]byte(body)); ok {
-			t.Errorf("fast parser accepted %q, must fall back", body)
+		for d := 1; d <= 3; d++ {
+			if parseScoreFrame(&frame.Frame{}, []byte(body), d) {
+				t.Errorf("fast parser accepted %q at dim %d, must fall back", body, d)
+			}
 		}
 	}
 }

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"rpcrank/internal/frame"
+)
+
+// FuzzDecodeRows pins the hand-rolled score-request decoder against
+// encoding/json: for arbitrary bodies the fast parser must never panic, and
+// whenever it accepts a body it must agree with the stdlib decoder — same
+// acceptance (a body the stdlib rejects must never fast-parse), same row
+// count, and bit-identical values. The one asymmetry is deliberate and also
+// checked: the fast path only accepts batches whose rows all have the
+// expected width d, so the stdlib fallback owns the canonical
+// dimension-mismatch error.
+//
+// CI runs this as a short smoke (-fuzz with a bounded -fuzztime) on every
+// push; longer local runs explore deeper.
+func FuzzDecodeRows(f *testing.F) {
+	seeds := []string{
+		`{"rows":[[1,2,3],[4.5,-6e2,0.75]]}`,
+		`{"rows":[[0.1]]}`,
+		`{"rows":[]}`,
+		` { "rows" : [ [ 1 , 2 ] , [ 3 , 4 ] ] } `,
+		"{\n\t\"rows\": [[1e-9, 2E+4, -0.5]]\r\n}",
+		`{"rows":[[-0],[0]]}`,
+		`{"rows":[[1,2],[3]]}`,
+		`{"rows":[[1,2]],"x":1}`,
+		`{"rows":[[1e999]]}`,
+		`{"rows":[[01]]}`,
+		`{"rows":null}`,
+		`{"rows":[[1,2]]} trailing`,
+		`{"rows":[[1,2]]}`,
+	}
+	for _, s := range seeds {
+		for _, d := range []int{1, 2, 3} {
+			f.Add([]byte(s), d)
+		}
+	}
+	fr := &frame.Frame{}
+	f.Fuzz(func(t *testing.T, body []byte, d int) {
+		if d < 1 || d > 64 {
+			d = 1 + (d%64+64)%64
+		}
+		fastOK := parseScoreFrame(fr, body, d)
+
+		// The stdlib arbiter, with the exact semantics of the fallback path
+		// (decodeJSONBytes): unknown fields and trailing data are errors.
+		var req ScoreRequest
+		stdErr := decodeJSONBytes(body, &req)
+
+		if !fastOK {
+			return // fallback path owns the outcome, whatever it is
+		}
+		if stdErr != nil {
+			t.Fatalf("fast parser accepted %q (dim %d) but stdlib rejects it: %v", body, d, stdErr)
+		}
+		if fr.N() != len(req.Rows) {
+			t.Fatalf("%q: fast %d rows, stdlib %d", body, fr.N(), len(req.Rows))
+		}
+		for i := 0; i < fr.N(); i++ {
+			row := fr.Row(i)
+			want := req.Rows[i]
+			if len(want) != d {
+				t.Fatalf("%q row %d: fast path accepted width %d, expected only %d", body, i, len(want), d)
+			}
+			for j := range row {
+				// Bit equality (distinguishing -0 from 0, which JSON can
+				// express) — the two parsers must produce the same float.
+				if math.Float64bits(row[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("%q cell (%d,%d): fast %v, stdlib %v", body, i, j, row[j], want[j])
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeRowsRoundTrip feeds the fuzzer structurally valid batches: any
+// [][]float64 the stdlib encoder can produce must take the fast path and
+// come back value-identical.
+func FuzzDecodeRowsRoundTrip(f *testing.F) {
+	f.Add(3, 4, 1.5)
+	f.Add(1, 1, -0.0)
+	f.Add(17, 2, 6.21801796743513e-05)
+	fr := &frame.Frame{}
+	f.Fuzz(func(t *testing.T, n, d int, base float64) {
+		if n < 0 || n > 64 || d < 1 || d > 16 {
+			return
+		}
+		if math.IsNaN(base) || math.IsInf(base, 0) {
+			return
+		}
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, d)
+			for j := range rows[i] {
+				rows[i][j] = base * float64(i*d+j)
+			}
+		}
+		body, err := json.Marshal(ScoreRequest{Rows: rows})
+		if err != nil {
+			t.Skip()
+		}
+		if !parseScoreFrame(fr, body, d) {
+			t.Fatalf("fast parser declined canonical body %s", body)
+		}
+		if fr.N() != n {
+			t.Fatalf("%s: %d rows, want %d", body, fr.N(), n)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				if math.Float64bits(fr.At(i, j)) != math.Float64bits(rows[i][j]) {
+					t.Fatalf("cell (%d,%d): %v != %v", i, j, fr.At(i, j), rows[i][j])
+				}
+			}
+		}
+	})
+}

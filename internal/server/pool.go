@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"rpcrank/internal/core"
+	"rpcrank/internal/frame"
 )
 
 // concurrencyThreshold is the batch size below which sharding overhead
@@ -17,13 +18,16 @@ const concurrencyThreshold = 64
 // Pool is a fixed-size worker pool that shards batch scoring across
 // GOMAXPROCS goroutines. Row projections are independent (Eq. 22), so the
 // sharded result is bit-identical to the serial one. One pool is shared by
-// all requests; tasks are chunks of a batch, fanned out over a channel.
+// all requests; tasks are row ranges of a batch's shared frame, fanned out
+// over a channel. Workers borrow compiled scorers from the model's internal
+// pool (core.Model.AcquireScorer), so steady-state batches allocate neither
+// row storage nor scorer scratch.
 type Pool struct {
 	workers int
 	tasks   chan poolTask
 	wg      sync.WaitGroup
 
-	// closeMu fences Close against in-flight ScoreBatch submitters: a
+	// closeMu fences Close against in-flight ScoreFrame submitters: a
 	// batch holds the read side while feeding the channel, so Close
 	// cannot close it mid-send (a shutdown that drains slower than its
 	// timeout would otherwise panic). After Close, batches score inline.
@@ -31,11 +35,14 @@ type Pool struct {
 	closed  bool
 }
 
+// poolTask is one shard: score rows [lo, hi) of f into out[lo:hi]. The
+// frame and output slice are shared across the batch's tasks; the ranges
+// are disjoint, so no synchronisation beyond done is needed.
 type poolTask struct {
-	scorer *core.Scorer // chunk-owned compiled scorer (clone of the batch's)
-	rows   [][]float64  // the chunk
-	out    []float64    // full output slice
-	base   int          // chunk offset into out
+	model  *core.Model
+	f      *frame.Frame
+	out    []float64
+	lo, hi int
 	done   *sync.WaitGroup
 	fail   *atomic.Pointer[any] // first panic value of the batch, if any
 }
@@ -64,11 +71,13 @@ func (p *Pool) worker() {
 	}
 }
 
-// runTask scores one chunk. A panic in Scorer.Score (a poison model) must
-// not kill the worker — and with it the process — nor leave the batch's
-// WaitGroup hanging: it is captured for ScoreBatch to re-raise on the
-// request goroutine, where net/http's recover turns it into one failed
-// request instead of a daemon crash.
+// runTask scores one row range. A panic in Scorer.Score (a poison model)
+// must not kill the worker — and with it the process — nor leave the
+// batch's WaitGroup hanging: it is captured for the submitter to re-raise
+// on the request goroutine, where net/http's recover turns it into one
+// failed request instead of a daemon crash. The borrowed scorer is dropped
+// on panic rather than released, so a poisoned scratch never re-enters the
+// model's pool.
 func (p *Pool) runTask(t poolTask) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -76,16 +85,16 @@ func (p *Pool) runTask(t poolTask) {
 		}
 		t.done.Done()
 	}()
-	for i, row := range t.rows {
-		t.out[t.base+i] = t.scorer.Score(row)
-	}
+	sc := t.model.AcquireScorer()
+	sc.ScoreFrameRange(t.out, t.f, t.lo, t.hi)
+	t.model.ReleaseScorer(sc)
 }
 
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
 
 // Close stops the workers after in-flight batches finish submitting.
-// ScoreBatch calls that race with (or follow) Close fall back to inline
+// ScoreFrame calls that race with (or follow) Close fall back to inline
 // scoring, so shutdown never panics a handler.
 func (p *Pool) Close() {
 	p.closeMu.Lock()
@@ -97,44 +106,43 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 }
 
-// ScoreBatch scores every row with m, compiling the model once per batch
-// (core.Model.Compile) so the per-row work is allocation-free however the
-// batch is scheduled. Batches of at least concurrencyThreshold rows are
-// split into chunks and scored by the pool — each chunk gets its own cheap
-// clone of the compiled scorer, sharing the coefficients — while smaller
-// ones run inline. The scores are identical either way.
-func (p *Pool) ScoreBatch(m *core.Model, rows [][]float64) []float64 {
-	if p == nil || len(rows) < concurrencyThreshold {
-		return m.ScoreAll(rows)
+// ScoreFrame scores every row of f with m into dst (reused when it has the
+// capacity, allocated otherwise) and returns the slice of f.N() scores.
+// Batches of at least concurrencyThreshold rows are split into row ranges
+// scored by the pool over the shared frame; smaller ones run inline on a
+// borrowed scorer. The scores are identical either way, and — beyond a
+// possible dst growth — the steady-state batch performs no per-row
+// allocation at all.
+func (p *Pool) ScoreFrame(m *core.Model, f *frame.Frame, dst []float64) []float64 {
+	n := f.N()
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]float64, n)
+	}
+	if p == nil || n < concurrencyThreshold {
+		return scoreInline(m, f, dst)
 	}
 	p.closeMu.RLock()
 	if p.closed {
 		p.closeMu.RUnlock()
-		return m.ScoreAll(rows)
+		return scoreInline(m, f, dst)
 	}
-	sc := m.Compile()
-	out := make([]float64, len(rows))
 	// Aim for a few chunks per worker so an uneven row mix still balances,
 	// but never chunks so small the channel hops dominate.
-	chunk := (len(rows) + 4*p.workers - 1) / (4 * p.workers)
+	chunk := (n + 4*p.workers - 1) / (4 * p.workers)
 	if chunk < concurrencyThreshold/2 {
 		chunk = concurrencyThreshold / 2
 	}
 	var done sync.WaitGroup
 	var fail atomic.Pointer[any]
-	first := true
-	for base := 0; base < len(rows); base += chunk {
-		end := base + chunk
-		if end > len(rows) {
-			end = len(rows)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
 		}
-		cs := sc
-		if !first {
-			cs = sc.Clone()
-		}
-		first = false
 		done.Add(1)
-		p.tasks <- poolTask{scorer: cs, rows: rows[base:end], out: out, base: base, done: &done, fail: &fail}
+		p.tasks <- poolTask{model: m, f: f, out: dst, lo: lo, hi: hi, done: &done, fail: &fail}
 	}
 	p.closeMu.RUnlock()
 	done.Wait()
@@ -143,5 +151,24 @@ func (p *Pool) ScoreBatch(m *core.Model, rows [][]float64) []float64 {
 		// HTTP server's per-connection recover contains it.
 		panic(*r)
 	}
-	return out
+	return dst
+}
+
+func scoreInline(m *core.Model, f *frame.Frame, dst []float64) []float64 {
+	sc := m.AcquireScorer()
+	defer m.ReleaseScorer(sc)
+	return sc.ScoreFrame(dst, f)
+}
+
+// ScoreBatch is ScoreFrame over slice-of-slice rows: the batch is packed
+// into a contiguous frame first (one allocation), then sharded as usual.
+// It exists for callers still holding [][]float64 — the server's stdlib
+// fallback decode path among them; ragged rows score inline via
+// Model.ScoreAll, which surfaces the canonical dimension panic per row.
+func (p *Pool) ScoreBatch(m *core.Model, rows [][]float64) []float64 {
+	f, err := frame.FromRows(rows)
+	if err != nil {
+		return m.ScoreAll(rows)
+	}
+	return p.ScoreFrame(m, f, nil)
 }

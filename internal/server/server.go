@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"rpcrank/internal/core"
+	"rpcrank/internal/frame"
 	"rpcrank/internal/order"
 	"rpcrank/internal/registry"
 )
@@ -185,13 +186,51 @@ func writeRawJSON(w http.ResponseWriter, b []byte) {
 // bodyPool and respPool recycle request-body and response-encode buffers
 // between score/rank calls; buffers past poolMaxBuf are left for the
 // collector rather than pinned forever. Pooled as *[]byte so Put does not
-// re-box the slice header every time.
+// re-box the slice header every time. framePool and scoresPool do the same
+// for the decoded request frame and the score output, which closes the
+// loop: a steady-state batch re-uses one body buffer, one contiguous
+// frame, one score slice, and one response buffer — a handful of
+// allocations per request regardless of row count.
 var (
-	bodyPool sync.Pool
-	respPool sync.Pool
+	bodyPool   sync.Pool
+	respPool   sync.Pool
+	framePool  sync.Pool
+	scoresPool sync.Pool
 )
 
 const poolMaxBuf = 1 << 20
+
+// poolMaxFrameVals bounds the pooled frame and score buffers (in float64s,
+// 1 MiB of frame backing) just as poolMaxBuf bounds the byte buffers.
+const poolMaxFrameVals = 1 << 17
+
+func getFrame() *frame.Frame {
+	if f, ok := framePool.Get().(*frame.Frame); ok {
+		return f
+	}
+	return &frame.Frame{}
+}
+
+func putFrame(f *frame.Frame) {
+	if f.Cap() > poolMaxFrameVals {
+		return
+	}
+	framePool.Put(f)
+}
+
+func getScores() []float64 {
+	if p, ok := scoresPool.Get().(*[]float64); ok {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+func putScores(s []float64) {
+	if cap(s) == 0 || cap(s) > poolMaxFrameVals {
+		return
+	}
+	scoresPool.Put(&s)
+}
 
 func getBuf(pool *sync.Pool) []byte {
 	if p, ok := pool.Get().(*[]byte); ok {
@@ -233,15 +272,6 @@ func readBody(r *http.Request, maxBody int64) ([]byte, error) {
 			return buf, err
 		}
 	}
-}
-
-func uniformDim(rows [][]float64, dim int) bool {
-	for _, row := range rows {
-		if len(row) != dim {
-			return false
-		}
-	}
-	return true
 }
 
 func decodeJSON(r *http.Request, v any) error {
@@ -391,10 +421,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // scoreRows is the shared validation + worker-pool scoring path behind
 // /score and /rank. The request body goes through a hand-rolled decoder for
 // the overwhelmingly common {"rows": [[...]]} shape (reflection-based JSON
-// decoding dominates large-batch latency otherwise); anything that parser
-// does not recognise byte-for-byte falls back to encoding/json so error
-// behaviour — unknown fields, type mismatches, trailing garbage — is
-// exactly the stdlib's.
+// decoding dominates large-batch latency otherwise), parsed straight into
+// one pooled contiguous frame that the worker pool then shards by row
+// range; anything that parser does not recognise byte-for-byte — including
+// rows that do not match the model's dimension — falls back to
+// encoding/json so error behaviour (unknown fields, type mismatches,
+// trailing garbage, the canonical dimension message) is exactly the
+// stdlib path's. The returned scores slice is pooled; handlers return it
+// via putScores after encoding the response.
 func (s *Server) scoreRows(r *http.Request) (id string, scores []float64, err error) {
 	id = r.PathValue("id")
 	// Validate against the metadata first: a request that will be
@@ -412,31 +446,42 @@ func (s *Server) scoreRows(r *http.Request) (id string, scores []float64, err er
 		}
 		return id, nil, badRequest("reading request body: %v", err)
 	}
-	rows, fast := parseScoreRows(body)
-	if !fast {
-		var req ScoreRequest
-		err := decodeJSONBytes(body, &req)
+	fr := getFrame()
+	if parseScoreFrame(fr, body, meta.Dim) {
+		// The frame owns the values; the body is done. The fast parser
+		// only yields finite values of the model's dimension (JSON has no
+		// NaN/Inf literals, range errors reject, EndRow enforces width),
+		// so no further row validation is needed; the empty batch still
+		// 400s with the canonical message below.
 		putBuf(&bodyPool, body)
+		defer putFrame(fr)
+		if fr.N() > s.opts.MaxBatchRows {
+			return id, nil, badRequest("%d rows exceeds the limit of %d", fr.N(), s.opts.MaxBatchRows)
+		}
+		if fr.N() == 0 {
+			return id, nil, badRequest("invalid rows: %v", order.ValidateFrame(fr, meta.Dim))
+		}
+		m, _, err := s.reg.Get(id)
 		if err != nil {
 			return id, nil, err
 		}
-		rows = req.Rows
-	} else {
-		// The parsed rows own their values; the body is done.
-		putBuf(&bodyPool, body)
+		scores = s.pool.ScoreFrame(m, fr, getScores())
+		s.metrics.AddRows(len(scores))
+		return id, scores, nil
 	}
+	putFrame(fr)
+	var req ScoreRequest
+	derr := decodeJSONBytes(body, &req)
+	putBuf(&bodyPool, body)
+	if derr != nil {
+		return id, nil, derr
+	}
+	rows := req.Rows
 	if len(rows) > s.opts.MaxBatchRows {
 		return id, nil, badRequest("%d rows exceeds the limit of %d", len(rows), s.opts.MaxBatchRows)
 	}
-	// The fast parser only yields finite values (JSON has no NaN/Inf
-	// literals and range errors reject), so when every row already has the
-	// model's dimension the ValidateRows value scan is redundant; any
-	// mismatch — and the empty batch, which must 400 exactly like the
-	// fallback path — still goes through it for the canonical error.
-	if !fast || len(rows) == 0 || !uniformDim(rows, meta.Dim) {
-		if err := order.ValidateRows(rows, meta.Dim); err != nil {
-			return id, nil, badRequest("invalid rows: %v", err)
-		}
+	if err := order.ValidateRows(rows, meta.Dim); err != nil {
+		return id, nil, badRequest("invalid rows: %v", err)
 	}
 	m, _, err := s.reg.Get(id)
 	if err != nil {
@@ -453,6 +498,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	defer putScores(scores) // encoding is synchronous on both paths below
 	buf := getBuf(&respPool)
 	if b, ok := appendScoreResponse(buf, id, scores, nil); ok {
 		writeRawJSON(w, b)
@@ -469,6 +515,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	defer putScores(scores)
 	positions := order.RankFromScores(scores)
 	buf := getBuf(&respPool)
 	if b, ok := appendScoreResponse(buf, id, scores, positions); ok {

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"rpcrank/internal/core"
+	"rpcrank/internal/frame"
 	"rpcrank/internal/order"
 )
 
@@ -69,7 +70,14 @@ func Run(xs [][]float64, opts Options) (*Result, error) {
 	if n < 4 {
 		return nil, fmt.Errorf("stability: need at least 4 rows, got %d", n)
 	}
-	full, err := core.Fit(xs, opts.Fit)
+	// One contiguous copy serves the full fit and every resample: each
+	// bootstrap training set is a single backing-array gather, and the
+	// out-of-sample scoring walks the frame instead of per-row slices.
+	f, err := frame.FromRows(xs)
+	if err != nil {
+		return nil, fmt.Errorf("stability: %w", err)
+	}
+	full, err := core.FitFrame(f, opts.Fit)
 	if err != nil {
 		return nil, fmt.Errorf("stability: full fit: %w", err)
 	}
@@ -78,19 +86,19 @@ func Run(xs [][]float64, opts Options) (*Result, error) {
 	positions := make([][]int, n) // positions[i] = ranks of object i across resamples
 	var tauSum float64
 	for b := 0; b < opts.Resamples; b++ {
-		sample := make([][]float64, n)
-		for i := range sample {
-			sample[i] = xs[rng.Intn(n)]
+		sampleIdx := make([]int, n)
+		for i := range sampleIdx {
+			sampleIdx[i] = rng.Intn(n)
 		}
 		fitOpts := opts.Fit
 		fitOpts.Seed = opts.Seed + int64(b) + 1
-		m, err := core.Fit(sample, fitOpts)
+		m, err := core.FitFrame(f.Gather(sampleIdx), fitOpts)
 		if err != nil {
 			return nil, fmt.Errorf("stability: resample %d: %w", b, err)
 		}
 		// Score the *original* rows with the resample model so positions
 		// are comparable across resamples.
-		scores := m.ScoreAll(xs)
+		scores := m.ScoreFrame(f)
 		ranks := order.RankFromScores(scores)
 		for i, r := range ranks {
 			positions[i] = append(positions[i], r)

@@ -8,6 +8,8 @@ package stats
 import (
 	"fmt"
 	"math"
+
+	"rpcrank/internal/frame"
 )
 
 // Normalizer holds the per-column min and max of a dataset and maps rows
@@ -56,6 +58,43 @@ func FitNormalizer(xs [][]float64) (*Normalizer, error) {
 	return &Normalizer{Min: mn, Max: mx}, nil
 }
 
+// FitNormalizerFrame computes column ranges over a contiguous frame — the
+// frame-native form of FitNormalizer. Rectangularity is the frame's
+// invariant, so the scan is a single strided pass over the backing array.
+func FitNormalizerFrame(f *frame.Frame) (*Normalizer, error) {
+	if f == nil || f.N() == 0 {
+		return nil, fmt.Errorf("stats: no rows to normalise")
+	}
+	d := f.Dim()
+	if d == 0 {
+		return nil, fmt.Errorf("stats: rows must have at least one column")
+	}
+	mn := make([]float64, d)
+	mx := make([]float64, d)
+	copy(mn, f.Row(0))
+	copy(mx, f.Row(0))
+	for i := 0; i < f.N(); i++ {
+		for j, v := range f.Row(i) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("stats: row %d column %d is not finite: %v", i, j, v)
+			}
+			if v < mn[j] {
+				mn[j] = v
+			}
+			if v > mx[j] {
+				mx[j] = v
+			}
+		}
+	}
+	for j := range mn {
+		if mx[j] == mn[j] {
+			mn[j] -= 0.5
+			mx[j] += 0.5
+		}
+	}
+	return &Normalizer{Min: mn, Max: mx}, nil
+}
+
 // Dim returns the number of columns.
 func (n *Normalizer) Dim() int { return len(n.Min) }
 
@@ -83,6 +122,22 @@ func (n *Normalizer) ApplyAll(xs [][]float64) [][]float64 {
 		out[i] = n.Apply(x)
 	}
 	return out
+}
+
+// ApplyFrame maps every row of f into [0,1]^d in place, one pass over the
+// contiguous backing array. The frame must have the normaliser's dimension.
+// It divides by the range exactly as ApplyInto does, so a frame-normalised
+// batch is bit-identical to the row-at-a-time path.
+func (n *Normalizer) ApplyFrame(f *frame.Frame) {
+	if f.Dim() != len(n.Min) {
+		panic(fmt.Sprintf("stats: dimension mismatch: normalizer %d, frame %d", len(n.Min), f.Dim()))
+	}
+	for i := 0; i < f.N(); i++ {
+		row := f.Row(i)
+		for j, v := range row {
+			row[j] = (v - n.Min[j]) / (n.Max[j] - n.Min[j])
+		}
+	}
 }
 
 // Invert maps a unit-hypercube point back to the original data space.
@@ -147,6 +202,52 @@ func Covariance(xs [][]float64) [][]float64 {
 		}
 	}
 	return cov
+}
+
+// ColumnMeansFrame is ColumnMeans over a contiguous frame.
+func ColumnMeansFrame(f *frame.Frame) []float64 {
+	if f == nil || f.N() == 0 {
+		return nil
+	}
+	out := make([]float64, f.Dim())
+	for i := 0; i < f.N(); i++ {
+		for j, v := range f.Row(i) {
+			out[j] += v
+		}
+	}
+	for j := range out {
+		out[j] /= float64(f.N())
+	}
+	return out
+}
+
+// TotalVarianceFrame is TotalVariance over a contiguous frame.
+func TotalVarianceFrame(f *frame.Frame) float64 {
+	mu := ColumnMeansFrame(f)
+	var sum float64
+	for i := 0; i < f.N(); i++ {
+		for j, v := range f.Row(i) {
+			d := v - mu[j]
+			sum += d * d
+		}
+	}
+	return sum
+}
+
+// ExplainedVarianceFrame is ExplainedVariance over a contiguous frame.
+func ExplainedVarianceFrame(f *frame.Frame, residualsSq []float64) float64 {
+	if f.N() != len(residualsSq) {
+		panic(fmt.Sprintf("stats: ExplainedVariance length mismatch %d vs %d", f.N(), len(residualsSq)))
+	}
+	tv := TotalVarianceFrame(f)
+	if tv == 0 {
+		return 1
+	}
+	var rs float64
+	for _, r := range residualsSq {
+		rs += r
+	}
+	return 1 - rs/tv
 }
 
 // TotalVariance returns Σᵢ‖xᵢ − mean‖², the denominator of explained

@@ -3,8 +3,11 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
+
+	"rpcrank/internal/frame"
 )
 
 func TestFitNormalizerBasics(t *testing.T) {
@@ -226,4 +229,54 @@ func TestApplyIntoMatchesApply(t *testing.T) {
 		}
 	}()
 	n.ApplyInto(make([]float64, 2), x)
+}
+
+func TestFrameVariantsMatchSliceVariants(t *testing.T) {
+	rows := [][]float64{{1, 5, 9}, {2, 7, 3}, {8, 2, 4}, {0.5, 0.5, 0.5}}
+	f := frame.MustFromRows(rows)
+
+	ns, err := FitNormalizer(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := FitNormalizerFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ns, nf) {
+		t.Fatalf("normalizers differ: %+v vs %+v", ns, nf)
+	}
+
+	// In-place frame application must be bit-identical to ApplyAll.
+	want := ns.ApplyAll(rows)
+	nf.ApplyFrame(f)
+	for i := range want {
+		for j := range want[i] {
+			if f.At(i, j) != want[i][j] {
+				t.Fatalf("cell (%d,%d): %v vs %v", i, j, f.At(i, j), want[i][j])
+			}
+		}
+	}
+
+	g := frame.MustFromRows(rows)
+	if !reflect.DeepEqual(ColumnMeans(rows), ColumnMeansFrame(g)) {
+		t.Fatal("ColumnMeansFrame mismatch")
+	}
+	if TotalVariance(rows) != TotalVarianceFrame(g) {
+		t.Fatal("TotalVarianceFrame mismatch")
+	}
+	res := []float64{0.1, 0.2, 0.3, 0.4}
+	if ExplainedVariance(rows, res) != ExplainedVarianceFrame(g, res) {
+		t.Fatal("ExplainedVarianceFrame mismatch")
+	}
+}
+
+func TestFitNormalizerFrameRejectsNonFinite(t *testing.T) {
+	f := frame.MustFromRows([][]float64{{1, 2}, {math.NaN(), 3}})
+	if _, err := FitNormalizerFrame(f); err == nil {
+		t.Fatal("NaN must be rejected")
+	}
+	if _, err := FitNormalizerFrame(&frame.Frame{}); err == nil {
+		t.Fatal("empty frame must be rejected")
+	}
 }
