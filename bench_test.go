@@ -220,6 +220,25 @@ func BenchmarkFitScalingD(b *testing.B) {
 	}
 }
 
+// BenchmarkFitRestarts measures the multi-start fit (Restarts=4): the
+// restarts share one normalised frame and run concurrently with a
+// deterministic winner, so this tracks the parallel multi-start path
+// end-to-end. The result is bit-identical to a serial restart loop (pinned
+// by test in internal/core).
+func BenchmarkFitRestarts(b *testing.B) {
+	alpha := order.MustDirection(1, 1, -1, -1)
+	xs, _, _ := dataset.BezierCloud(alpha, 512, 0.02, 4001)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Workers -1 lets the restarts fan out machine-wide; the fitted
+		// model is bit-identical at any width.
+		if _, err := core.Fit(xs, core.Options{Alpha: alpha, Restarts: 4, Workers: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkScoreOne measures out-of-sample scoring latency through the
 // compiled scorer — the serving hot path (rpcd scores every row this way).
 // The alloc report must stay at 0.

@@ -1,12 +1,15 @@
 package bezier
 
-// Compiled is an immutable, allocation-free evaluation form of a Curve: the
+// Compiled is an allocation-free evaluation form of a Curve: the
 // per-coordinate monomial coefficients of f (and of f′), plus the monomial
 // coefficients of ‖f(s)‖², all precomputed once. It exists for hot paths —
 // serving and the fit's projection step evaluate the curve hundreds of times
 // per observation, and the Curve methods re-derive the basis (and allocate)
-// on every call. A Compiled is safe for concurrent use; all methods that
-// need scratch take caller-provided destination slices.
+// on every call. A Compiled is safe for concurrent *reading*; all methods
+// that need scratch take caller-provided destination slices. CompileInto may
+// rebuild the coefficients in place for an evolving curve of the same shape
+// (the fit loop does this once per iteration), but only while no other
+// goroutine is reading them.
 //
 // The monomial form is evaluated by Horner's rule. For the degrees the RPC
 // supports (≤ 6) on s ∈ [0,1] the change of basis is well-conditioned, so
@@ -30,6 +33,11 @@ type Compiled struct {
 	// squared distance from any point to a single 1-D polynomial — see
 	// DistPolyInto.
 	snormSq []float64
+	// basis caches BernsteinToMonomial(deg) and crow one coefficient row,
+	// so CompileInto recompiles an evolving curve of the same shape with
+	// zero allocations.
+	basis [][]float64
+	crow  []float64
 }
 
 // DistPolyOrigin is the expansion point of the collapsed distance
@@ -38,24 +46,59 @@ const DistPolyOrigin = 0.5
 
 // Compile precomputes the monomial form of c.
 func Compile(c *Curve) *Compiled {
+	return CompileInto(&Compiled{}, c)
+}
+
+// CompileInto recompiles c into dst and returns dst, reusing dst's
+// coefficient buffers (and its cached change-of-basis matrix) when the
+// degree and dimension match; buffers are (re)allocated only on the first
+// call or a shape change. The fit loop recompiles its evolving curve every
+// iteration of Algorithm 1, so the steady state must be allocation-free.
+//
+// The rebuilt coefficients are visible to everything holding dst — in
+// particular every projection engine cloned from one engine shares a single
+// Compiled. Callers must only recompile while all of those readers are
+// quiescent (the fit worker pool recompiles between iterations, while its
+// workers are parked on their job channels).
+func CompileInto(dst *Compiled, c *Curve) *Compiled {
 	k := c.Degree()
 	d := c.Dim()
-	cc := &Compiled{
-		deg:     k,
-		dim:     d,
-		mono:    make([]float64, d*(k+1)),
-		dmono:   make([]float64, d*k),
-		smono:   make([]float64, d*(k+1)),
-		snormSq: make([]float64, 2*k+1),
+	if dst.deg != k || dst.dim != d || dst.basis == nil {
+		dst.deg, dst.dim = k, d
+		dst.mono = make([]float64, d*(k+1))
+		dst.dmono = make([]float64, d*k)
+		dst.smono = make([]float64, d*(k+1))
+		dst.snormSq = make([]float64, 2*k+1)
+		dst.basis = BernsteinToMonomial(k)
+		dst.crow = make([]float64, k+1)
 	}
-	coeffs := c.MonomialCoeffs()
-	for j, row := range coeffs {
-		copy(cc.mono[j*(k+1):(j+1)*(k+1)], row)
+	for i := range dst.snormSq {
+		dst.snormSq[i] = 0
+	}
+	row := dst.crow
+	for j := 0; j < d; j++ {
+		// Monomial coefficients of coordinate j: P·M_k row-by-row, the same
+		// accumulation (and order) as Curve.MonomialCoeffs, without its
+		// per-call allocations.
+		for i := range row {
+			row[i] = 0
+		}
+		for r := 0; r <= k; r++ {
+			pj := c.Points[r][j]
+			if pj == 0 {
+				continue
+			}
+			brow := dst.basis[r]
+			for col := 0; col <= k; col++ {
+				row[col] += pj * brow[col]
+			}
+		}
+		copy(dst.mono[j*(k+1):(j+1)*(k+1)], row)
 		for p := 1; p <= k; p++ {
-			cc.dmono[j*k+p-1] = float64(p) * row[p]
+			dst.dmono[j*k+p-1] = float64(p) * row[p]
 		}
 		// Ruffini–Horner Taylor shift of row to the centre ½.
-		srow := cc.smono[j*(k+1) : (j+1)*(k+1)]
+		srow := dst.smono[j*(k+1) : (j+1)*(k+1)]
 		copy(srow, row)
 		for i := 0; i < k; i++ {
 			for p := k - 1; p >= i; p-- {
@@ -67,11 +110,11 @@ func Compile(c *Curve) *Compiled {
 				continue
 			}
 			for q := 0; q <= k; q++ {
-				cc.snormSq[p+q] += srow[p] * srow[q]
+				dst.snormSq[p+q] += srow[p] * srow[q]
 			}
 		}
 	}
-	return cc
+	return dst
 }
 
 // Degree returns the polynomial degree.

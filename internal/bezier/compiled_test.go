@@ -130,3 +130,48 @@ func BenchmarkCompiledDistPolyEval(b *testing.B) {
 		EvalPoly(dc, 0.37-DistPolyOrigin)
 	}
 }
+
+// TestCompileIntoMatchesCompile: recompiling a Compiled in place for a new
+// curve must produce bit-identical coefficients to a fresh Compile of that
+// curve, whether the shape matches (buffer-reuse path) or changes
+// (reallocation path), and must do so without allocating in steady state.
+func TestCompileIntoMatchesCompile(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	equalSlices := func(t *testing.T, what string, got, want []float64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s length %d, want %d", what, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d] = %.17g, want %.17g", what, i, got[i], want[i])
+			}
+		}
+	}
+	check := func(t *testing.T, got, want *Compiled) {
+		t.Helper()
+		equalSlices(t, "mono", got.mono, want.mono)
+		equalSlices(t, "dmono", got.dmono, want.dmono)
+		equalSlices(t, "smono", got.smono, want.smono)
+		equalSlices(t, "snormSq", got.snormSq, want.snormSq)
+	}
+
+	// Same-shape recompiles walk a sequence of curves through one Compiled.
+	dst := Compile(randCurve(rng, 3, 4))
+	for i := 0; i < 5; i++ {
+		c := randCurve(rng, 3, 4)
+		CompileInto(dst, c)
+		check(t, dst, Compile(c))
+	}
+	// Shape changes reallocate and still match.
+	for _, shape := range [][2]int{{2, 4}, {5, 2}, {3, 4}} {
+		c := randCurve(rng, shape[0], shape[1])
+		CompileInto(dst, c)
+		check(t, dst, Compile(c))
+	}
+	// Steady state allocates nothing.
+	c := randCurve(rng, 3, 4)
+	if allocs := testing.AllocsPerRun(10, func() { CompileInto(dst, c) }); allocs != 0 {
+		t.Fatalf("same-shape CompileInto allocated %.0f times", allocs)
+	}
+}

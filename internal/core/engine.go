@@ -68,6 +68,81 @@ func (e *engine) clone() *engine {
 	return c
 }
 
+// recompile points the engine at c and rebuilds the compiled coefficients
+// in place, reusing their buffers (bezier.CompileInto). Engines cloned from
+// this one share the Compiled, so one recompile refreshes all of them — that
+// is exactly what the fit worker pool wants between iterations of
+// Algorithm 1, and why recompile must only run while every sharing engine
+// is quiescent (the pool's workers are parked on their job channels).
+func (e *engine) recompile(c *bezier.Curve) {
+	// A shape change cannot be honoured: clones sharing e.comp keep their
+	// own dc/d1c/d2c scratch that recompile cannot reach, so resizing here
+	// would fix this engine and corrupt every clone. No fit-loop caller
+	// changes degree or dimension mid-run; enforce that rather than assume.
+	if c.Degree() != e.comp.Degree() || c.Dim() != e.comp.Dim() {
+		panic("core: engine.recompile across curve shapes; build a new engine")
+	}
+	e.curve = c
+	bezier.CompileInto(e.comp, c)
+}
+
+// projectWarm is project seeded by the row's score from the previous
+// Algorithm-1 iteration instead of a fresh grid scan. Between consecutive
+// iterations the curve barely moves, so the previous score almost always
+// sits inside the basin of the new minimiser; safeguarded Newton from there
+// costs a handful of Horner passes instead of a GridCells-point scan plus a
+// 1-D search. Validity is checked, not assumed:
+//
+//   - the derivative-sign bracket [sPrev−h, sPrev+h] (h the grid spacing)
+//     must enclose a minimum, the same classification project applies to its
+//     grid bracket; and
+//   - the attained distance must not regress past the previous iterate's
+//     parameter, i.e. D(s) ≤ D(sPrev) up to roundoff — Newton that wandered
+//     out of the basin cannot silently inflate the objective.
+//
+// Rows failing either check fall back to the cold decision tree — reusing
+// the already-collapsed profile, so a fallback costs one grid scan extra,
+// never a second collapse — and report warm=false; the fit stays within
+// the existing convergence contract either way. The quintic strategy
+// solves exact polynomial roots and takes no seed; it always projects
+// cold.
+func (e *engine) projectWarm(u []float64, sPrev float64) (s, distSq float64, warm bool) {
+	if e.kind == ProjectorQuintic {
+		s, d := projectQuintic(e.curve, u)
+		return s, d, false
+	}
+	e.comp.DistPolyInto(e.dc, u)
+	e.fillDerivatives()
+	h := 1 / float64(e.cells)
+	lo := sPrev - h
+	hi := sPrev + h
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	ga := bezier.EvalPoly(e.d1c, lo-bezier.DistPolyOrigin)
+	gb := bezier.EvalPoly(e.d1c, hi-bezier.DistPolyOrigin)
+	if ga <= 0 && gb >= 0 {
+		dPrev := bezier.EvalPoly(e.dc, sPrev-bezier.DistPolyOrigin)
+		s = e.newtonRefine(lo, hi, sPrev)
+		if d := bezier.EvalPoly(e.dc, s-bezier.DistPolyOrigin); d <= dPrev+1e-12*(1+dPrev) {
+			return s, nonNeg(d), true
+		}
+		// Newton wandered: fall through to the cold path below.
+	}
+	// No validated basin around the warm start (it moved, or the row
+	// projects onto a domain edge, which only the grid pass detects). The
+	// profile in e.dc is already collapsed; only the seeding is redone.
+	if e.kind == ProjectorNewton && len(e.dc) == 7 {
+		s, d := e.projectCubicNewton()
+		return s, d, false
+	}
+	s, d := e.projectSeeded()
+	return s, d, false
+}
+
 // project computes argmin_s ‖u − f(s)‖² and the attained squared distance
 // for one normalised row. Zero allocations for the GSS/Brent/Newton
 // strategies; the quintic strategy delegates to the exact root solver
@@ -82,13 +157,26 @@ func (e *engine) project(u []float64) (float64, float64) {
 		// path (rpcd's default); it gets a fully inlined kernel.
 		return e.projectCubicNewton()
 	}
+	e.fillDerivatives()
+	return e.projectSeeded()
+}
+
+// fillDerivatives derives the d1c/d2c coefficient arrays from the distance
+// profile currently in e.dc.
+func (e *engine) fillDerivatives() {
 	for c := 1; c < len(e.dc); c++ {
 		e.d1c[c-1] = float64(c) * e.dc[c]
 	}
 	for c := 1; c < len(e.d1c); c++ {
 		e.d2c[c-1] = float64(c) * e.d1c[c]
 	}
+}
 
+// projectSeeded is the cold decision tree — grid seed, bracket
+// classification, strategy refinement, safeguarded Newton — over the
+// already-collapsed profile in e.dc/d1c/d2c. project and the warm-start
+// fallback both land here, so a row never pays the profile collapse twice.
+func (e *engine) projectSeeded() (float64, float64) {
 	// Grid pass — mirrors optimize.GridSeedBest over [0,1].
 	h := 1 / float64(e.cells)
 	bestI := 0
@@ -130,9 +218,18 @@ func (e *engine) project(u []float64) (float64, float64) {
 		}
 	}
 
-	// Safeguarded Newton on D′ — inlined mirror of optimize.NewtonBisect
-	// (function-pointer indirection would dominate the refinement cost).
-	a, b := lo, hi
+	s := e.newtonRefine(lo, hi, start)
+	return s, nonNeg(bezier.EvalPoly(e.dc, s-bezier.DistPolyOrigin))
+}
+
+// newtonRefine is the safeguarded Newton iteration on D′ over the prepared
+// d1c/d2c profile, from start inside the sign bracket [a, b] — the shared
+// tail of projectSeeded and projectWarm, an inlined mirror of
+// optimize.NewtonBisect (function-pointer indirection would dominate the
+// refinement cost; the cubic kernel keeps its own register-resident Estrin
+// copy). Sharing it is what keeps the warm and cold refinements in
+// lockstep, which the warm/cold parity contract depends on.
+func (e *engine) newtonRefine(a, b, start float64) float64 {
 	s := start
 	for i := 0; i < 80; i++ {
 		t := s - bezier.DistPolyOrigin
@@ -154,7 +251,7 @@ func (e *engine) project(u []float64) (float64, float64) {
 		}
 		s = nt
 	}
-	return s, nonNeg(bezier.EvalPoly(e.dc, s-bezier.DistPolyOrigin))
+	return s
 }
 
 // projectCubicNewton is project's entry into the cubic serving kernel,

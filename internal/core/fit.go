@@ -70,76 +70,20 @@ func fitValidated(f *frame.Frame, opts Options) (*Model, error) {
 	return fitOnce(f, opts)
 }
 
-// fitMultiStart runs fitOnce from several initialisations and returns the
-// model with the lowest final objective: restart 0 is the jittered-diagonal
-// default, restart 1 places the interior control points on the rows at the
-// interior quantiles of a rough weighted-sum ordering (a deterministic
-// version of Algorithm 1's sample-based init), and further restarts draw
-// random data rows.
-func fitMultiStart(f *frame.Frame, opts Options) (*Model, error) {
-	restarts := opts.Restarts
-	rng := rand.New(rand.NewSource(opts.Seed + 1000003))
-
-	// Normalised rows for building inits (fitOnce re-normalises the data
-	// itself, so inits must live in the same unit box). NoNormalize input
-	// is already in the unit box and is only read here.
-	u := f
-	if !opts.NoNormalize {
-		norm, err := stats.FitNormalizerFrame(f)
-		if err != nil {
-			return nil, err
-		}
-		u = f.Clone()
-		norm.ApplyFrame(u)
-	}
-	// Rough ordering by the oriented attribute sum.
-	rough := make([]float64, u.N())
-	for i := range rough {
-		for j, s := range opts.Alpha {
-			rough[i] += s * u.At(i, j)
-		}
-	}
-	byRough := order.SortByScoreDesc(rough) // best-first
-
-	var best *Model
-	for r := 0; r < restarts; r++ {
-		o := opts
-		o.Restarts = 1
-		o.Seed = opts.Seed + int64(r)
-		switch {
-		case r == 1:
-			inner := make([][]float64, o.Degree-1)
-			for i := range inner {
-				// Interior quantile position, best-first reversed so
-				// inner[0] is the *low*-score row (near p₀'s corner).
-				q := float64(i+1) / float64(o.Degree)
-				pos := byRough[len(byRough)-1-int(q*float64(len(byRough)-1))]
-				inner[i] = append([]float64{}, u.Row(pos)...)
-			}
-			o.InitInner = inner
-		case r > 1:
-			inner := make([][]float64, o.Degree-1)
-			for i := range inner {
-				inner[i] = append([]float64{}, u.Row(rng.Intn(u.N()))...)
-			}
-			o.InitInner = inner
-		}
-		m, err := fitOnce(f, o)
-		if err != nil {
-			return nil, err
-		}
-		if best == nil || sum(m.ResidualsSq) < sum(best.ResidualsSq) {
-			best = m
-		}
-	}
-	return best, nil
+// fitShared is the per-fit-run input every restart shares read-only: the
+// fitted normaliser, the normalised working frame, and the d×n observation
+// matrix X of Eq. 23–27. Restarts differ only in their initial control
+// points, so re-deriving any of this per restart would be pure waste — and
+// sharing it is safe because fitPrepared never writes through it.
+type fitShared struct {
+	norm *stats.Normalizer
+	u    *frame.Frame
+	X    *mat.Dense
 }
 
-// fitOnce is a single run of Algorithm 1. The input frame is read, never
-// written: the normalised working copy u is cloned off it (one contiguous
-// memcpy) and transformed in place.
-func fitOnce(f *frame.Frame, opts Options) (*Model, error) {
-
+// prepFit normalises f into a fresh working frame (one contiguous memcpy;
+// the input frame is read, never written) and builds the shared X matrix.
+func prepFit(f *frame.Frame, opts Options) (*fitShared, error) {
 	var norm *stats.Normalizer
 	if opts.NoNormalize {
 		d := f.Dim()
@@ -167,23 +111,180 @@ func fitOnce(f *frame.Frame, opts Options) (*Model, error) {
 	norm.ApplyFrame(u)
 	n := u.N()
 	d := u.Dim()
-	k := opts.Degree
-
-	curve := initCurve(opts, d, k)
-
-	// X as a d×n matrix (columns are observations), as in Eq. 23–27.
 	X := mat.Zeros(d, n)
 	for i := 0; i < n; i++ {
 		for j, v := range u.Row(i) {
 			X.Set(j, i, v)
 		}
 	}
+	return &fitShared{norm: norm, u: u, X: X}, nil
+}
+
+// fitMultiStart runs Algorithm 1 from several initialisations and returns
+// the model with the lowest final objective: restart 0 is the
+// jittered-diagonal default, restart 1 places the interior control points on
+// the rows at the interior quantiles of a rough weighted-sum ordering (a
+// deterministic version of Algorithm 1's sample-based init), and further
+// restarts draw random data rows.
+func fitMultiStart(f *frame.Frame, opts Options) (*Model, error) {
+	// Restart concurrency honours the caller's parallelism grant: Workers
+	// is the fit's goroutine budget, so with Workers 0 or 1 the restarts
+	// run serially exactly as the projection does, and with Workers = -1
+	// they fan out machine-wide. The fitted model is bit-identical for
+	// every width (see fitMultiStartN), so this only shapes CPU use.
+	return fitMultiStartN(f, opts, resolveWorkers(opts.Workers))
+}
+
+// resolveWorkers maps an Options.Workers value onto a concrete goroutine
+// width: -1 means machine-wide, anything below 1 means serial. Every site
+// sizing fit parallelism — restart fan-out, the worker split across
+// restarts, the projection pool, one-shot projectAll — resolves through
+// here so the semantics cannot drift apart.
+func resolveWorkers(w int) int {
+	if w == -1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// fitMultiStartN is fitMultiStart with the restart concurrency capped at
+// par. The normalised frame and X matrix are prepared once and shared
+// read-only by every restart; the restart initialisations are drawn
+// serially up front (so rng consumption never depends on scheduling) and
+// the winner scan walks restart order with a strict '<', giving the lowest
+// restart index on ties. The returned model is therefore bit-identical for
+// every par ≥ 1 — pinned by test.
+func fitMultiStartN(f *frame.Frame, opts Options, par int) (*Model, error) {
+	restarts := opts.Restarts
+	rng := rand.New(rand.NewSource(opts.Seed + 1000003))
+
+	sh, err := prepFit(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	u := sh.u
+	// Rough ordering by the oriented attribute sum.
+	rough := make([]float64, u.N())
+	for i := range rough {
+		for j, s := range opts.Alpha {
+			rough[i] += s * u.At(i, j)
+		}
+	}
+	byRough := order.SortByScoreDesc(rough) // best-first
+
+	ros := make([]Options, restarts)
+	for r := range ros {
+		o := opts
+		o.Restarts = 1
+		o.Seed = opts.Seed + int64(r)
+		switch {
+		case r == 1:
+			inner := make([][]float64, o.Degree-1)
+			for i := range inner {
+				// Interior quantile position, best-first reversed so
+				// inner[0] is the *low*-score row (near p₀'s corner).
+				q := float64(i+1) / float64(o.Degree)
+				pos := byRough[len(byRough)-1-int(q*float64(len(byRough)-1))]
+				inner[i] = append([]float64{}, u.Row(pos)...)
+			}
+			o.InitInner = inner
+		case r > 1:
+			inner := make([][]float64, o.Degree-1)
+			for i := range inner {
+				inner[i] = append([]float64{}, u.Row(rng.Intn(u.N()))...)
+			}
+			o.InitInner = inner
+		}
+		ros[r] = o
+	}
+
+	if par > restarts {
+		par = restarts
+	}
+	if par < 1 {
+		par = 1
+	}
+	if par > 1 {
+		// Concurrent restarts split the projection workers between them so
+		// Restarts×Workers cannot oversubscribe the machine; the worker
+		// count never changes results (see Options.Workers).
+		if w := resolveWorkers(opts.Workers); w > 1 {
+			if w = w / par; w < 1 {
+				w = 1
+			}
+			for r := range ros {
+				ros[r].Workers = w
+			}
+		}
+	}
+
+	models := make([]*Model, restarts)
+	errs := make([]error, restarts)
+	if par == 1 {
+		for r := range ros {
+			models[r], errs[r] = fitPrepared(sh, ros[r])
+		}
+	} else {
+		sem := make(chan struct{}, par)
+		var wg sync.WaitGroup
+		for r := range ros {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				models[r], errs[r] = fitPrepared(sh, ros[r])
+			}(r)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var best *Model
+	for _, m := range models {
+		if best == nil || sum(m.ResidualsSq) < sum(best.ResidualsSq) {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+// fitOnce is a single run of Algorithm 1 from raw input: normalise, then
+// iterate.
+func fitOnce(f *frame.Frame, opts Options) (*Model, error) {
+	sh, err := prepFit(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	return fitPrepared(sh, opts)
+}
+
+// fitPrepared is the Algorithm-1 iteration loop over a prepared (normalised,
+// shared, read-only) input. All per-iteration state — the projection worker
+// pool with its per-worker engines, the control-point work matrices, the
+// eigen scratch, and the warm-start score cache — is allocated once up
+// front, so the loop itself is allocation-free however many iterations run.
+func fitPrepared(sh *fitShared, opts Options) (*Model, error) {
+	u := sh.u
+	X := sh.X
+	n := u.N()
+	d := u.Dim()
+	k := opts.Degree
+
+	curve := initCurve(opts, d, k)
+
 	// M_k as a mat.Dense.
 	M := mat.FromRows(bezier.BernsteinToMonomial(k))
 
 	m := &Model{
 		Alpha: opts.Alpha,
-		Norm:  norm,
+		Norm:  sh.norm,
 		opts:  opts,
 		data:  u,
 	}
@@ -195,6 +296,19 @@ func fitOnce(f *frame.Frame, opts Options) (*Model, error) {
 	bestJ := math.Inf(1)
 	bestScores := make([]float64, n)
 	bestResid := make([]float64, n)
+
+	// The projection worker pool lives for the whole fit run: its engines
+	// (and their shared compiled curve coefficients) persist across all
+	// iterations, and warmScores carries each row's previous score into the
+	// next iteration's warm-started projection.
+	pool := newProjPool(curve, u, opts)
+	defer pool.close()
+	useWarm := !opts.NoWarmStart
+	var warmScores []float64
+	if useWarm {
+		warmScores = make([]float64, n)
+	}
+	haveWarm := false
 
 	// Work matrices of the control-point step, allocated once and reused
 	// across all Algorithm-1 iterations: every product below has a fixed
@@ -211,10 +325,30 @@ func fitOnce(f *frame.Frame, opts Options) (*Model, error) {
 	cand := mat.Zeros(d, kp1)
 	PMZ := mat.Zeros(d, n)
 	dinv := make([]float64, kp1)
+	eigW := mat.Zeros(kp1, kp1) // EigenRangeScratch work matrix
+	// Scratch of the pseudo-inverse ablation updater, so it too stays
+	// iteration-flat in allocations.
+	var pinvAinv, pinvW, pinvV *mat.Dense
+	var pinvVals []float64
+	if opts.Updater == UpdaterPseudoInverse {
+		pinvAinv = mat.Zeros(kp1, kp1)
+		pinvW = mat.Zeros(kp1, kp1)
+		pinvV = mat.Zeros(kp1, kp1)
+		pinvVals = make([]float64, kp1)
+	}
 
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		// Score step (Eq. 22): project every observation onto the curve.
-		projectAll(curve, u, scores, resid, opts)
+		// Score step (Eq. 22): project every observation onto the curve,
+		// warm-started from the previous iteration's scores when available.
+		if haveWarm {
+			pool.project(curve, scores, resid, warmScores)
+		} else {
+			pool.project(curve, scores, resid, nil)
+		}
+		if useWarm {
+			copy(warmScores, scores)
+			haveWarm = true
+		}
 		J := sum(resid)
 		if opts.KeepTrajectory {
 			m.Objective = append(m.Objective, J)
@@ -271,7 +405,7 @@ func fitOnce(f *frame.Frame, opts Options) (*Model, error) {
 					At.Set(i, j, A.At(i, j)*math.Sqrt(dinv[i])*math.Sqrt(dinv[j]))
 				}
 			}
-			lo, hi := mat.EigenRange(At)
+			lo, hi := mat.EigenRangeScratch(At, eigW)
 			gamma := 0.0
 			if lo+hi > 0 {
 				gamma = 2 / (lo + hi)
@@ -293,9 +427,14 @@ func fitOnce(f *frame.Frame, opts Options) (*Model, error) {
 				gamma /= 2
 			}
 		case UpdaterPseudoInverse:
-			// P = X·(MZ)⁺  (Eq. 26). The ablation path keeps the
-			// allocating pseudo-inverse — it is not the production updater.
-			P = mat.Mul(X, mat.Pinv(MZ))
+			// P = X·(MZ)⁺ (Eq. 26), computed as (X·MZᵀ)·((MZ)(MZ)ᵀ)⁺ — the
+			// universal identity A⁺ = Aᵀ(AAᵀ)⁺ folded so every factor lands
+			// in preallocated scratch and the ablation updater matches the
+			// Richardson path's iteration-flat allocation profile.
+			mat.GramInto(A, MZ)
+			mat.PinvSymInto(pinvAinv, A, pinvW, pinvV, pinvVals)
+			mat.MulABTInto(XMZt, X, MZ)
+			mat.MulInto(P, XMZt, pinvAinv)
 		default:
 			return nil, fmt.Errorf("core: unknown updater %v", opts.Updater)
 		}
@@ -307,7 +446,11 @@ func fitOnce(f *frame.Frame, opts Options) (*Model, error) {
 		bestCurve = curve
 	}
 	// Final projection against the best curve so scores/residuals match it.
-	projectAll(bestCurve, u, bestScores, bestResid, opts)
+	// Deliberately cold (grid-seeded): the model's published scores carry no
+	// dependence on the warm-start trajectory, only on the final curve. The
+	// pool's cold pass is bit-identical to a fresh projectAll and reuses the
+	// run's engines instead of compiling and spawning once more.
+	pool.project(bestCurve, bestScores, bestResid, nil)
 	m.Curve = bestCurve
 	m.Scores = bestScores
 	m.ResidualsSq = bestResid
@@ -414,18 +557,17 @@ func constrainCurve(c *bezier.Curve, opts Options, d, k int) {
 	}
 }
 
-// projectAll runs the score step (Eq. 22) over every frame row through a
-// compiled projection engine: the curve is compiled once per call (per
-// iteration of Algorithm 1), not re-derived per row, the rows are strided
-// views into one contiguous array, and each worker goroutine gets its own
-// scratch via engine.clone, so the parallel result stays bit-identical to
-// the serial one.
+// projectAll runs one cold score step (Eq. 22) over every frame row through
+// a freshly compiled projection engine: the curve is compiled once per
+// call, not re-derived per row, the rows are strided views into one
+// contiguous array, and each worker goroutine gets its own scratch via
+// engine.clone, so the parallel result stays bit-identical to the serial
+// one. The fit run (iterations and the final best-curve projection alike)
+// projects through a persistent projPool instead; this one-shot form serves
+// callers outside the fit loop.
 func projectAll(c *bezier.Curve, u *frame.Frame, scores, resid []float64, opts Options) {
 	eng := newEngine(c, opts)
-	workers := opts.Workers
-	if workers == -1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := resolveWorkers(opts.Workers)
 	n := u.N()
 	if workers <= 1 || n < 4*workers {
 		for i := 0; i < n; i++ {
@@ -459,6 +601,116 @@ func projectAll(c *bezier.Curve, u *frame.Frame, scores, resid []float64, opts O
 		}(e, lo, hi)
 	}
 	wg.Wait()
+}
+
+// projJob is one stripe of rows for a pool worker to project.
+type projJob struct{ lo, hi int }
+
+// projPool is the persistent projection worker pool of one fit run. Where
+// projectAll compiles a fresh engine and spawns fresh goroutines per call,
+// the pool is built once per fit: worker goroutines park on per-worker job
+// channels across iterations, every worker keeps its engine (and scratch)
+// for the whole run, and all engines share one bezier.Compiled that
+// project() rebuilds in place (engine.recompile) each iteration.
+//
+// Lifetimes and synchronisation: the pool is owned by exactly one fit
+// goroutine, which must close() it when the run ends (fitPrepared defers
+// this) so the workers exit. Between a wg.Wait and the next channel send
+// every worker is parked, which is what makes the in-place recompile and
+// the caller's writes to scores/resid/warm race-free — channel send/receive
+// and WaitGroup publish them. Stripes are disjoint, so no two goroutines
+// ever write the same element.
+type projPool struct {
+	u       *frame.Frame
+	engines []*engine      // engines[0] owns the shared Compiled; one each
+	chans   []chan projJob // one per extra worker goroutine
+	wg      sync.WaitGroup
+	scores  []float64
+	resid   []float64
+	warm    []float64 // previous scores; nil on cold passes
+}
+
+// newProjPool builds the pool for u with the worker count opts asks for,
+// spawning the extra goroutines immediately. Small inputs stay serial under
+// the same threshold projectAll applies.
+func newProjPool(c *bezier.Curve, u *frame.Frame, opts Options) *projPool {
+	p := &projPool{u: u, engines: []*engine{newEngine(c, opts)}}
+	workers := resolveWorkers(opts.Workers)
+	if workers > 1 && u.N() >= 4*workers {
+		for w := 1; w < workers; w++ {
+			e := p.engines[0].clone()
+			ch := make(chan projJob, 1)
+			p.engines = append(p.engines, e)
+			p.chans = append(p.chans, ch)
+			go func(e *engine, ch chan projJob) {
+				for job := range ch {
+					p.runRange(e, job.lo, job.hi)
+					p.wg.Done()
+				}
+			}(e, ch)
+		}
+	}
+	return p
+}
+
+// project runs one score step against c: the shared compiled coefficients
+// are rebuilt in place and every engine repointed at c (clones keep their
+// own curve reference, which the quintic strategy projects through), then
+// the rows fan out to the parked workers (the calling goroutine takes
+// stripe 0). warm is the previous iteration's score per row, or nil for a
+// cold pass; rows whose warm basin fails validation fall back to the cold
+// projection individually.
+func (p *projPool) project(c *bezier.Curve, scores, resid, warm []float64) {
+	p.engines[0].recompile(c)
+	for _, e := range p.engines[1:] {
+		e.curve = c
+	}
+	p.scores, p.resid, p.warm = scores, resid, warm
+	n := p.u.N()
+	W := len(p.chans) + 1
+	if W == 1 || n < W {
+		p.runRange(p.engines[0], 0, n)
+		return
+	}
+	chunk := (n + W - 1) / W
+	for w := 1; w < W; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		p.wg.Add(1)
+		p.chans[w-1] <- projJob{lo, hi}
+	}
+	p.runRange(p.engines[0], 0, chunk)
+	p.wg.Wait()
+}
+
+// runRange projects rows [lo, hi) through e, trying the warm start first
+// when one is available.
+func (p *projPool) runRange(e *engine, lo, hi int) {
+	warm := p.warm
+	if warm == nil {
+		for i := lo; i < hi; i++ {
+			p.scores[i], p.resid[i] = e.project(p.u.Row(i))
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		// projectWarm degrades to the cold decision tree internally when
+		// the warm basin fails validation, reusing the collapsed profile.
+		p.scores[i], p.resid[i], _ = e.projectWarm(p.u.Row(i), warm[i])
+	}
+}
+
+// close shuts the worker goroutines down. The pool must not be used after.
+func (p *projPool) close() {
+	for _, ch := range p.chans {
+		close(ch)
+	}
 }
 
 // monomialMatrixInto fills the pre-sized Z (degree+1 rows × n cols) with

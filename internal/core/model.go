@@ -153,8 +153,23 @@ type Options struct {
 	// Workers parallelises the projection step (Eq. 22) across goroutines.
 	// Projections of distinct observations are independent, so the result
 	// is bit-identical to the serial fit. 0 or 1 = serial; −1 = one worker
-	// per CPU.
+	// per CPU. When Restarts > 1 the restarts also run concurrently, at
+	// most Workers wide (so 0 or 1 keeps the whole fit serial), splitting
+	// the projection workers between them; the result does not depend on
+	// either degree of parallelism.
 	Workers int
+
+	// NoWarmStart disables the warm-started projection of the fit loop.
+	// WarmStart is the default: from the second Algorithm-1 iteration on,
+	// each row's projection seeds safeguarded Newton from the row's score
+	// in the previous iteration, falling back to the full grid scan for any
+	// row whose warm basin fails validation (see engine.projectWarm). The
+	// warm and cold fits agree to ~1e-9 in the final scores with the final
+	// objective no worse (pinned by test); set NoWarmStart to force the
+	// cold grid-seeded projection in every iteration. Serving (Scorer,
+	// Model.Score) always projects cold — there is no previous iterate to
+	// warm-start from — so this option never affects scoring.
+	NoWarmStart bool
 }
 
 func (o Options) withDefaults() Options {

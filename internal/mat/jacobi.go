@@ -27,16 +27,51 @@ func SymEigen(a *Dense) Eigen {
 	if a.cols != n {
 		panic(fmt.Sprintf("mat: SymEigen of non-square %dx%d", a.rows, a.cols))
 	}
-	// Work on a symmetrised copy so tiny asymmetries from floating point
-	// accumulation upstream cannot stall convergence.
 	w := Zeros(n, n)
+	v := Identity(n)
+	symmetrizeInto(w, a)
+	jacobiDiagonalize(w, v)
+
+	vals := make([]float64, n)
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			w.Set(i, j, 0.5*(a.At(i, j)+a.At(j, i)))
+		vals[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := Zeros(n, n)
+	for k, i := range idx {
+		sortedVals[k] = vals[i]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, k, v.At(r, i))
 		}
 	}
-	v := Identity(n)
+	return Eigen{Values: sortedVals, Vectors: sortedVecs}
+}
 
+// symmetrizeInto writes (a+aᵀ)/2 into dst, so tiny asymmetries from
+// floating-point accumulation upstream cannot stall Jacobi convergence.
+func symmetrizeInto(dst, a *Dense) {
+	n := a.rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dst.Set(i, j, 0.5*(a.At(i, j)+a.At(j, i)))
+		}
+	}
+}
+
+// jacobiDiagonalize runs cyclic Jacobi sweeps on the symmetric matrix w,
+// reducing it to (near-)diagonal form in place; the eigenvalues end up on
+// the diagonal. When v is non-nil the rotations are accumulated into it
+// (pass an identity to obtain the eigenvectors as its columns). It is the
+// shared kernel behind SymEigen and the scratch-based variants, so every
+// caller applies bit-identical rotations.
+func jacobiDiagonalize(w, v *Dense) {
+	n := w.rows
 	const maxSweeps = 100
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		off := offDiagNorm(w)
@@ -64,30 +99,10 @@ func SymEigen(a *Dense) Eigen {
 			}
 		}
 	}
-
-	vals := make([]float64, n)
-	for i := 0; i < n; i++ {
-		vals[i] = w.At(i, i)
-	}
-	// Sort eigenpairs by descending eigenvalue.
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
-	sortedVals := make([]float64, n)
-	sortedVecs := Zeros(n, n)
-	for k, i := range idx {
-		sortedVals[k] = vals[i]
-		for r := 0; r < n; r++ {
-			sortedVecs.Set(r, k, v.At(r, i))
-		}
-	}
-	return Eigen{Values: sortedVals, Vectors: sortedVecs}
 }
 
 // rotate applies the Jacobi rotation J(p,q,θ) to w (both sides) and
-// accumulates it into v.
+// accumulates it into v when v is non-nil.
 func rotate(w, v *Dense, p, q int, c, s float64) {
 	n := w.rows
 	for k := 0; k < n; k++ {
@@ -101,6 +116,9 @@ func rotate(w, v *Dense, p, q int, c, s float64) {
 		wqk := w.At(q, k)
 		w.Set(p, k, c*wpk-s*wqk)
 		w.Set(q, k, s*wpk+c*wqk)
+	}
+	if v == nil {
+		return
 	}
 	for k := 0; k < n; k++ {
 		vkp := v.At(k, p)
@@ -132,6 +150,38 @@ func EigenRange(a *Dense) (lo, hi float64) {
 		return 0, 0
 	}
 	return e.Values[len(e.Values)-1], e.Values[0]
+}
+
+// EigenRangeScratch is EigenRange writing through the caller-provided
+// same-shape scratch w instead of allocating: a is copied (symmetrised)
+// into w, diagonalised there, and the diagonal extrema returned. Rotations
+// do not depend on eigenvector accumulation, so the result is bit-identical
+// to EigenRange. The fit loop calls this once per Algorithm-1 iteration,
+// which must stay allocation-free.
+func EigenRangeScratch(a, w *Dense) (lo, hi float64) {
+	n := a.rows
+	if a.cols != n {
+		panic(fmt.Sprintf("mat: EigenRangeScratch of non-square %dx%d", a.rows, a.cols))
+	}
+	if w.rows != n || w.cols != n {
+		panic(fmt.Sprintf("mat: EigenRangeScratch scratch is %dx%d, want %dx%d", w.rows, w.cols, n, n))
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	symmetrizeInto(w, a)
+	jacobiDiagonalize(w, nil)
+	lo, hi = w.At(0, 0), w.At(0, 0)
+	for i := 1; i < n; i++ {
+		v := w.At(i, i)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
 }
 
 // ConditionNumber returns λmax/λmin of a symmetric PSD matrix, or +Inf when
