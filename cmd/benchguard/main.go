@@ -1,8 +1,15 @@
 // Command benchguard compares `go test -bench` output against a committed
-// JSON baseline (BENCH_BASELINE.json) and fails when a benchmark regresses
-// beyond an allowed ratio, or when a benchmark whose baseline is
-// allocation-free starts allocating. CI runs it after the benchmark job so
-// performance regressions break the build instead of landing silently.
+// JSON baseline (BENCH_BASELINE.json) and fails the build when performance
+// regresses. Three gates run on every comparison:
+//
+//   - allocs/op: any benchmark allocating more than its baseline (plus
+//     -alloc-slack, default 0) fails — allocation counts are deterministic,
+//     so this gate is machine-independent and strict;
+//   - pinned ns/op: benchmarks matching the -pinned regexp fail beyond
+//     -pinned-max-ratio (default 1.15, i.e. >15% slower) — reserve this for
+//     the benches whose numbers the project actively defends;
+//   - ns/op: every matched benchmark fails beyond -max-ratio (default 2.0,
+//     loose because CI machines differ from the baseline machine).
 //
 // Usage:
 //
@@ -10,6 +17,14 @@
 //	benchguard -update -baseline BENCH_BASELINE.json bench.txt rewrite baseline
 //	benchguard -emit-text -baseline BENCH_BASELINE.json        print the baseline's
 //	                                                           raw bench lines (for benchstat)
+//
+// Refreshing the baseline after an intentional performance change:
+//
+//	go test -bench '<pinned benches>' -benchmem -count 5 -run '^$' ./... | tee bench.txt
+//	go run ./cmd/benchguard -update -baseline BENCH_BASELINE.json bench.txt
+//
+// and commit the rewritten BENCH_BASELINE.json together with the change
+// that moved the numbers, so the diff review sees both.
 //
 // Multiple -count runs of one benchmark are reduced to the geometric mean
 // of ns/op (robust to the occasional noisy run) and the maximum allocs/op
@@ -66,10 +81,20 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	baselinePath := fs.String("baseline", "BENCH_BASELINE.json", "baseline JSON file")
 	maxRatio := fs.Float64("max-ratio", 2.0, "fail when ns/op exceeds baseline by this factor (CI machines are noisy; keep headroom)")
+	pinned := fs.String("pinned", "", "regexp of benchmark names held to -pinned-max-ratio instead of -max-ratio")
+	pinnedMaxRatio := fs.Float64("pinned-max-ratio", 1.15, "fail when a pinned benchmark's ns/op exceeds baseline by this factor")
+	allocSlack := fs.Int64("alloc-slack", 0, "allowed allocs/op increase over baseline before failing")
 	update := fs.Bool("update", false, "rewrite the baseline from the given bench output")
 	emitText := fs.Bool("emit-text", false, "print the baseline's raw bench lines and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var pinnedRe *regexp.Regexp
+	if *pinned != "" {
+		var err error
+		if pinnedRe, err = regexp.Compile(*pinned); err != nil {
+			return fmt.Errorf("bad -pinned regexp: %w", err)
+		}
 	}
 
 	if *emitText {
@@ -124,7 +149,20 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return compare(out, base, results, *maxRatio)
+	return compare(out, base, results, gates{
+		maxRatio:       *maxRatio,
+		pinned:         pinnedRe,
+		pinnedMaxRatio: *pinnedMaxRatio,
+		allocSlack:     *allocSlack,
+	})
+}
+
+// gates bundles the failure thresholds of one comparison run.
+type gates struct {
+	maxRatio       float64
+	pinned         *regexp.Regexp
+	pinnedMaxRatio float64
+	allocSlack     int64
 }
 
 func readBaseline(path string) (Baseline, error) {
@@ -195,7 +233,7 @@ func parseBench(r io.Reader) (map[string]Result, []string, error) {
 	return out, raw, nil
 }
 
-func compare(out io.Writer, base Baseline, results map[string]Result, maxRatio float64) error {
+func compare(out io.Writer, base Baseline, results map[string]Result, g gates) error {
 	names := make([]string, 0, len(results))
 	for name := range results {
 		names = append(names, name)
@@ -211,15 +249,22 @@ func compare(out io.Writer, base Baseline, results map[string]Result, maxRatio f
 		}
 		ratio := got.NsPerOp / want.NsPerOp
 		status := "ok"
-		if ratio > maxRatio {
-			status = "REGRESSION"
-			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%.2fx > %.2fx)",
-				name, got.NsPerOp, want.NsPerOp, ratio, maxRatio))
+		limit := g.maxRatio
+		tag := ""
+		if g.pinned != nil && g.pinned.MatchString(name) {
+			limit = g.pinnedMaxRatio
+			status = "ok (pinned)"
+			tag = " [pinned]"
 		}
-		if want.AllocsPerOp == 0 && got.AllocsPerOp > 0 {
+		if ratio > limit {
+			status = "REGRESSION" + tag
+			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%.2fx > %.2fx)%s",
+				name, got.NsPerOp, want.NsPerOp, ratio, limit, tag))
+		}
+		if got.AllocsPerOp > want.AllocsPerOp+g.allocSlack {
 			status = "REGRESSION"
-			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, baseline is allocation-free",
-				name, got.AllocsPerOp))
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op vs baseline %d",
+				name, got.AllocsPerOp, want.AllocsPerOp))
 		}
 		fmt.Fprintf(out, "benchguard: %-50s %10.1f ns/op  baseline %10.1f  ratio %5.2f  %6d B/op (baseline %d)  %s\n",
 			name, got.NsPerOp, want.NsPerOp, ratio, got.BytesPerOp, want.BytesPerOp, status)

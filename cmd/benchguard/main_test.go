@@ -95,6 +95,68 @@ func TestUpdateThenCompareRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCompareAllocAndPinnedGates covers the strict gates: any allocs/op
+// increase over a nonzero baseline fails (modulo -alloc-slack), and pinned
+// benches fail at -pinned-max-ratio while unpinned ones ride the loose
+// -max-ratio.
+func TestCompareAllocAndPinnedGates(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_BASELINE.json")
+	benchTxt := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchTxt, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-update", "-baseline", baseline, benchTxt}, &out); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+
+	// +2 allocs over the 40314-alloc baseline fails without slack and
+	// passes with -alloc-slack 2.
+	allocy := strings.ReplaceAll(sampleBench, "40314 allocs/op", "40316 allocs/op")
+	allocTxt := filepath.Join(dir, "alloc.txt")
+	if err := os.WriteFile(allocTxt, []byte(allocy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", baseline, allocTxt}, &out); err == nil {
+		t.Fatalf("nonzero-baseline alloc regression passed:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", baseline, "-alloc-slack", "2", allocTxt}, &out); err != nil {
+		t.Fatalf("alloc increase within slack failed: %v\n%s", err, out.String())
+	}
+
+	// A 30% slowdown passes the loose default gate but fails once the
+	// benchmark is pinned to 1.15.
+	slow := strings.ReplaceAll(sampleBench, "140.0 ns/op", "190.0 ns/op")
+	slow = strings.ReplaceAll(slow, "160.0 ns/op", "190.0 ns/op")
+	slowTxt := filepath.Join(dir, "slow.txt")
+	if err := os.WriteFile(slowTxt, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", baseline, slowTxt}, &out); err != nil {
+		t.Fatalf("30%% slowdown failed the loose gate: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", baseline, "-pinned", "^BenchmarkScoreOne$", slowTxt}, &out); err == nil {
+		t.Fatalf("pinned 30%% regression passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "pinned") {
+		t.Errorf("output does not mark the pinned bench:\n%s", out.String())
+	}
+	// The pinned regexp must not drag other benches to the tight gate.
+	out.Reset()
+	if err := run([]string{"-baseline", baseline, "-pinned", "^BenchmarkServerScoreBatch", slowTxt}, &out); err != nil {
+		t.Fatalf("unpinned 30%% slowdown failed: %v\n%s", err, out.String())
+	}
+	// A malformed regexp is a usage error, not a silent pass.
+	if err := run([]string{"-baseline", baseline, "-pinned", "([", slowTxt}, &out); err == nil {
+		t.Fatal("bad -pinned regexp accepted")
+	}
+}
+
 func TestCompareToleratesMissingAndNew(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "b.json")

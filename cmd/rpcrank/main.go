@@ -82,13 +82,13 @@ func run(args []string) error {
 		})
 	}
 
-	res, err := rpcrank.Rank(t.Rows(), rpcrank.Config{Alpha: t.Alpha, Seed: *seed})
+	res, err := rpcrank.Rank(t.Data.ToRows(), rpcrank.Config{Alpha: t.Alpha, Seed: *seed})
 	if err != nil {
 		return err
 	}
 	var stabRes *rpcrank.StabilityResult
 	if *stab > 0 {
-		stabRes, err = rpcrank.Stability(t.Rows(), rpcrank.Config{Alpha: t.Alpha, Seed: *seed}, *stab)
+		stabRes, err = rpcrank.Stability(t.Data.ToRows(), rpcrank.Config{Alpha: t.Alpha, Seed: *seed}, *stab)
 		if err != nil {
 			return err
 		}
@@ -120,7 +120,7 @@ func run(args []string) error {
 	}
 
 	if *features {
-		reports, err := rpcrank.RankFeatures(t.Rows(), t.Attrs, rpcrank.Config{Alpha: t.Alpha, Seed: *seed})
+		reports, err := rpcrank.RankFeatures(t.Data.ToRows(), t.Attrs, rpcrank.Config{Alpha: t.Alpha, Seed: *seed})
 		if err != nil {
 			return err
 		}

@@ -14,7 +14,7 @@ import (
 
 func main() {
 	t := dataset.Countries()
-	reports, err := rpcrank.RankFeatures(t.Rows(), t.Attrs, rpcrank.Config{Alpha: t.Alpha})
+	reports, err := rpcrank.RankFeatures(t.Data.ToRows(), t.Attrs, rpcrank.Config{Alpha: t.Alpha})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,7 +26,7 @@ func main() {
 		fmt.Printf("  %-14s influence %.3f   curvature %.3f\n", r.Name, r.Influence, r.Curvature)
 	}
 
-	chosen, err := rpcrank.SelectFeatures(t.Rows(), rpcrank.Config{Alpha: t.Alpha}, 0.9)
+	chosen, err := rpcrank.SelectFeatures(t.Data.ToRows(), rpcrank.Config{Alpha: t.Alpha}, 0.9)
 	if err != nil {
 		log.Fatal(err)
 	}

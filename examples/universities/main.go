@@ -16,7 +16,7 @@ import (
 
 func main() {
 	t := dataset.Universities()
-	res, err := rpcrank.Rank(t.Rows(), rpcrank.Config{Alpha: t.Alpha})
+	res, err := rpcrank.Rank(t.Data.ToRows(), rpcrank.Config{Alpha: t.Alpha})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func main() {
 	}
 
 	fmt.Println("\nbootstrap stability (20 refits on resampled data):")
-	stab, err := rpcrank.Stability(t.Rows(), rpcrank.Config{Alpha: t.Alpha}, 20)
+	stab, err := rpcrank.Stability(t.Data.ToRows(), rpcrank.Config{Alpha: t.Alpha}, 20)
 	if err != nil {
 		log.Fatal(err)
 	}

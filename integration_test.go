@@ -14,7 +14,7 @@ import (
 
 func TestIntegrationCountriesEndToEnd(t *testing.T) {
 	tab := dataset.Countries()
-	res, err := Rank(tab.Rows(), Config{Alpha: tab.Alpha})
+	res, err := Rank(tab.Data.ToRows(), Config{Alpha: tab.Alpha})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestIntegrationCSVRoundTripThroughRanking(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Rank(back.Rows(), Config{Alpha: back.Alpha})
+	res, err := Rank(back.Data.ToRows(), Config{Alpha: back.Alpha})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestIntegrationCSVRoundTripThroughRanking(t *testing.T) {
 
 func TestIntegrationJournalsFacade(t *testing.T) {
 	tab := dataset.Journals()
-	res, err := Rank(tab.Rows(), Config{Alpha: tab.Alpha, Restarts: 2})
+	res, err := Rank(tab.Data.ToRows(), Config{Alpha: tab.Alpha, Restarts: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,18 +93,18 @@ func TestIntegrationJournalsFacade(t *testing.T) {
 		t.Errorf("journal fit lost monotonicity")
 	}
 	// Strict monotonicity on the actual data: no violated dominance pairs.
-	if v, _ := order.ViolatedPairs(tab.Alpha, tab.Rows(), res.Scores); v != 0 {
+	if v, _ := order.ViolatedPairs(tab.Alpha, tab.Data.ToRows(), res.Scores); v != 0 {
 		t.Errorf("journal ranking violates %d dominance pairs", v)
 	}
 }
 
 func TestIntegrationUniversitiesFacade(t *testing.T) {
 	tab := dataset.Universities()
-	res, err := Rank(tab.Rows(), Config{Alpha: tab.Alpha})
+	res, err := Rank(tab.Data.ToRows(), Config{Alpha: tab.Alpha})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, _ := order.ViolatedPairs(tab.Alpha, tab.Rows(), res.Scores); v != 0 {
+	if v, _ := order.ViolatedPairs(tab.Alpha, tab.Data.ToRows(), res.Scores); v != 0 {
 		t.Errorf("university ranking violates %d dominance pairs", v)
 	}
 	if ev := res.ExplainedVariance(); ev < 0.8 {

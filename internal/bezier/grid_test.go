@@ -1,0 +1,122 @@
+package bezier
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randMonotoneCurve(rng *rand.Rand, deg, dim int) *Curve {
+	pts := make([][]float64, deg+1)
+	for r := range pts {
+		pts[r] = make([]float64, dim)
+	}
+	for j := 0; j < dim; j++ {
+		vals := make([]float64, deg+1)
+		for r := range vals {
+			vals[r] = rng.Float64()
+		}
+		for r := 1; r < len(vals); r++ {
+			if vals[r] < vals[r-1] {
+				vals[r], vals[r-1] = vals[r-1], vals[r]
+			}
+		}
+		for r := range vals {
+			pts[r][j] = vals[r]
+		}
+	}
+	return MustNew(pts)
+}
+
+// TestGridTableMatchesEvalInto: the table must hold exactly what EvalInto
+// computes at each node — same Horner arithmetic, bit for bit — and the
+// norms must be the plain sums of squares of those values.
+func TestGridTableMatchesEvalInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, deg := range []int{2, 3, 5} {
+		for _, dim := range []int{1, 3, 6} {
+			c := randMonotoneCurve(rng, deg, dim)
+			cc := Compile(c)
+			const cells = 32
+			cc.EnsureGrid(cells)
+			if cc.GridCells() != cells {
+				t.Fatalf("GridCells = %d, want %d", cc.GridCells(), cells)
+			}
+			grid := cc.GridTable()
+			norms := cc.GridNormSq()
+			buf := make([]float64, dim)
+			h := 1 / float64(cells)
+			for g := 0; g <= cells; g++ {
+				cc.EvalInto(buf, float64(g)*h)
+				var n2 float64
+				for j, v := range buf {
+					if grid[g*dim+j] != v {
+						t.Fatalf("deg %d dim %d node %d coord %d: table %.17g, EvalInto %.17g",
+							deg, dim, g, j, grid[g*dim+j], v)
+					}
+					n2 += v * v
+				}
+				if norms[g] != n2 {
+					t.Fatalf("node %d: norm %.17g, want %.17g", g, norms[g], n2)
+				}
+			}
+		}
+	}
+}
+
+// TestGridTableRebuiltByCompileInto: once a grid exists, recompiling the
+// same Compiled against a moved curve must refresh the table in place (no
+// stale nodes), with zero allocations in the steady state.
+func TestGridTableRebuiltByCompileInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randMonotoneCurve(rng, 3, 3)
+	b := randMonotoneCurve(rng, 3, 3)
+	cc := Compile(a)
+	cc.EnsureGrid(16)
+	want := Compile(b)
+	want.EnsureGrid(16)
+	CompileInto(cc, b)
+	for i, v := range want.GridTable() {
+		if cc.GridTable()[i] != v {
+			t.Fatalf("table value %d stale after CompileInto", i)
+		}
+	}
+	for i, v := range want.GridNormSq() {
+		if cc.GridNormSq()[i] != v {
+			t.Fatalf("norm %d stale after CompileInto", i)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		CompileInto(cc, a)
+	})
+	if allocs != 0 {
+		t.Fatalf("CompileInto with grid table allocated %.0f times per run", allocs)
+	}
+	// EnsureGrid at the same resolution must be free; at a new resolution
+	// it must resize and refill.
+	cc.EnsureGrid(16)
+	cc.EnsureGrid(8)
+	if cc.GridCells() != 8 || len(cc.GridTable()) != 9*3 || len(cc.GridNormSq()) != 9 {
+		t.Fatalf("EnsureGrid(8) left cells=%d len(table)=%d len(norms)=%d",
+			cc.GridCells(), len(cc.GridTable()), len(cc.GridNormSq()))
+	}
+}
+
+// TestGridTableShapeChange: CompileInto across curve shapes must resize the
+// grid table with the coefficients rather than leave a mis-sized block.
+func TestGridTableShapeChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cc := Compile(randMonotoneCurve(rng, 3, 2))
+	cc.EnsureGrid(4)
+	wide := randMonotoneCurve(rng, 4, 5)
+	CompileInto(cc, wide)
+	if len(cc.GridTable()) != 5*5 || len(cc.GridNormSq()) != 5 {
+		t.Fatalf("shape change left len(table)=%d len(norms)=%d", len(cc.GridTable()), len(cc.GridNormSq()))
+	}
+	want := Compile(wide)
+	want.EnsureGrid(4)
+	for i, v := range want.GridTable() {
+		if cc.GridTable()[i] != v {
+			t.Fatalf("table value %d wrong after shape change", i)
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"rpcrank/internal/bezier"
@@ -411,7 +413,7 @@ func fitPrepared(sh *fitShared, opts Options) (*Model, error) {
 				gamma = 2 / (lo + hi)
 			}
 			mat.MulInto(grad, P, A)
-			mat.MulABTInto(XMZt, X, MZ)
+			mat.MulABTBlockedInto(XMZt, X, MZ)
 			mat.SubInto(grad, grad, XMZt)
 			mat.MulDiagRightInPlace(grad, dinv) // grad is now the step
 			// Backtracking safeguard: a single Richardson step must not
@@ -433,7 +435,7 @@ func fitPrepared(sh *fitShared, opts Options) (*Model, error) {
 			// Richardson path's iteration-flat allocation profile.
 			mat.GramInto(A, MZ)
 			mat.PinvSymInto(pinvAinv, A, pinvW, pinvV, pinvVals)
-			mat.MulABTInto(XMZt, X, MZ)
+			mat.MulABTBlockedInto(XMZt, X, MZ)
 			mat.MulInto(P, XMZt, pinvAinv)
 		default:
 			return nil, fmt.Errorf("core: unknown updater %v", opts.Updater)
@@ -562,17 +564,17 @@ func constrainCurve(c *bezier.Curve, opts Options, d, k int) {
 // call, not re-derived per row, the rows are strided views into one
 // contiguous array, and each worker goroutine gets its own scratch via
 // engine.clone, so the parallel result stays bit-identical to the serial
-// one. The fit run (iterations and the final best-curve projection alike)
-// projects through a persistent projPool instead; this one-shot form serves
-// callers outside the fit loop.
+// one. Stripes project through the block-batched seeder (engine.projectBlock),
+// which is boundary-independent row by row, so the worker count still never
+// changes a bit of the result. The fit run (iterations and the final
+// best-curve projection alike) projects through a persistent projPool
+// instead; this one-shot form serves callers outside the fit loop.
 func projectAll(c *bezier.Curve, u *frame.Frame, scores, resid []float64, opts Options) {
 	eng := newEngine(c, opts)
 	workers := resolveWorkers(opts.Workers)
 	n := u.N()
 	if workers <= 1 || n < 4*workers {
-		for i := 0; i < n; i++ {
-			scores[i], resid[i] = eng.project(u.Row(i))
-		}
+		eng.projectBlock(u, 0, n, scores, resid)
 		return
 	}
 	// Each worker owns a disjoint index stripe of the shared frame, so no
@@ -595,9 +597,7 @@ func projectAll(c *bezier.Curve, u *frame.Frame, scores, resid []float64, opts O
 		}
 		go func(e *engine, lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				scores[i], resid[i] = e.project(u.Row(i))
-			}
+			e.projectBlock(u, lo, hi, scores, resid)
 		}(e, lo, hi)
 	}
 	wg.Wait()
@@ -643,6 +643,13 @@ func newProjPool(c *bezier.Curve, u *frame.Frame, opts Options) *projPool {
 			p.engines = append(p.engines, e)
 			p.chans = append(p.chans, ch)
 			go func(e *engine, ch chan projJob) {
+				// The worker label makes pool goroutines identifiable in
+				// profiles; the engine's stage labels (stage=gemm|seed|
+				// refine, when enabled) derive from it so neither erases
+				// the other.
+				ctx := pprof.WithLabels(context.Background(), pprof.Labels("worker", "fit-proj"))
+				pprof.SetGoroutineLabels(ctx)
+				e.setLabelCtx(ctx)
 				for job := range ch {
 					p.runRange(e, job.lo, job.hi)
 					p.wg.Done()
@@ -690,13 +697,14 @@ func (p *projPool) project(c *bezier.Curve, scores, resid, warm []float64) {
 }
 
 // runRange projects rows [lo, hi) through e, trying the warm start first
-// when one is available.
+// when one is available. Cold passes (the first iteration, NoWarmStart
+// runs, and the final best-curve projection) take the block-batched seeding
+// path; warm rows are seeded from their previous score and never scan the
+// grid unless the basin check fails.
 func (p *projPool) runRange(e *engine, lo, hi int) {
 	warm := p.warm
 	if warm == nil {
-		for i := lo; i < hi; i++ {
-			p.scores[i], p.resid[i] = e.project(p.u.Row(i))
-		}
+		e.projectBlock(p.u, lo, hi, p.scores, p.resid)
 		return
 	}
 	for i := lo; i < hi; i++ {

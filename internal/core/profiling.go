@@ -1,0 +1,48 @@
+package core
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync/atomic"
+)
+
+// Stage-labelled profiling of the projection subsystem. When enabled, the
+// block-batched projection path tags the running goroutine with a
+// stage=gemm|seed|refine pprof label around each phase of a row block, so a
+// CPU profile of rpcd or a fit attributes projection time to the shared
+// GEMM, the per-row argmin scan, and the per-row Newton refinement
+// separately. Disabled (the default) the only cost is one atomic load per
+// row block — the labels themselves would otherwise show up in the
+// nanosecond-scale serving path. rpcd enables this alongside its -pprof-addr
+// listener; tests and experiments can flip it directly.
+var stageProfiling atomic.Bool
+
+// EnableStageProfiling toggles the stage=gemm|seed|refine goroutine labels
+// on the block projection path. Safe for concurrent use; takes effect on the
+// next row block either way.
+func EnableStageProfiling(on bool) { stageProfiling.Store(on) }
+
+// StageProfilingEnabled reports the current toggle, for wiring checks.
+func StageProfilingEnabled() bool { return stageProfiling.Load() }
+
+// stageCtxs are the pre-built label sets one goroutine cycles through while
+// stage profiling is on — building them per block would allocate in the hot
+// path. base restores the goroutine's label-free state afterwards; worker
+// goroutines that carry their own identity label (the fit and server pools)
+// pass their labelled context through engine.labelCtx instead so a stage
+// toggle does not erase it.
+type stageCtxs struct {
+	base, gemm, seed, refine context.Context
+}
+
+func newStageCtxs(base context.Context) stageCtxs {
+	return stageCtxs{
+		base:   base,
+		gemm:   pprof.WithLabels(base, pprof.Labels("stage", "gemm")),
+		seed:   pprof.WithLabels(base, pprof.Labels("stage", "seed")),
+		refine: pprof.WithLabels(base, pprof.Labels("stage", "refine")),
+	}
+}
+
+// set applies ctx's labels to the calling goroutine.
+func (stageCtxs) set(ctx context.Context) { pprof.SetGoroutineLabels(ctx) }

@@ -61,22 +61,29 @@ type Result struct {
 	TrainMSE float64
 }
 
-// Run executes k-fold cross-validation.
+// Run executes k-fold cross-validation over slice-of-slice rows — the
+// conversion shim in front of RunFrame for callers not yet holding a frame.
 func Run(xs [][]float64, opts Options) (*Result, error) {
+	data, err := frame.FromRows(xs)
+	if err != nil {
+		return nil, fmt.Errorf("crossval: %w", err)
+	}
+	return RunFrame(data, opts)
+}
+
+// RunFrame executes k-fold cross-validation over a contiguous frame — the
+// native entry point of the data plane: dataset tables hold frames already,
+// every fold's training set is a single backing-array gather, and held-out
+// rows are scored through zero-copy row views. The frame is read, never
+// modified.
+func RunFrame(data *frame.Frame, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	n := len(xs)
+	n := data.N()
 	if opts.Folds < 2 {
 		return nil, fmt.Errorf("crossval: need at least 2 folds, got %d", opts.Folds)
 	}
 	if n < 2*opts.Folds {
 		return nil, fmt.Errorf("crossval: %d rows is too few for %d folds", n, opts.Folds)
-	}
-	// One contiguous copy of the data serves the full fit and every fold's
-	// training set (a single backing-array gather instead of a per-row
-	// append loop).
-	data, err := frame.FromRows(xs)
-	if err != nil {
-		return nil, fmt.Errorf("crossval: %w", err)
 	}
 	full, err := core.FitFrame(data, opts.Fit)
 	if err != nil {
@@ -102,8 +109,9 @@ func Run(xs [][]float64, opts Options) (*Result, error) {
 		foldScores := make([]float64, len(testIdx))
 		fullScores := make([]float64, len(testIdx))
 		for k, i := range testIdx {
-			u := m.Norm.Apply(xs[i])
-			s := m.Score(xs[i])
+			row := data.Row(i)
+			u := m.Norm.Apply(row)
+			s := m.Score(row)
 			foldScores[k] = s
 			fullScores[k] = full.Scores[i]
 			sumSq += distSq(u, m.Curve.Eval(s))

@@ -112,7 +112,7 @@ func TestCountriesDeterministic(t *testing.T) {
 
 func TestCountriesRangesPlausible(t *testing.T) {
 	c := Countries()
-	for i, row := range c.Rows() {
+	for i, row := range c.Data.ToRows() {
 		gdp, leb, imr, tb := row[0], row[1], row[2], row[3]
 		if gdp < 400 || gdp > 75000 {
 			t.Errorf("row %d (%s): GDP %v out of range", i, c.Objects[i], gdp)
@@ -168,7 +168,7 @@ func TestJournalsShape(t *testing.T) {
 
 func TestJournalsPositiveIndicators(t *testing.T) {
 	j := Journals()
-	for i, row := range j.Rows() {
+	for i, row := range j.Data.ToRows() {
 		for k, v := range row {
 			if v <= 0 || math.IsNaN(v) {
 				t.Errorf("row %d (%s) attr %s = %v", i, j.Objects[i], j.Attrs[k], v)

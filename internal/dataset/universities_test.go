@@ -28,7 +28,7 @@ func TestUniversitiesPrizeSparsity(t *testing.T) {
 	// that heavy-tailed regime is the point of the dataset.
 	u := Universities()
 	zeroAlumni, zeroAwards := 0, 0
-	for _, row := range u.Rows() {
+	for _, row := range u.Data.ToRows() {
 		if row[0] == 0 {
 			zeroAlumni++
 		}

@@ -156,7 +156,8 @@ func RunFig6() (*Fig6Result, error) {
 	}
 	pts := func(t *dataset.Table, color string) svgplot.Series {
 		xy := make([][2]float64, t.N())
-		for i, row := range t.Rows() {
+		for i := range xy {
+			row := t.Data.Row(i)
 			xy[i] = [2]float64{row[0], row[1]}
 		}
 		return svgplot.Series{Kind: "scatter", Color: color, Radius: 4, XY: xy}
@@ -210,7 +211,11 @@ func projectionGrid(name string, t *dataset.Table) (*ProjectionGridResult, error
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	u := m.Norm.ApplyAll(t.Rows())
+	// Normalise once through the frame (one contiguous copy, in place); the
+	// panel loops below read zero-copy row views of it.
+	uf := t.Data.Clone()
+	m.Norm.ApplyFrame(uf)
+	u := uf.ToRows()
 	d := t.Dim()
 	grid := &svgplot.Grid{Cols: d, CellW: 150, CellH: 130}
 	for i := 0; i < d; i++ {

@@ -65,7 +65,7 @@ func RunTable1() (*Table1Result, error) {
 }
 
 func runTable1Variant(t *dataset.Table) ([]Table1Row, error) {
-	kappaCols, err := rankagg.AttributeRanks(t.Rows(), t.Alpha)
+	kappaCols, err := rankagg.AttributeRanks(t.Data.ToRows(), t.Alpha)
 	if err != nil {
 		return nil, err
 	}

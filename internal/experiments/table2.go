@@ -52,8 +52,9 @@ func RunTable2() (*Table2Result, error) {
 	// stiff elastic chain rather than a free polyline; an unregularised
 	// 20-node chain would out-fit any parametric curve in raw explained
 	// variance and say nothing about the comparison the paper makes.
-	u := m.Norm.ApplyAll(t.Rows())
-	em, err := princurve.FitElmap(u, princurve.ElmapOptions{Nodes: 12, Lambda: 0.05, Mu: 2})
+	uf := t.Data.Clone()
+	m.Norm.ApplyFrame(uf)
+	em, err := princurve.FitElmap(uf.ToRows(), princurve.ElmapOptions{Nodes: 12, Lambda: 0.05, Mu: 2})
 	if err != nil {
 		return nil, fmt.Errorf("table2 Elmap: %w", err)
 	}

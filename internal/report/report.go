@@ -45,9 +45,9 @@ func Generate(w io.Writer, t *dataset.Table, opts Options) error {
 	if err != nil {
 		return fmt.Errorf("report: %w", err)
 	}
-	// One set of row views serves every [][]float64-typed section below;
-	// the values stay in t.Data's contiguous backing array.
-	rows := t.Rows()
+	// One set of zero-copy row views serves the [][]float64-typed Pareto
+	// section below; the values stay in t.Data's contiguous backing array.
+	rows := t.Data.ToRows()
 
 	fmt.Fprintf(w, "# Ranking report: %s\n\n", t.Name)
 	fmt.Fprintf(w, "%d objects x %d attributes; direction %s\n\n",
@@ -74,7 +74,7 @@ func Generate(w io.Writer, t *dataset.Table, opts Options) error {
 	// Optional: stability.
 	var stab *stability.Result
 	if opts.Stability > 0 {
-		stab, err = stability.Run(rows, stability.Options{
+		stab, err = stability.RunFrame(t.Data, stability.Options{
 			Resamples: opts.Stability,
 			Fit:       fit,
 		})
@@ -88,7 +88,7 @@ func Generate(w io.Writer, t *dataset.Table, opts Options) error {
 
 	// Optional: cross-validation.
 	if opts.CrossVal > 1 {
-		cv, err := crossval.Run(rows, crossval.Options{Folds: opts.CrossVal, Fit: fit})
+		cv, err := crossval.RunFrame(t.Data, crossval.Options{Folds: opts.CrossVal, Fit: fit})
 		if err != nil {
 			return fmt.Errorf("report: crossval: %w", err)
 		}

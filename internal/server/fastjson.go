@@ -125,20 +125,40 @@ func (p *fastParser) lit(s string) bool {
 }
 
 // number scans one value obeying the strict JSON number grammar
-// (-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?) and parses it.
-// strconv.ParseFloat alone is too lenient ("Inf", "0x1p2", "1_000"), so the
-// grammar is checked first; rejecting here sends the request down the
-// stdlib path for an authoritative error.
+// (-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?) and parses it in the
+// same pass: the decimal mantissa and exponent accumulate while the grammar
+// is validated, and convertDecimal (floatparse.go) finishes them through an
+// exact fast path. strconv.ParseFloat alone would be too lenient ("Inf",
+// "0x1p2", "1_000"), so the grammar check stays authoritative — rejecting
+// here sends the request down the stdlib path for an authoritative error —
+// and strconv remains the fallback for every token the fast conversion
+// cannot prove correctly rounded, so values and errors are identical to the
+// two-pass implementation this replaces.
 func (p *fastParser) number() (float64, bool) {
 	start := p.i
+	neg := false
 	if p.i < len(p.b) && p.b[p.i] == '-' {
+		neg = true
 		p.i++
 	}
+	var mant uint64
+	digits := 0 // significant digits folded into mant (≤ 19)
+	exp10 := 0  // value = mant · 10^exp10
+	exact := true
 	switch {
 	case p.i < len(p.b) && p.b[p.i] == '0':
 		p.i++
 	case p.i < len(p.b) && p.b[p.i] >= '1' && p.b[p.i] <= '9':
 		for p.i < len(p.b) && p.b[p.i] >= '0' && p.b[p.i] <= '9' {
+			if digits < 19 {
+				mant = mant*10 + uint64(p.b[p.i]-'0')
+				digits++
+			} else {
+				// A dropped trailing integer digit scales the value by ten
+				// (exactly, when the digit is zero).
+				exp10++
+				exact = exact && p.b[p.i] == '0'
+			}
 			p.i++
 		}
 	default:
@@ -150,19 +170,49 @@ func (p *fastParser) number() (float64, bool) {
 			return 0, false
 		}
 		for p.i < len(p.b) && p.b[p.i] >= '0' && p.b[p.i] <= '9' {
+			switch {
+			case mant == 0 && p.b[p.i] == '0':
+				// Leading fractional zeros shift the exponent without
+				// spending mantissa capacity (0.00001234…).
+				exp10--
+			case digits < 19:
+				mant = mant*10 + uint64(p.b[p.i]-'0')
+				digits++
+				exp10--
+			default:
+				// Dropped trailing fractional digits only matter when
+				// nonzero.
+				exact = exact && p.b[p.i] == '0'
+			}
 			p.i++
 		}
 	}
 	if p.i < len(p.b) && (p.b[p.i] == 'e' || p.b[p.i] == 'E') {
 		p.i++
+		eneg := false
 		if p.i < len(p.b) && (p.b[p.i] == '+' || p.b[p.i] == '-') {
+			eneg = p.b[p.i] == '-'
 			p.i++
 		}
 		if p.i >= len(p.b) || p.b[p.i] < '0' || p.b[p.i] > '9' {
 			return 0, false
 		}
+		ev := 0
 		for p.i < len(p.b) && p.b[p.i] >= '0' && p.b[p.i] <= '9' {
+			if ev < 1<<20 { // saturate; convertDecimal range-checks anyway
+				ev = ev*10 + int(p.b[p.i]-'0')
+			}
 			p.i++
+		}
+		if eneg {
+			exp10 -= ev
+		} else {
+			exp10 += ev
+		}
+	}
+	if exact {
+		if v, ok := convertDecimal(mant, exp10, neg); ok {
+			return v, true
 		}
 	}
 	v, err := strconv.ParseFloat(string(p.b[start:p.i]), 64)

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"math"
+	"math/big"
+	"math/bits"
+)
+
+// Single-pass float conversion for the JSON fast path. The grammar scan in
+// fastParser.number already walks every byte of a number token; handing the
+// token to strconv.ParseFloat afterwards walks them all again (strconv's
+// readFloat was ~25% of the 10k-row score batch). Instead the scan now
+// accumulates the decimal mantissa and exponent as it validates, and
+// convertDecimal turns them into a float64 by one of two exact routes:
+//
+//   - the Clinger fast path: mantissa ≤ 2⁵³ and |exp10| ≤ 22 means
+//     float64(mant)·10^exp10 (or /10^-exp10) is a single correctly-rounded
+//     IEEE operation — bit-identical to strconv by construction;
+//   - the Eisel–Lemire path: multiply the normalised mantissa by a 128-bit
+//     truncation of 10^exp10 and round, which is provably correctly rounded
+//     whenever its ambiguity checks pass. The power table is generated at
+//     init from exact big-integer arithmetic, with the binary exponent
+//     stored alongside each entry instead of re-derived from a log₂
+//     approximation.
+//
+// Anything outside both routes — 20+ significant digits, exponents beyond
+// the table, subnormal or overflowing results, an ambiguous rounding — falls
+// back to strconv.ParseFloat on the original token, so every value and
+// every error is exactly what the previous implementation produced. The
+// differential tests in floatparse_test.go pin that equivalence over
+// round-tripped random floats (including the shortest 17-digit forms JSON
+// encoders emit) and the classic hard-rounding cases.
+
+// elMinExp10/elMaxExp10 bound the decimal exponents the Eisel–Lemire table
+// covers. The range spans every finite float64 (10^-348 underflows to zero
+// even with a 19-digit mantissa; 10^309 overflows), so within it the only
+// fallbacks are ambiguity and range edges.
+const (
+	elMinExp10 = -348
+	elMaxExp10 = 347
+)
+
+// elPow10 holds, for each q in [elMinExp10, elMaxExp10], the 128-bit
+// normalised significand of 10^q (hi word first, value in [2¹²⁷, 2¹²⁸)):
+// truncated for q ≥ 0, rounded up for q < 0, the convention whose table
+// error stays below one unit and in the direction the ambiguity checks
+// account for. elExp2 holds ⌊log₂ 10^q⌋ exactly.
+var (
+	elPow10 [elMaxExp10 - elMinExp10 + 1][2]uint64
+	elExp2  [elMaxExp10 - elMinExp10 + 1]int32
+)
+
+func init() {
+	ten := big.NewInt(10)
+	one := big.NewInt(1)
+	for q := elMinExp10; q <= elMaxExp10; q++ {
+		var w big.Int
+		var e2 int
+		if q >= 0 {
+			w.Exp(ten, big.NewInt(int64(q)), nil)
+			bl := w.BitLen()
+			e2 = bl - 1
+			if bl <= 128 {
+				w.Lsh(&w, uint(128-bl)) // exact
+			} else {
+				w.Rsh(&w, uint(bl-128)) // truncated
+			}
+		} else {
+			var den big.Int
+			den.Exp(ten, big.NewInt(int64(-q)), nil)
+			b := den.BitLen()
+			// 10^q ∈ (2^-b, 2^-(b-1)) strictly (den has a factor 5, so it is
+			// never a power of two), hence ⌊log₂ 10^q⌋ = -b.
+			e2 = -b
+			// W = ⌈2^(127+b) / den⌉.
+			w.Lsh(one, uint(127+b))
+			var rem big.Int
+			w.QuoRem(&w, &den, &rem)
+			if rem.Sign() != 0 {
+				w.Add(&w, one)
+			}
+		}
+		if w.BitLen() != 128 {
+			// Cannot happen for this range (checked exhaustively by test);
+			// guard so a regression fails loudly at startup, not silently at
+			// parse time.
+			panic("server: Eisel-Lemire power table entry is not 128-bit normalised")
+		}
+		var lo big.Int
+		lo.And(&w, new(big.Int).SetUint64(^uint64(0)))
+		elPow10[q-elMinExp10][0] = w.Rsh(&w, 64).Uint64()
+		elPow10[q-elMinExp10][1] = lo.Uint64()
+		elExp2[q-elMinExp10] = int32(e2)
+	}
+}
+
+// pow10Exact holds the powers of ten that are exactly representable as
+// float64 (10⁰ … 10²²), the Clinger fast-path multipliers.
+var pow10Exact = [23]float64{
+	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// convertDecimal converts mant·10^exp10 (sign applied last) to the
+// correctly-rounded float64, or reports ok=false when neither exact route
+// applies and the caller must fall back to strconv on the original token.
+// mant must be the exact significand (no truncated digits).
+func convertDecimal(mant uint64, exp10 int, neg bool) (float64, bool) {
+	if mant == 0 {
+		if neg {
+			return math.Copysign(0, -1), true
+		}
+		return 0, true
+	}
+	// Clinger: both operands exact, one rounding.
+	if mant <= 1<<53 && exp10 >= -22 && exp10 <= 22 {
+		f := float64(mant)
+		if exp10 > 0 {
+			f *= pow10Exact[exp10]
+		} else if exp10 < 0 {
+			f /= pow10Exact[-exp10]
+		}
+		if neg {
+			f = -f
+		}
+		return f, true
+	}
+	if exp10 < elMinExp10 || exp10 > elMaxExp10 {
+		return 0, false
+	}
+	// Eisel–Lemire: normalise the mantissa, multiply by the 128-bit power,
+	// and take the top bits, falling back whenever the truncated low bits
+	// could reach the rounding decision.
+	lz := bits.LeadingZeros64(mant)
+	m := mant << lz
+	pow := &elPow10[exp10-elMinExp10]
+	xHi, xLo := bits.Mul64(m, pow[0])
+	if xHi&0x1FF == 0x1FF {
+		// The 9 rounding bits are saturated: consult the low word of the
+		// power to resolve, and give up if it still saturates (the dropped
+		// 192-bit tail could then carry into the mantissa).
+		yHi, _ := bits.Mul64(m, pow[1])
+		var carry uint64
+		xLo, carry = bits.Add64(xLo, yHi, 0)
+		xHi += carry
+		if xHi&0x1FF == 0x1FF && xLo == ^uint64(0) {
+			return 0, false
+		}
+	}
+	msb := xHi >> 63
+	mant54 := xHi >> (msb + 9)
+	// Halfway ambiguity: dropped bits exactly at the round-to-even boundary.
+	if xLo == 0 && xHi&0x1FF == 0 && mant54&3 == 1 {
+		return 0, false
+	}
+	// Round to 53 bits (round half up then clear — with the halfway case
+	// excluded above this equals round-half-even).
+	mant53 := (mant54 + mant54&1) >> 1
+	e2 := int(elExp2[exp10-elMinExp10]) + int(msb) - lz + 11
+	if mant53>>53 != 0 {
+		mant53 >>= 1
+		e2++
+	}
+	// value = mant53 · 2^e2 with mant53 ∈ [2⁵², 2⁵³): IEEE biased exponent.
+	biased := e2 + 52 + 1023
+	if biased < 1 || biased > 2046 {
+		// Subnormal or overflow: strconv handles the denormal rounding and
+		// the ErrRange contract.
+		return 0, false
+	}
+	bits64 := uint64(biased)<<52 | mant53&(1<<52-1)
+	if neg {
+		bits64 |= 1 << 63
+	}
+	return math.Float64frombits(bits64), true
+}

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// parseOne runs one token through the fused fast-path parser and asserts
+// the whole token was consumed.
+func parseOne(t *testing.T, tok string) (float64, bool) {
+	t.Helper()
+	p := fastParser{b: []byte(tok)}
+	v, ok := p.number()
+	if ok && p.i != len(tok) {
+		t.Fatalf("number(%q) consumed %d of %d bytes", tok, p.i, len(tok))
+	}
+	return v, ok
+}
+
+// checkAgainstStrconv pins the fast parser to strconv.ParseFloat bit for
+// bit: same value (including the sign of zero) when strconv succeeds, and
+// parse failure exactly when strconv errors (the fallback path the server
+// uses to hand the request to encoding/json).
+func checkAgainstStrconv(t *testing.T, tok string) {
+	t.Helper()
+	want, err := strconv.ParseFloat(tok, 64)
+	got, ok := parseOne(t, tok)
+	if err != nil {
+		if ok {
+			t.Fatalf("number(%q) = %v, want failure (strconv: %v)", tok, got, err)
+		}
+		return
+	}
+	if !ok {
+		t.Fatalf("number(%q) failed, strconv gives %v", tok, want)
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("number(%q) = %x (%.17g), strconv gives %x (%.17g)",
+			tok, math.Float64bits(got), got, math.Float64bits(want), want)
+	}
+}
+
+// TestNumberMatchesStrconvHardCases covers the classic correctly-rounded
+// parsing traps: halfway values, subnormal boundaries, overflow edges,
+// long-digit forms, and every shape of zero.
+func TestNumberMatchesStrconvHardCases(t *testing.T) {
+	cases := []string{
+		"0", "-0", "0.0", "-0.0", "0e0", "0e999999", "0e-999999",
+		"1", "-1", "12345678901234567890123456789", "0.5", "2.5", "1.5",
+		"1e23", "-1e23", "8.442911973260991e18", "9007199254740993",
+		"9007199254740992", "4503599627370496.5",
+		"2.2250738585072011e-308", // the Java/PHP hang number: subnormal edge
+		"2.2250738585072014e-308", // smallest normal
+		"4.9406564584124654e-324", // smallest subnormal
+		"1.7976931348623157e308",  // largest finite
+		"1.7976931348623159e308",  // overflows
+		"1e309", "-1e309", "1e-323", "1e-324", "1e-325", "1e-400",
+		"5e-324", "3e-324",
+		"1.00000000000000011102230246251565404236316680908203125",
+		"0.000000000000000000000000000000000000000000000000000001",
+		"100000000000000000000000000000000000000000000000000000.0",
+		"7.2057594037927933e16", "0.3", "0.1", "0.2", "0.30000000000000004",
+		"123456789.123456789e-250", "123456789.123456789e250",
+		"1e348", "1e-348", "1e347", "1e-347",
+		"17976931348623157" + "0000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000", // 308+ digit integer
+	}
+	for _, tok := range cases {
+		checkAgainstStrconv(t, tok)
+	}
+}
+
+// TestNumberMatchesStrconvRoundTrip hammers the fused parser with shortest
+// decimal forms of random float64 bit patterns — the exact shape
+// encoding/json emits and the score batch decodes — plus fixed-precision
+// renderings with more digits than the mantissa can hold.
+func TestNumberMatchesStrconvRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := 200_000
+	if testing.Short() {
+		n = 20_000
+	}
+	for i := 0; i < n; i++ {
+		f := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		shortest := strconv.FormatFloat(f, 'g', -1, 64)
+		// FormatFloat emits "1e+05"-style exponents, valid JSON numbers.
+		checkAgainstStrconv(t, shortest)
+		got, ok := parseOne(t, shortest)
+		if !ok || math.Float64bits(got) != math.Float64bits(f) {
+			t.Fatalf("round trip of %x via %q gave %x", math.Float64bits(f), shortest, math.Float64bits(got))
+		}
+		if i%4 == 0 {
+			checkAgainstStrconv(t, strconv.FormatFloat(f, 'e', 25, 64))
+		}
+	}
+}
+
+// TestNumberMatchesStrconvRandomTokens drives random syntactic shapes —
+// digit counts past the uint64 window, huge exponents, fractional zeros —
+// through the differential check.
+func TestNumberMatchesStrconvRandomTokens(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	digits := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('0' + rng.Intn(10))
+		}
+		if b[0] == '0' && n > 1 {
+			b[0] = '1' + byte(rng.Intn(9))
+		}
+		return string(b)
+	}
+	n := 100_000
+	if testing.Short() {
+		n = 10_000
+	}
+	for i := 0; i < n; i++ {
+		tok := ""
+		if rng.Intn(2) == 0 {
+			tok += "-"
+		}
+		switch rng.Intn(4) {
+		case 0:
+			tok += "0"
+		default:
+			tok += digits(1 + rng.Intn(25))
+		}
+		if rng.Intn(2) == 0 {
+			frac := digits(1 + rng.Intn(25))
+			if rng.Intn(3) == 0 {
+				frac = "000000000000000000000" + frac // leading fractional zeros
+			}
+			tok += "." + frac
+		}
+		if rng.Intn(2) == 0 {
+			tok += fmt.Sprintf("e%+d", rng.Intn(700)-350)
+		}
+		checkAgainstStrconv(t, tok)
+	}
+}
+
+// TestElTableNormalised asserts the init-built Eisel–Lemire table invariant
+// the conversion relies on: every entry is a 128-bit normalised significand
+// whose hi word has the top bit set, and the stored binary exponent matches
+// ⌊log₂ 10^q⌋ for a few spot values.
+func TestElTableNormalised(t *testing.T) {
+	for q := elMinExp10; q <= elMaxExp10; q++ {
+		hi := elPow10[q-elMinExp10][0]
+		if hi>>63 != 1 {
+			t.Fatalf("table entry for 10^%d not normalised: hi=%x", q, hi)
+		}
+	}
+	spots := map[int]int32{0: 0, 1: 3, 2: 6, -1: -4, -2: -7, 10: 33, -10: -34}
+	for q, want := range spots {
+		if got := elExp2[q-elMinExp10]; got != want {
+			t.Fatalf("elExp2[10^%d] = %d, want %d", q, got, want)
+		}
+	}
+}
+
+// BenchmarkParseNumber measures the fused number path on the shortest-form
+// tokens a score batch is made of.
+func BenchmarkParseNumber(b *testing.B) {
+	toks := make([][]byte, 997)
+	for i := range toks {
+		u := float64(i) / 996
+		toks[i] = []byte(strconv.FormatFloat(10*u, 'g', -1, 64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := fastParser{b: toks[i%len(toks)]}
+		if _, ok := p.number(); !ok {
+			b.Fatal("parse failed")
+		}
+	}
+}

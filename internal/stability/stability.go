@@ -63,19 +63,25 @@ type Result struct {
 }
 
 // Run fits the full model, then B bootstrap models, scoring all original
-// rows under each and aggregating the positions.
+// rows under each and aggregating the positions. It is the conversion shim
+// in front of RunFrame for callers not yet holding a frame.
 func Run(xs [][]float64, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	n := len(xs)
-	if n < 4 {
-		return nil, fmt.Errorf("stability: need at least 4 rows, got %d", n)
-	}
-	// One contiguous copy serves the full fit and every resample: each
-	// bootstrap training set is a single backing-array gather, and the
-	// out-of-sample scoring walks the frame instead of per-row slices.
 	f, err := frame.FromRows(xs)
 	if err != nil {
 		return nil, fmt.Errorf("stability: %w", err)
+	}
+	return RunFrame(f, opts)
+}
+
+// RunFrame is the bootstrap over a contiguous frame — the native entry
+// point of the data plane: each resample training set is a single
+// backing-array gather and the out-of-sample scoring walks the frame. The
+// frame is read, never modified.
+func RunFrame(f *frame.Frame, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n := f.N()
+	if n < 4 {
+		return nil, fmt.Errorf("stability: need at least 4 rows, got %d", n)
 	}
 	full, err := core.FitFrame(f, opts.Fit)
 	if err != nil {
