@@ -7,7 +7,10 @@
 //     so this gate is machine-independent and strict;
 //   - pinned ns/op: benchmarks matching the -pinned regexp fail beyond
 //     -pinned-max-ratio (default 1.15, i.e. >15% slower) — reserve this for
-//     the benches whose numbers the project actively defends;
+//     the benches whose numbers the project actively defends. Pinned
+//     benchmarks also use -pinned-alloc-slack (default 0) in place of
+//     -alloc-slack, so a CI job can loosen the global alloc gate without
+//     loosening the defended ones;
 //   - ns/op: every matched benchmark fails beyond -max-ratio (default 2.0,
 //     loose because CI machines differ from the baseline machine).
 //
@@ -84,6 +87,7 @@ func run(args []string, out io.Writer) error {
 	pinned := fs.String("pinned", "", "regexp of benchmark names held to -pinned-max-ratio instead of -max-ratio")
 	pinnedMaxRatio := fs.Float64("pinned-max-ratio", 1.15, "fail when a pinned benchmark's ns/op exceeds baseline by this factor")
 	allocSlack := fs.Int64("alloc-slack", 0, "allowed allocs/op increase over baseline before failing")
+	pinnedAllocSlack := fs.Int64("pinned-alloc-slack", 0, "allowed allocs/op increase for -pinned benchmarks (replaces -alloc-slack for them)")
 	update := fs.Bool("update", false, "rewrite the baseline from the given bench output")
 	emitText := fs.Bool("emit-text", false, "print the baseline's raw bench lines and exit")
 	if err := fs.Parse(args); err != nil {
@@ -150,19 +154,21 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	return compare(out, base, results, gates{
-		maxRatio:       *maxRatio,
-		pinned:         pinnedRe,
-		pinnedMaxRatio: *pinnedMaxRatio,
-		allocSlack:     *allocSlack,
+		maxRatio:         *maxRatio,
+		pinned:           pinnedRe,
+		pinnedMaxRatio:   *pinnedMaxRatio,
+		allocSlack:       *allocSlack,
+		pinnedAllocSlack: *pinnedAllocSlack,
 	})
 }
 
 // gates bundles the failure thresholds of one comparison run.
 type gates struct {
-	maxRatio       float64
-	pinned         *regexp.Regexp
-	pinnedMaxRatio float64
-	allocSlack     int64
+	maxRatio         float64
+	pinned           *regexp.Regexp
+	pinnedMaxRatio   float64
+	allocSlack       int64
+	pinnedAllocSlack int64
 }
 
 func readBaseline(path string) (Baseline, error) {
@@ -250,9 +256,11 @@ func compare(out io.Writer, base Baseline, results map[string]Result, g gates) e
 		ratio := got.NsPerOp / want.NsPerOp
 		status := "ok"
 		limit := g.maxRatio
+		slack := g.allocSlack
 		tag := ""
 		if g.pinned != nil && g.pinned.MatchString(name) {
 			limit = g.pinnedMaxRatio
+			slack = g.pinnedAllocSlack
 			status = "ok (pinned)"
 			tag = " [pinned]"
 		}
@@ -261,7 +269,7 @@ func compare(out io.Writer, base Baseline, results map[string]Result, g gates) e
 			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%.2fx > %.2fx)%s",
 				name, got.NsPerOp, want.NsPerOp, ratio, limit, tag))
 		}
-		if got.AllocsPerOp > want.AllocsPerOp+g.allocSlack {
+		if got.AllocsPerOp > want.AllocsPerOp+slack {
 			status = "REGRESSION"
 			failures = append(failures, fmt.Sprintf("%s: %d allocs/op vs baseline %d",
 				name, got.AllocsPerOp, want.AllocsPerOp))

@@ -155,6 +155,24 @@ func TestCompareAllocAndPinnedGates(t *testing.T) {
 	if err := run([]string{"-baseline", baseline, "-pinned", "([", slowTxt}, &out); err == nil {
 		t.Fatal("bad -pinned regexp accepted")
 	}
+
+	// Pinned benchmarks keep their own alloc budget: a global -alloc-slack
+	// must not excuse a pinned bench's extra allocation, while raising
+	// -pinned-alloc-slack does.
+	out.Reset()
+	if err := run([]string{
+		"-baseline", baseline, "-alloc-slack", "2",
+		"-pinned", "^BenchmarkServerScoreBatch", allocTxt,
+	}, &out); err == nil {
+		t.Fatalf("pinned alloc regression excused by global slack:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{
+		"-baseline", baseline,
+		"-pinned", "^BenchmarkServerScoreBatch", "-pinned-alloc-slack", "2", allocTxt,
+	}, &out); err != nil {
+		t.Fatalf("pinned alloc increase within pinned slack failed: %v\n%s", err, out.String())
+	}
 }
 
 func TestCompareToleratesMissingAndNew(t *testing.T) {

@@ -11,6 +11,12 @@
 // requests up to -shutdown-timeout. Passing -pprof-addr (off by default)
 // serves net/http/pprof on a separate listener for production profiling of
 // the scoring path; bind it to localhost, it is unauthenticated.
+//
+// All operational output is structured logging (log/slog): -log-format
+// picks text (default) or json, -slow-ms sets the slow-request trace
+// threshold (0 disables), and -trace-sample logs roughly one in N requests
+// at INFO. Every response carries an X-Request-Id header that the logs and
+// error bodies echo, so a client-reported failure can be grepped directly.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -57,6 +64,9 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr, p
 	writeTimeout := fs.Duration("write-timeout", 2*time.Minute, "HTTP write timeout (covers fit time)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "drain window on shutdown")
 	pprofAddr := fs.String("pprof-addr", "", "listen address for net/http/pprof profiling (empty = disabled); bind it to localhost, the endpoint is unauthenticated")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	slowMs := fs.Int("slow-ms", 500, "log a structured stage trace for requests at or above this latency, in ms (0 disables)")
+	traceSample := fs.Int("trace-sample", 0, "log roughly one in N requests at INFO (0 disables access sampling)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -66,18 +76,34 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr, p
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(out, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(out, nil))
+	default:
+		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
+	}
+	slowThreshold := time.Duration(*slowMs) * time.Millisecond
+	if *slowMs <= 0 {
+		slowThreshold = -1 // Options treats 0 as "default"; negative disables
+	}
 
 	reg, err := registry.Open(*modelDir, *maxLoaded)
 	if err != nil {
 		return err
 	}
 	for _, s := range reg.Skipped() {
-		fmt.Fprintf(out, "rpcd: warning: skipped unreadable model file %s\n", s)
+		logger.Warn("skipped unreadable model file", "path", s)
 	}
 	api := server.New(reg, server.Options{
-		Workers:      *workers,
-		MaxBodyBytes: *maxBodyMB << 20,
-		MaxBatchRows: *maxBatchRows,
+		Workers:       *workers,
+		MaxBodyBytes:  *maxBodyMB << 20,
+		MaxBatchRows:  *maxBatchRows,
+		SlowThreshold: slowThreshold,
+		TraceSample:   *traceSample,
+		Logger:        logger,
 	})
 	defer api.Close()
 
@@ -117,13 +143,19 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr, p
 		defer pprofSrv.Close()
 		go pprofSrv.Serve(pln)
 		boundPprof = pln.Addr().String()
-		fmt.Fprintf(out, "rpcd: pprof listening on %s\n", boundPprof)
+		logger.Info("pprof listening", "addr", boundPprof)
 	}
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Fprintf(out, "rpcd: serving %d models from %s on %s\n", reg.Len(), *modelDir, ln.Addr())
+	logger.Info("serving",
+		"models", reg.Len(),
+		"model_dir", *modelDir,
+		"addr", ln.Addr().String(),
+		"slow_ms", *slowMs,
+		"trace_sample", *traceSample,
+	)
 	if onReady != nil {
 		onReady(ln.Addr().String(), boundPprof)
 	}
@@ -135,7 +167,7 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr, p
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(out, "rpcd: shutting down")
+	logger.Info("shutting down", "drain_timeout", shutdownTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
@@ -144,5 +176,6 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr, p
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	logger.Info("stopped")
 	return nil
 }

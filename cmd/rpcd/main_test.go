@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -146,6 +147,81 @@ func TestBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"positional"}, &out, nil); err == nil {
 		t.Errorf("positional args should error")
 	}
+	if err := run(context.Background(), []string{"-log-format", "yaml"}, &out, nil); err == nil {
+		t.Errorf("unknown log format should error")
+	}
+}
+
+// TestJSONLogFormat runs the daemon with -log-format json and checks the
+// startup/shutdown records are parseable JSON with the expected messages.
+func TestJSONLogFormat(t *testing.T) {
+	modelDir := filepath.Join(t.TempDir(), "models")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var out syncWriter
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-model-dir", modelDir,
+			"-log-format", "json",
+			"-slow-ms", "250",
+		}, &out, func(addr, _ string) { ready <- addr })
+	}()
+	select {
+	case <-ready:
+	case err := <-done:
+		t.Fatalf("daemon failed to start: %v (output: %s)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+	msgs := map[string]map[string]any{}
+	for _, line := range bytes.Split([]byte(out.String()), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if msg, ok := rec["msg"].(string); ok {
+			msgs[msg] = rec
+		}
+	}
+	serving, ok := msgs["serving"]
+	if !ok {
+		t.Fatalf("no 'serving' log record; output:\n%s", out.String())
+	}
+	if v, ok := serving["slow_ms"].(float64); !ok || int(v) != 250 {
+		t.Errorf("serving log slow_ms = %v, want 250", serving["slow_ms"])
+	}
+	if _, ok := msgs["shutting down"]; !ok {
+		t.Errorf("no 'shutting down' log record")
+	}
+}
+
+// syncWriter guards the output buffer: the daemon goroutine writes logs
+// while the test reads on failure paths.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
 }
 
 // TestPprofFlagGated verifies the profiling endpoint serves on its own

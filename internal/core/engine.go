@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math"
+	"time"
 
 	"rpcrank/internal/bezier"
 	"rpcrank/internal/frame"
@@ -50,6 +51,17 @@ type engine struct {
 	// pool worker owns this engine).
 	labelCtx context.Context
 	stages   stageCtxs
+
+	// stageNs, when non-nil, accumulates wall time per projection stage —
+	// the same gemm/seed/refine split the pprof labels expose — for fit
+	// telemetry; warmRows/warmHits count warm-started projections and
+	// validated basins. One engine is owned by one goroutine, so plain
+	// fields suffice; the fit pool reads them only behind its WaitGroup
+	// barrier. All stay zero/nil outside fit runs (serving pays a single
+	// nil check per block).
+	stageNs  *FitStageNanos
+	warmRows int64
+	warmHits int64
 }
 
 // projBlockRows is the row-block size of the batched seeding path: big
@@ -508,6 +520,11 @@ func (e *engine) projectBlockPacked(data []float64, nrows int, scores, resid []f
 	if profile {
 		st = e.stageLabels()
 	}
+	timing := e.stageNs != nil
+	var tmark time.Time
+	if timing {
+		tmark = time.Now()
+	}
 	for b0 := 0; b0 < nrows; b0 += projBlockRows {
 		bn := nrows - b0
 		if bn > projBlockRows {
@@ -531,6 +548,9 @@ func (e *engine) projectBlockPacked(data []float64, nrows int, scores, resid []f
 			default:
 				seedBlockDim4(e.seeds, block, grid, gnorm, bn, G)
 			}
+			if timing {
+				markStage(&e.stageNs.SeedNs, &tmark)
+			}
 		default:
 			// Wider rows amortise the tile bookkeeping: the register-blocked
 			// GEMM forms the dot tile, then a flat scan reduces each row.
@@ -541,6 +561,9 @@ func (e *engine) projectBlockPacked(data []float64, nrows int, scores, resid []f
 				e.dots = make([]float64, projBlockRows*G)
 			}
 			mat.GemmABT(e.dots, G, block, d, grid, d, bn, G, d)
+			if timing {
+				markStage(&e.stageNs.GemmNs, &tmark)
+			}
 			if profile {
 				st.set(st.seed)
 			}
@@ -555,6 +578,9 @@ func (e *engine) projectBlockPacked(data []float64, nrows int, scores, resid []f
 				}
 				e.seeds[r] = bestI
 			}
+			if timing {
+				markStage(&e.stageNs.SeedNs, &tmark)
+			}
 		}
 		if profile {
 			st.set(st.refine)
@@ -566,6 +592,9 @@ func (e *engine) projectBlockPacked(data []float64, nrows int, scores, resid []f
 			if resid != nil {
 				resid[i] = dist
 			}
+		}
+		if timing {
+			markStage(&e.stageNs.RefineNs, &tmark)
 		}
 	}
 	if profile {
@@ -730,6 +759,14 @@ func (e *engine) projectRowSeeded(u []float64, bestI int, wantDist bool) (float6
 	s0 := float64(bestI) * (1 / float64(e.cells))
 	bestV := bezier.EvalPoly(e.dc, s0-bezier.DistPolyOrigin)
 	return e.refineSeed(bestI, bestV)
+}
+
+// markStage accumulates the time since *tmark into *acc and advances the
+// mark — the fit-telemetry twin of the pprof stage-label toggles.
+func markStage(acc *int64, tmark *time.Time) {
+	now := time.Now()
+	*acc += now.Sub(*tmark).Nanoseconds()
+	*tmark = now
 }
 
 // nonNeg clamps the collapsed profile's value at zero: for rows on the

@@ -182,6 +182,8 @@ func fitMultiStartN(f *frame.Frame, opts Options, par int) (*Model, error) {
 		o := opts
 		o.Restarts = 1
 		o.Seed = opts.Seed + int64(r)
+		o.restartIndex = r
+		o.restartTotal = restarts
 		switch {
 		case r == 1:
 			inner := make([][]float64, o.Degree-1)
@@ -312,6 +314,18 @@ func fitPrepared(sh *fitShared, opts Options) (*Model, error) {
 	}
 	haveWarm := false
 
+	// Fit telemetry: the per-iteration trace and warm-start deltas are
+	// collected as the loop runs; stage totals come from the pool engines
+	// at the end. restartTotal is 0 outside fitMultiStartN.
+	diag := &FitDiagnostics{Restart: opts.restartIndex, Restarts: opts.restartTotal}
+	if diag.Restarts == 0 {
+		diag.Restarts = 1
+	}
+	// Pre-sized to its cap so the iteration loop stays allocation-flat
+	// (pinned by TestFitAllocsFlatInIterations).
+	diag.Trace = make([]FitIteration, 0, min(opts.MaxIter, maxFitTrace))
+	var prevWarmRows, prevWarmHits int64
+
 	// Work matrices of the control-point step, allocated once and reused
 	// across all Algorithm-1 iterations: every product below has a fixed
 	// shape, so re-forming it in place saves (k+1)·n-sized allocations per
@@ -355,7 +369,29 @@ func fitPrepared(sh *fitShared, opts Options) (*Model, error) {
 		if opts.KeepTrajectory {
 			m.Objective = append(m.Objective, J)
 		}
-		if J < bestJ {
+		accepted := J < bestJ
+		wr, wh := pool.warmCounts()
+		it := FitIteration{
+			Restart:   opts.restartIndex,
+			Iter:      iter,
+			Objective: J,
+			Accepted:  accepted,
+			WarmRows:  int(wr - prevWarmRows),
+			WarmHits:  int(wh - prevWarmHits),
+		}
+		prevWarmRows, prevWarmHits = wr, wh
+		if iter == 0 {
+			diag.InitialObjective = J
+		}
+		if len(diag.Trace) < maxFitTrace {
+			diag.Trace = append(diag.Trace, it)
+		} else {
+			diag.TraceTruncated = true
+		}
+		if opts.Observer != nil {
+			opts.Observer.ObserveFitIteration(it)
+		}
+		if accepted {
 			bestJ = J
 			if bestCurve == nil {
 				bestCurve = cloneCurve(curve)
@@ -453,12 +489,21 @@ func fitPrepared(sh *fitShared, opts Options) (*Model, error) {
 	// pool's cold pass is bit-identical to a fresh projectAll and reuses the
 	// run's engines instead of compiling and spawning once more.
 	pool.project(bestCurve, bestScores, bestResid, nil)
+	finalJ := sum(bestResid)
 	m.Curve = bestCurve
 	m.Scores = bestScores
 	m.ResidualsSq = bestResid
 	if len(m.Objective) == 0 || !opts.KeepTrajectory {
-		m.Objective = append(m.Objective, sum(bestResid))
+		m.Objective = append(m.Objective, finalJ)
 	}
+	diag.Iterations = m.Iterations
+	diag.Converged = m.Converged
+	diag.FinalObjective = finalJ
+	diag.Stages = pool.stageTotals()
+	if wr, wh := pool.warmCounts(); wr > 0 {
+		diag.WarmStartHitRate = float64(wh) / float64(wr)
+	}
+	m.FitDiag = diag
 	return m, nil
 }
 
@@ -635,10 +680,16 @@ type projPool struct {
 // the same threshold projectAll applies.
 func newProjPool(c *bezier.Curve, u *frame.Frame, opts Options) *projPool {
 	p := &projPool{u: u, engines: []*engine{newEngine(c, opts)}}
+	// Every pool engine gets its own stage-time accumulator (fresh, never
+	// shared: engines run on different goroutines) so the fit can report
+	// the gemm/seed/refine breakdown; telemetry() sums them while the
+	// workers are parked.
+	p.engines[0].stageNs = &FitStageNanos{}
 	workers := resolveWorkers(opts.Workers)
 	if workers > 1 && u.N() >= 4*workers {
 		for w := 1; w < workers; w++ {
 			e := p.engines[0].clone()
+			e.stageNs = &FitStageNanos{}
 			ch := make(chan projJob, 1)
 			p.engines = append(p.engines, e)
 			p.chans = append(p.chans, ch)
@@ -710,8 +761,38 @@ func (p *projPool) runRange(e *engine, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		// projectWarm degrades to the cold decision tree internally when
 		// the warm basin fails validation, reusing the collapsed profile.
-		p.scores[i], p.resid[i], _ = e.projectWarm(p.u.Row(i), warm[i])
+		s, r2, hit := e.projectWarm(p.u.Row(i), warm[i])
+		p.scores[i], p.resid[i] = s, r2
+		e.warmRows++
+		if hit {
+			e.warmHits++
+		}
 	}
+}
+
+// warmCounts sums the warm-start counters across the pool's engines.
+// Callable only between project calls, when every worker is parked (the
+// WaitGroup publishes the engines' plain int64s to the fit goroutine).
+func (p *projPool) warmCounts() (rows, hits int64) {
+	for _, e := range p.engines {
+		rows += e.warmRows
+		hits += e.warmHits
+	}
+	return rows, hits
+}
+
+// stageTotals sums the per-engine projection stage breakdown. Same
+// parked-workers precondition as warmCounts.
+func (p *projPool) stageTotals() FitStageNanos {
+	var t FitStageNanos
+	for _, e := range p.engines {
+		if e.stageNs != nil {
+			t.GemmNs += e.stageNs.GemmNs
+			t.SeedNs += e.stageNs.SeedNs
+			t.RefineNs += e.stageNs.RefineNs
+		}
+	}
+	return t
 }
 
 // close shuts the worker goroutines down. The pool must not be used after.

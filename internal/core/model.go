@@ -170,6 +170,17 @@ type Options struct {
 	// Model.Score) always projects cold — there is no previous iterate to
 	// warm-start from — so this option never affects scoring.
 	NoWarmStart bool
+
+	// Observer, when non-nil, receives every fit iteration as it
+	// completes (see FitObserver). Telemetry is collected on the model's
+	// FitDiag either way; the observer is for callers that want it live.
+	Observer FitObserver
+
+	// restartIndex and restartTotal thread the multi-start bookkeeping
+	// into each restart's fitPrepared run for its diagnostics; they are
+	// set by fitMultiStartN, never by callers.
+	restartIndex int
+	restartTotal int
 }
 
 func (o Options) withDefaults() Options {
@@ -258,6 +269,11 @@ type Model struct {
 	// ConditionNumbers records cond((MZ)(MZ)ᵀ) per iteration when the
 	// Richardson updater runs (used by the A2 ablation).
 	ConditionNumbers []float64
+	// FitDiag is the telemetry of the fit run that produced this model
+	// (nil for models reconstructed by Load — the rule document carries
+	// no training history). Not part of the saved rule; the registry
+	// persists it in the model's metadata envelope instead.
+	FitDiag *FitDiagnostics
 
 	opts Options
 	data *frame.Frame // normalised training rows, retained for diagnostics

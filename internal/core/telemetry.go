@@ -1,0 +1,86 @@
+package core
+
+// Fit telemetry: the per-iteration record of one Algorithm-1 run. The fit
+// loop always collects FitDiagnostics onto the returned Model (the cost is
+// a few counters per iteration — the iteration itself is a full projection
+// pass over the data); Options.Observer additionally streams each
+// iteration to the caller as it happens.
+
+// FitIteration is one outer iteration of the alternating minimisation.
+type FitIteration struct {
+	// Restart identifies which restart this iteration belongs to when
+	// Options.Restarts > 1.
+	Restart int `json:"restart,omitempty"`
+	// Iter is the 0-based iteration index within the restart.
+	Iter int `json:"iter"`
+	// Objective is J = Σᵢ‖xᵢ − f(sᵢ)‖², Eq. 24 evaluated after the score
+	// step — the quantity Algorithm 1 drives down.
+	Objective float64 `json:"objective"`
+	// Accepted reports whether this iterate improved on the best J so far
+	// (the best iterate is what the fit ultimately returns).
+	Accepted bool `json:"accepted"`
+	// WarmRows is the number of rows projected through the warm-started
+	// path this iteration (0 on cold passes); WarmHits is how many of them
+	// validated their basin and skipped the grid scan.
+	WarmRows int `json:"warm_rows,omitempty"`
+	WarmHits int `json:"warm_hits,omitempty"`
+}
+
+// FitStageNanos is the projection-stage time breakdown of a fit run,
+// the same gemm/seed/refine split the pprof stage labels
+// (EnableStageProfiling) expose, measured directly as nanoseconds. Cold
+// block-batched projection passes are attributed stage by stage; the
+// per-row warm path has no grid/GEMM stage and is not broken down.
+type FitStageNanos struct {
+	GemmNs   int64 `json:"gemm_ns,omitempty"`
+	SeedNs   int64 `json:"seed_ns,omitempty"`
+	RefineNs int64 `json:"refine_ns,omitempty"`
+}
+
+// maxFitTrace bounds the retained per-iteration trace so a pathological
+// MaxIter cannot bloat the model document; the scalar summary fields are
+// exact regardless.
+const maxFitTrace = 1024
+
+// FitDiagnostics is the retained telemetry of the fit run that produced a
+// model: scalar summary, per-iteration trace, warm-start effectiveness,
+// and the projection stage breakdown. It rides on Model.FitDiag and is
+// persisted by the registry next to the model's metadata (not inside the
+// saved rule document, which stays a pure serving artifact).
+type FitDiagnostics struct {
+	// Restart is the index of the restart that won (0 for single-start
+	// fits); Restarts is how many ran.
+	Restart  int `json:"restart"`
+	Restarts int `json:"restarts"`
+	// Iterations and Converged mirror the model's fields for the winning
+	// restart.
+	Iterations int  `json:"iterations"`
+	Converged  bool `json:"converged"`
+	// InitialObjective is J after the first score step; FinalObjective is
+	// J of the returned (best) iterate after the final cold projection.
+	InitialObjective float64 `json:"initial_objective"`
+	FinalObjective   float64 `json:"final_objective"`
+	// WarmStartHitRate is warm hits / warm rows over the whole run
+	// (0 when the run projected cold throughout).
+	WarmStartHitRate float64 `json:"warm_start_hit_rate"`
+	// Stages is the projection-stage time breakdown across the run.
+	Stages FitStageNanos `json:"stages"`
+	// Trace is the per-iteration record, capped at maxFitTrace entries
+	// (TraceTruncated reports the cap fired).
+	Trace          []FitIteration `json:"trace,omitempty"`
+	TraceTruncated bool           `json:"trace_truncated,omitempty"`
+}
+
+// FitObserver receives each fit iteration as it completes. With
+// Options.Restarts > 1 the restarts run concurrently, so implementations
+// must be safe for concurrent use; iterations of one restart arrive in
+// order, distinguishable by FitIteration.Restart.
+type FitObserver interface {
+	ObserveFitIteration(FitIteration)
+}
+
+// FitObserverFunc adapts a function to the FitObserver interface.
+type FitObserverFunc func(FitIteration)
+
+// ObserveFitIteration implements FitObserver.
+func (f FitObserverFunc) ObserveFitIteration(it FitIteration) { f(it) }

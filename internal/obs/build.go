@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary for rpcd_build_info and /statusz.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+	GoVersion string `json:"go_version"`
+}
+
+var buildOnce = sync.OnceValue(func() BuildInfo {
+	bi := BuildInfo{Version: "devel", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		bi.Version = v
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+})
+
+// Build returns the binary's build identification, computed once.
+func Build() BuildInfo { return buildOnce() }

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageString(t *testing.T) {
+	want := map[Stage]string{
+		StageDecode:    "decode",
+		StageValidate:  "validate",
+		StageNormalize: "normalize",
+		StageScore:     "score",
+		StageEncode:    "encode",
+		Stage(99):      "unknown",
+	}
+	for s, w := range want {
+		if got := s.String(); got != w {
+			t.Errorf("Stage(%d).String() = %q, want %q", s, got, w)
+		}
+	}
+}
+
+func TestTraceStagesAndContext(t *testing.T) {
+	type ctxKey struct{}
+	parent := context.WithValue(context.Background(), ctxKey{}, "v")
+	tr := StartTrace(parent)
+	defer tr.Release()
+
+	if tr.IDString() == "" || !strings.HasPrefix(tr.IDString(), "r") {
+		t.Fatalf("bad request id %q", tr.IDString())
+	}
+	// The trace is its own carrying context.
+	if FromContext(tr) != tr {
+		t.Fatal("FromContext(trace) did not return the trace")
+	}
+	if got := tr.Value(ctxKey{}); got != "v" {
+		t.Fatalf("parent value not delegated: got %v", got)
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext on plain context should be nil")
+	}
+	if FromContext(nil) != nil {
+		t.Fatal("FromContext(nil) should be nil")
+	}
+
+	tr.EndStage(StageDecode)
+	tr.EndStage(StageValidate)
+	tr.EndStage(StageNormalize)
+	t0 := time.Now()
+	tr.AddSpan(StageScore, 0, t0, t0.Add(time.Millisecond))
+	tr.AddSpan(StageScore, 1, t0, t0.Add(2*time.Millisecond))
+	tr.SkipStage()
+	tr.EndStage(StageEncode)
+
+	spans := tr.Spans()
+	if len(spans) != 6 {
+		t.Fatalf("got %d spans, want 6", len(spans))
+	}
+	ms, shards := tr.StageMillis()
+	if shards != 2 {
+		t.Fatalf("score shards = %d, want 2", shards)
+	}
+	if ms[StageScore] < 2.9 || ms[StageScore] > 3.1 {
+		t.Fatalf("score ms = %v, want ~3 (sum of shards)", ms[StageScore])
+	}
+	for _, st := range []Stage{StageDecode, StageValidate, StageNormalize, StageEncode} {
+		if ms[st] < 0 {
+			t.Fatalf("stage %v negative duration", st)
+		}
+	}
+	attrs := tr.LogAttrs()
+	if attrs[0].Key != "request_id" || attrs[0].Value.String() != tr.IDString() {
+		t.Fatalf("LogAttrs missing request_id: %v", attrs)
+	}
+}
+
+func TestTraceSpanOverflow(t *testing.T) {
+	tr := StartTrace(context.Background())
+	defer tr.Release()
+	now := time.Now()
+	for i := 0; i < MaxSpans+5; i++ {
+		tr.AddSpan(StageScore, i, now, now)
+	}
+	if got := len(tr.Spans()); got != MaxSpans {
+		t.Fatalf("spans = %d, want %d", got, MaxSpans)
+	}
+	if tr.Dropped() != 5 {
+		t.Fatalf("dropped = %d, want 5", tr.Dropped())
+	}
+}
+
+func TestTraceReuseResetsSpans(t *testing.T) {
+	tr := StartTrace(context.Background())
+	tr.EndStage(StageDecode)
+	id1 := tr.IDString()
+	tr.Release()
+	tr2 := StartTrace(context.Background())
+	defer tr2.Release()
+	if len(tr2.Spans()) != 0 {
+		t.Fatalf("reused trace has %d stale spans", len(tr2.Spans()))
+	}
+	if tr2.IDString() == id1 {
+		t.Fatal("request IDs must be unique across traces")
+	}
+}
+
+func TestNextIDMonotonic(t *testing.T) {
+	seen := make(map[string]bool)
+	var last uint64
+	for i := 0; i < 1000; i++ {
+		n, s := nextID()
+		if n <= last {
+			t.Fatalf("id sequence not monotonic: %d after %d", n, last)
+		}
+		last = n
+		if seen[s] {
+			t.Fatalf("duplicate id string %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestStartTraceAllocs(t *testing.T) {
+	// Warm the pool so the steady state is measured.
+	StartTrace(context.Background()).Release()
+	allocs := testing.AllocsPerRun(100, func() {
+		tr := StartTrace(context.Background())
+		tr.EndStage(StageDecode)
+		if FromContext(tr) != tr {
+			t.Fatal("lost trace")
+		}
+		tr.Release()
+	})
+	// One alloc: the request-ID string. Everything else is pooled.
+	if allocs > 1 {
+		t.Fatalf("StartTrace+EndStage+FromContext allocates %v, want ≤ 1", allocs)
+	}
+}
+
+func TestCounterShardsAndSum(t *testing.T) {
+	var c Counter
+	for key := uint64(0); key < 16; key++ {
+		c.Add(key, 2)
+	}
+	if got := c.Load(); got != 32 {
+		t.Fatalf("Load = %d, want 32", got)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(key uint64) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(key, 1)
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if got := c.Load(); got != 32+8000 {
+		t.Fatalf("Load after concurrent adds = %d, want %d", got, 32+8000)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Add(5)
+	g.Add(-2)
+	if g.Load() != 3 {
+		t.Fatalf("gauge = %d, want 3", g.Load())
+	}
+	g.Set(42)
+	if g.Load() != 42 {
+		t.Fatalf("gauge = %d, want 42", g.Load())
+	}
+}
+
+func TestHistogramCumulationAndInf(t *testing.T) {
+	h := NewHistogram([]int64{100, 1000, 10000})
+	obs := []int64{50, 100, 101, 999, 5000, 50000}
+	for i, us := range obs {
+		h.Observe(uint64(i), us)
+	}
+	cum, count, sum := h.Snapshot()
+	if count != int64(len(obs)) {
+		t.Fatalf("count = %d, want %d", count, len(obs))
+	}
+	var wantSum int64
+	for _, us := range obs {
+		wantSum += us
+	}
+	if sum != wantSum {
+		t.Fatalf("sum = %d, want %d", sum, wantSum)
+	}
+	// le=100 gets 50,100; le=1000 adds 101,999; le=10000 adds 5000; +Inf adds 50000.
+	want := []int64{2, 4, 5, 6}
+	if len(cum) != len(want) {
+		t.Fatalf("cum len = %d, want %d", len(cum), len(want))
+	}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cum[%d] = %d, want %d (%v)", i, cum[i], want[i], cum)
+		}
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("buckets not monotone: %v", cum)
+		}
+	}
+	if cum[len(cum)-1] != count {
+		t.Fatalf("+Inf bucket %d != count %d", cum[len(cum)-1], count)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	var wg sync.WaitGroup
+	const perG, goroutines = 500, 8
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(key uint64) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(key, int64(i%200))
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	_, count, _ := h.Snapshot()
+	if count != perG*goroutines {
+		t.Fatalf("count = %d, want %d", count, perG*goroutines)
+	}
+}
+
+func TestRingOrderAndEviction(t *testing.T) {
+	r := NewRing(3)
+	if r.Len() != 0 {
+		t.Fatalf("new ring len = %d", r.Len())
+	}
+	for i := 1; i <= 5; i++ {
+		r.Push(TraceSummary{RequestID: string(rune('a' + i - 1))})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	got := r.Snapshot()
+	want := []string{"e", "d", "c"} // newest first, a and b evicted
+	for i, s := range got {
+		if s.RequestID != want[i] {
+			t.Fatalf("snapshot[%d] = %q, want %q (%v)", i, s.RequestID, want[i], got)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := StartTrace(context.Background())
+	defer tr.Release()
+	t0 := time.Now()
+	tr.AddSpan(StageDecode, -1, t0, t0.Add(time.Millisecond))
+	tr.AddSpan(StageScore, 0, t0, t0.Add(4*time.Millisecond))
+	s := Summarize(tr, "score", "m1", 200, 128, 5*time.Millisecond)
+	if s.Route != "score" || s.Model != "m1" || s.Status != 200 || s.Rows != 128 {
+		t.Fatalf("summary fields wrong: %+v", s)
+	}
+	if s.TotalMs != 5 {
+		t.Fatalf("total ms = %v, want 5", s.TotalMs)
+	}
+	if s.DecodeMs < 0.9 || s.ScoreMs < 3.9 || s.ScoreShards != 1 {
+		t.Fatalf("stage breakdown wrong: %+v", s)
+	}
+	if s.RequestID != tr.IDString() {
+		t.Fatalf("request id mismatch")
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := Build()
+	if b.GoVersion == "" || b.Version == "" {
+		t.Fatalf("incomplete build info: %+v", b)
+	}
+	if b2 := Build(); b2 != b {
+		t.Fatalf("Build not stable: %+v vs %+v", b, b2)
+	}
+}

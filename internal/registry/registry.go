@@ -51,6 +51,10 @@ type Meta struct {
 	Monotone bool `json:"monotone"`
 	// CreatedAt is the wall-clock time the rule entered the registry.
 	CreatedAt time.Time `json:"created_at"`
+	// Fit is the telemetry of the fit run that produced the rule: nil for
+	// rules installed from a saved document (the rule payload itself stays
+	// a pure serving artifact; diagnostics live only in this envelope).
+	Fit *core.FitDiagnostics `json:"fit,omitempty"`
 }
 
 // fileJSON is the on-disk envelope: metadata plus the exact byte output of
@@ -269,6 +273,7 @@ func (r *Registry) Put(name string, m *core.Model, rows int, explainedVariance f
 		ExplainedVariance: explainedVariance,
 		Monotone:          m.StrictlyMonotone(),
 		CreatedAt:         time.Now().UTC(),
+		Fit:               m.FitDiag,
 	}
 	payload, err := json.MarshalIndent(fileJSON{Meta: meta, Model: buf.Bytes()}, "", "  ")
 	if err != nil {

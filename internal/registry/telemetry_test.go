@@ -1,0 +1,86 @@
+package registry
+
+import (
+	"bytes"
+	"testing"
+
+	"rpcrank/internal/core"
+)
+
+// TestFitDiagnosticsPersist pins the fit-telemetry envelope: diagnostics
+// ride on Meta (not inside the rule document), survive a registry reopen,
+// and stay nil for rules installed from a saved document.
+func TestFitDiagnosticsPersist(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fitTestModel(t)
+	if m.FitDiag == nil {
+		t.Fatal("fitted model carries no diagnostics")
+	}
+	meta, err := reg.Put("wine", m, 8, m.ExplainedVariance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Fit == nil {
+		t.Fatal("Put dropped FitDiag from the metadata")
+	}
+	if meta.Fit.Iterations != m.FitDiag.Iterations || meta.Fit.FinalObjective != m.FitDiag.FinalObjective {
+		t.Errorf("meta.Fit = %+v, model diag = %+v", meta.Fit, m.FitDiag)
+	}
+
+	// A model round-tripped through Save/Load is a pure serving artifact:
+	// no diagnostics, so its registry entry has none either.
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.FitDiag != nil {
+		t.Error("loaded model unexpectedly carries diagnostics")
+	}
+	metaLoaded, err := reg.Put("uploaded", loaded, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metaLoaded.Fit != nil {
+		t.Error("uploaded rule unexpectedly carries diagnostics")
+	}
+
+	// Reopen from disk: diagnostics must come back from the envelope.
+	reg2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reg2.GetMeta("wine-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fit == nil {
+		t.Fatal("diagnostics lost across registry reopen")
+	}
+	if got.Fit.Iterations != m.FitDiag.Iterations {
+		t.Errorf("reloaded iterations %d, want %d", got.Fit.Iterations, m.FitDiag.Iterations)
+	}
+	if got.Fit.FinalObjective != m.FitDiag.FinalObjective {
+		t.Errorf("reloaded final objective %v, want %v", got.Fit.FinalObjective, m.FitDiag.FinalObjective)
+	}
+	if len(got.Fit.Trace) != len(m.FitDiag.Trace) {
+		t.Errorf("reloaded trace has %d entries, want %d", len(got.Fit.Trace), len(m.FitDiag.Trace))
+	}
+	if got.Fit.Stages.RefineNs != m.FitDiag.Stages.RefineNs {
+		t.Errorf("reloaded refine ns %d, want %d", got.Fit.Stages.RefineNs, m.FitDiag.Stages.RefineNs)
+	}
+	got2, err := reg2.GetMeta("uploaded-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Fit != nil {
+		t.Error("uploaded rule gained diagnostics across reopen")
+	}
+}

@@ -66,9 +66,11 @@ type ModelList struct {
 	Models []registry.Meta `json:"models"`
 }
 
-// ErrorResponse is the body of every non-2xx reply.
+// ErrorResponse is the body of every non-2xx reply. RequestID echoes the
+// X-Request-Id header so an error can be matched against server logs.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Health answers GET /healthz.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -169,7 +170,7 @@ func BenchmarkPoolScoreBatch(b *testing.B) {
 	rows := benchRows(10_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out := pool.ScoreBatch(m, rows)
+		out := pool.ScoreBatch(context.Background(), m, rows)
 		if len(out) != len(rows) {
 			b.Fatal("short result")
 		}

@@ -4,102 +4,295 @@ import (
 	"bytes"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
+
+	"rpcrank/internal/obs"
 )
 
 // latencyBucketsMs are the upper bounds (milliseconds) of the request
 // latency histogram, Prometheus-style cumulative with a +Inf tail.
 var latencyBucketsMs = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
 
-// Metrics collects per-route counters and latency histograms. It renders
-// itself in the Prometheus text exposition format at /metrics, with no
-// dependency on a metrics library.
+// latencyBucketsUs is the same ladder in integer microseconds — the unit
+// the sharded histograms store, so one observation is pure integer atomics.
+var latencyBucketsUs = func() []int64 {
+	us := make([]int64, len(latencyBucketsMs))
+	for i, ms := range latencyBucketsMs {
+		us[i] = int64(ms * 1000)
+	}
+	return us
+}()
+
+// maxModelSeries caps the per-model label space so a client minting model
+// names cannot grow /metrics without bound; models beyond the cap are
+// accounted under model="_overflow".
+const maxModelSeries = 512
+
+// Metrics collects per-route counters and latency histograms, per-model
+// scoring series, gauges for in-flight requests and the scoring pool, Go
+// runtime stats, and build identification. It renders itself in the
+// Prometheus text exposition format at /metrics, with no dependency on a
+// metrics library.
+//
+// The hot path is lock-free: routes are registered once at server
+// construction, so handlers hold a *RouteStats and record through sharded
+// atomic counters (keyed by the request ID) — the global mutex the old
+// collector serialised every request on is gone. The remaining locks guard
+// registration (per-model series creation) and are off the steady path.
 type Metrics struct {
-	mu     sync.Mutex
-	routes map[string]*routeStats
-	rows   int64 // total rows scored across score/rank
+	start time.Time
+
+	regMu  sync.Mutex
+	routes map[string]*RouteStats
+
+	rows     obs.Counter
+	slow     obs.Counter
+	inFlight obs.Gauge
+
+	modelMu       sync.RWMutex
+	models        map[string]*ModelStats
+	modelOverflow *ModelStats
+
+	// poolStats, when set, supplies live scoring-pool gauges at scrape
+	// time: queued tasks, busy workers, pool size.
+	poolStats func() (queue, busy, workers int)
 }
 
-type routeStats struct {
-	count   int64
-	errors  int64 // 4xx + 5xx responses
-	sumMs   float64
-	buckets []int64 // parallel to latencyBucketsMs, plus implicit +Inf via count
+// RouteStats holds one route's sharded counters. Handlers obtain theirs at
+// registration and write without any lookup or lock.
+type RouteStats struct {
+	name   string
+	count  obs.Counter
+	errors obs.Counter
+	lat    *obs.Histogram
+}
+
+// Observe records one request with the given response status and latency.
+// key selects the counter shard; pass the request's trace ID.
+func (rs *RouteStats) Observe(key uint64, status int, elapsed time.Duration) {
+	rs.count.Add(key, 1)
+	if status >= 400 {
+		rs.errors.Add(key, 1)
+	}
+	rs.lat.Observe(key, elapsed.Microseconds())
+}
+
+// ModelStats holds one model's scoring series.
+type ModelStats struct {
+	requests obs.Counter
+	rows     obs.Counter
+	lat      *obs.Histogram // score-stage latency, not whole-request
+}
+
+// ObserveScore records one scoring request against the model.
+func (ms *ModelStats) ObserveScore(key uint64, rows int, scoreElapsed time.Duration) {
+	ms.requests.Add(key, 1)
+	ms.rows.Add(key, int64(rows))
+	ms.lat.Observe(key, scoreElapsed.Microseconds())
+}
+
+func newModelStats() *ModelStats {
+	return &ModelStats{lat: obs.NewHistogram(latencyBucketsUs)}
 }
 
 // NewMetrics returns an empty collector.
 func NewMetrics() *Metrics {
-	return &Metrics{routes: make(map[string]*routeStats)}
+	return &Metrics{
+		start:  time.Now(),
+		routes: make(map[string]*RouteStats),
+		models: make(map[string]*ModelStats),
+	}
 }
 
-// Observe records one request on a route.
-func (m *Metrics) Observe(route string, status int, elapsed time.Duration) {
-	ms := float64(elapsed.Microseconds()) / 1000
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rs, ok := m.routes[route]
+// Route registers (or returns) the stats for a route. Called at server
+// construction; handlers keep the pointer.
+func (m *Metrics) Route(name string) *RouteStats {
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
+	rs, ok := m.routes[name]
 	if !ok {
-		rs = &routeStats{buckets: make([]int64, len(latencyBucketsMs))}
-		m.routes[route] = rs
+		rs = &RouteStats{name: name, lat: obs.NewHistogram(latencyBucketsUs)}
+		m.routes[name] = rs
 	}
-	rs.count++
-	if status >= 400 {
-		rs.errors++
+	return rs
+}
+
+// Observe records one request on a route, resolving it by name. Kept for
+// callers without a registered *RouteStats; the server's handlers use the
+// pointer directly.
+func (m *Metrics) Observe(route string, status int, elapsed time.Duration) {
+	m.Route(route).Observe(0, status, elapsed)
+}
+
+// Model returns the stats for a model ID, creating them on first use. Past
+// maxModelSeries distinct IDs, a shared overflow series is returned. The
+// steady path is one RLock-guarded map read.
+func (m *Metrics) Model(id string) *ModelStats {
+	m.modelMu.RLock()
+	ms := m.models[id]
+	m.modelMu.RUnlock()
+	if ms != nil {
+		return ms
 	}
-	rs.sumMs += ms
-	for i, ub := range latencyBucketsMs {
-		if ms <= ub {
-			rs.buckets[i]++
+	m.modelMu.Lock()
+	defer m.modelMu.Unlock()
+	if ms := m.models[id]; ms != nil {
+		return ms
+	}
+	if len(m.models) >= maxModelSeries {
+		if m.modelOverflow == nil {
+			m.modelOverflow = newModelStats()
 		}
+		return m.modelOverflow
 	}
+	ms = newModelStats()
+	m.models[id] = ms
+	return ms
 }
 
-// AddRows adds to the total count of rows scored.
-func (m *Metrics) AddRows(n int) {
-	m.mu.Lock()
-	m.rows += int64(n)
-	m.mu.Unlock()
+// AddRows adds to the total count of rows scored. key selects the shard.
+func (m *Metrics) AddRows(key uint64, n int) { m.rows.Add(key, int64(n)) }
+
+// AddSlow counts one request over the slow-trace threshold.
+func (m *Metrics) AddSlow(key uint64) { m.slow.Add(key, 1) }
+
+// InFlight exposes the in-flight request gauge.
+func (m *Metrics) InFlight() *obs.Gauge { return &m.inFlight }
+
+// SetPoolStats installs the scoring-pool gauge source.
+func (m *Metrics) SetPoolStats(f func() (queue, busy, workers int)) { m.poolStats = f }
+
+// writeHistogram renders one histogram family member with a label,
+// converting the stored microseconds back to the millisecond unit the
+// exposition has always used.
+func writeHistogram(w *bytes.Buffer, family, label, value string, h *obs.Histogram) {
+	cum, count, sumUs := h.Snapshot()
+	for i, ub := range latencyBucketsMs {
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", family, label, value, fmt.Sprintf("%g", ub), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", family, label, value, count)
+	fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", family, label, value, float64(sumUs)/1000)
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", family, label, value, count)
 }
 
-// ServeHTTP renders the metrics in Prometheus text format. The text is
-// built into a buffer under the lock and written to the connection after
-// releasing it, so a slow scraper cannot stall Observe (and with it every
-// request handler).
+// ServeHTTP renders the metrics in Prometheus text format. Counters are
+// sharded atomics, so rendering takes no lock that any request path
+// contends on; registration maps are snapshotted under their own mutexes.
 func (m *Metrics) ServeHTTP(rw http.ResponseWriter, _ *http.Request) {
 	var w bytes.Buffer
-	m.mu.Lock()
+
+	m.regMu.Lock()
 	routes := make([]string, 0, len(m.routes))
 	for r := range m.routes {
 		routes = append(routes, r)
 	}
+	routeStats := make(map[string]*RouteStats, len(m.routes))
+	for r, rs := range m.routes {
+		routeStats[r] = rs
+	}
+	m.regMu.Unlock()
 	sort.Strings(routes)
+
 	fmt.Fprintf(&w, "# HELP rpcd_requests_total Requests served, by route.\n")
 	fmt.Fprintf(&w, "# TYPE rpcd_requests_total counter\n")
 	for _, r := range routes {
-		fmt.Fprintf(&w, "rpcd_requests_total{route=%q} %d\n", r, m.routes[r].count)
+		fmt.Fprintf(&w, "rpcd_requests_total{route=%q} %d\n", r, routeStats[r].count.Load())
 	}
 	fmt.Fprintf(&w, "# HELP rpcd_request_errors_total Requests answered with status >= 400, by route.\n")
 	fmt.Fprintf(&w, "# TYPE rpcd_request_errors_total counter\n")
 	for _, r := range routes {
-		fmt.Fprintf(&w, "rpcd_request_errors_total{route=%q} %d\n", r, m.routes[r].errors)
+		fmt.Fprintf(&w, "rpcd_request_errors_total{route=%q} %d\n", r, routeStats[r].errors.Load())
 	}
 	fmt.Fprintf(&w, "# HELP rpcd_request_duration_ms Request latency histogram in milliseconds.\n")
 	fmt.Fprintf(&w, "# TYPE rpcd_request_duration_ms histogram\n")
 	for _, r := range routes {
-		rs := m.routes[r]
-		for i, ub := range latencyBucketsMs {
-			fmt.Fprintf(&w, "rpcd_request_duration_ms_bucket{route=%q,le=%q} %d\n", r, fmt.Sprintf("%g", ub), rs.buckets[i])
-		}
-		fmt.Fprintf(&w, "rpcd_request_duration_ms_bucket{route=%q,le=\"+Inf\"} %d\n", r, rs.count)
-		fmt.Fprintf(&w, "rpcd_request_duration_ms_sum{route=%q} %g\n", r, rs.sumMs)
-		fmt.Fprintf(&w, "rpcd_request_duration_ms_count{route=%q} %d\n", r, rs.count)
+		writeHistogram(&w, "rpcd_request_duration_ms", "route", r, routeStats[r].lat)
 	}
 	fmt.Fprintf(&w, "# HELP rpcd_rows_scored_total Rows scored across score and rank endpoints.\n")
 	fmt.Fprintf(&w, "# TYPE rpcd_rows_scored_total counter\n")
-	fmt.Fprintf(&w, "rpcd_rows_scored_total %d\n", m.rows)
-	m.mu.Unlock()
+	fmt.Fprintf(&w, "rpcd_rows_scored_total %d\n", m.rows.Load())
+
+	m.modelMu.RLock()
+	models := make([]string, 0, len(m.models))
+	for id := range m.models {
+		models = append(models, id)
+	}
+	modelStats := make(map[string]*ModelStats, len(m.models)+1)
+	for id, ms := range m.models {
+		modelStats[id] = ms
+	}
+	if m.modelOverflow != nil {
+		models = append(models, "_overflow")
+		modelStats["_overflow"] = m.modelOverflow
+	}
+	m.modelMu.RUnlock()
+	sort.Strings(models)
+
+	fmt.Fprintf(&w, "# HELP rpcd_model_requests_total Scoring requests served, by model.\n")
+	fmt.Fprintf(&w, "# TYPE rpcd_model_requests_total counter\n")
+	for _, id := range models {
+		fmt.Fprintf(&w, "rpcd_model_requests_total{model=%q} %d\n", id, modelStats[id].requests.Load())
+	}
+	fmt.Fprintf(&w, "# HELP rpcd_model_rows_total Rows scored, by model.\n")
+	fmt.Fprintf(&w, "# TYPE rpcd_model_rows_total counter\n")
+	for _, id := range models {
+		fmt.Fprintf(&w, "rpcd_model_rows_total{model=%q} %d\n", id, modelStats[id].rows.Load())
+	}
+	fmt.Fprintf(&w, "# HELP rpcd_model_score_duration_ms Score-stage latency histogram in milliseconds, by model.\n")
+	fmt.Fprintf(&w, "# TYPE rpcd_model_score_duration_ms histogram\n")
+	for _, id := range models {
+		writeHistogram(&w, "rpcd_model_score_duration_ms", "model", id, modelStats[id].lat)
+	}
+
+	fmt.Fprintf(&w, "# HELP rpcd_requests_in_flight Requests currently being handled.\n")
+	fmt.Fprintf(&w, "# TYPE rpcd_requests_in_flight gauge\n")
+	fmt.Fprintf(&w, "rpcd_requests_in_flight %d\n", m.inFlight.Load())
+	fmt.Fprintf(&w, "# HELP rpcd_slow_requests_total Requests slower than the slow-trace threshold.\n")
+	fmt.Fprintf(&w, "# TYPE rpcd_slow_requests_total counter\n")
+	fmt.Fprintf(&w, "rpcd_slow_requests_total %d\n", m.slow.Load())
+
+	if m.poolStats != nil {
+		queue, busy, workers := m.poolStats()
+		fmt.Fprintf(&w, "# HELP rpcd_pool_queue_depth Scoring tasks waiting in the pool queue.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_pool_queue_depth gauge\n")
+		fmt.Fprintf(&w, "rpcd_pool_queue_depth %d\n", queue)
+		fmt.Fprintf(&w, "# HELP rpcd_pool_workers_busy Pool workers currently scoring a task.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_pool_workers_busy gauge\n")
+		fmt.Fprintf(&w, "rpcd_pool_workers_busy %d\n", busy)
+		fmt.Fprintf(&w, "# HELP rpcd_pool_workers Pool size.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_pool_workers gauge\n")
+		fmt.Fprintf(&w, "rpcd_pool_workers %d\n", workers)
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(&w, "# HELP rpcd_go_goroutines Number of goroutines.\n")
+	fmt.Fprintf(&w, "# TYPE rpcd_go_goroutines gauge\n")
+	fmt.Fprintf(&w, "rpcd_go_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(&w, "# HELP rpcd_go_heap_alloc_bytes Bytes of allocated heap objects.\n")
+	fmt.Fprintf(&w, "# TYPE rpcd_go_heap_alloc_bytes gauge\n")
+	fmt.Fprintf(&w, "rpcd_go_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(&w, "# HELP rpcd_go_heap_inuse_bytes Bytes in in-use heap spans.\n")
+	fmt.Fprintf(&w, "# TYPE rpcd_go_heap_inuse_bytes gauge\n")
+	fmt.Fprintf(&w, "rpcd_go_heap_inuse_bytes %d\n", ms.HeapInuse)
+	fmt.Fprintf(&w, "# HELP rpcd_go_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n")
+	fmt.Fprintf(&w, "# TYPE rpcd_go_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(&w, "rpcd_go_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
+	fmt.Fprintf(&w, "# HELP rpcd_go_gc_cycles_total Completed GC cycles.\n")
+	fmt.Fprintf(&w, "# TYPE rpcd_go_gc_cycles_total counter\n")
+	fmt.Fprintf(&w, "rpcd_go_gc_cycles_total %d\n", ms.NumGC)
+
+	fmt.Fprintf(&w, "# HELP rpcd_uptime_seconds Seconds since the collector was created.\n")
+	fmt.Fprintf(&w, "# TYPE rpcd_uptime_seconds gauge\n")
+	fmt.Fprintf(&w, "rpcd_uptime_seconds %g\n", time.Since(m.start).Seconds())
+
+	b := obs.Build()
+	fmt.Fprintf(&w, "# HELP rpcd_build_info Build identification; value is always 1.\n")
+	fmt.Fprintf(&w, "# TYPE rpcd_build_info gauge\n")
+	fmt.Fprintf(&w, "rpcd_build_info{version=%q,revision=%q,go_version=%q} 1\n", b.Version, b.Revision, b.GoVersion)
 
 	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	rw.Write(w.Bytes())

@@ -6,9 +6,11 @@ import (
 	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rpcrank/internal/core"
 	"rpcrank/internal/frame"
+	"rpcrank/internal/obs"
 )
 
 // concurrencyThreshold is the batch size below which sharding overhead
@@ -28,6 +30,7 @@ type Pool struct {
 	workers int
 	tasks   chan poolTask
 	wg      sync.WaitGroup
+	busy    atomic.Int64 // workers currently inside a task
 
 	// closeMu fences Close against in-flight ScoreFrame submitters: a
 	// batch holds the read side while feeding the channel, so Close
@@ -39,12 +42,15 @@ type Pool struct {
 
 // poolTask is one shard: score rows [lo, hi) of f into out[lo:hi]. The
 // frame and output slice are shared across the batch's tasks; the ranges
-// are disjoint, so no synchronisation beyond done is needed.
+// are disjoint, so no synchronisation beyond done is needed. tr, when
+// non-nil, receives a score span for the shard.
 type poolTask struct {
 	model  *core.Model
 	f      *frame.Frame
 	out    []float64
 	lo, hi int
+	shard  int32
+	tr     *obs.Trace
 	done   *sync.WaitGroup
 	fail   *atomic.Pointer[any] // first panic value of the batch, if any
 }
@@ -91,12 +97,22 @@ func (p *Pool) worker() {
 // on the request goroutine, where net/http's recover turns it into one
 // failed request instead of a daemon crash. The borrowed scorer is dropped
 // on panic rather than released, so a poisoned scratch never re-enters the
-// model's pool.
+// model's pool. The trace span is recorded before done.Done(), so the
+// submitter's Wait is the barrier that makes every shard span visible.
 func (p *Pool) runTask(t poolTask) {
+	p.busy.Add(1)
+	var t0 time.Time
+	if t.tr != nil {
+		t0 = time.Now()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			t.fail.CompareAndSwap(nil, &r)
 		}
+		if t.tr != nil {
+			t.tr.AddSpan(obs.StageScore, int(t.shard), t0, time.Now())
+		}
+		p.busy.Add(-1)
 		t.done.Done()
 	}()
 	sc := t.model.AcquireScorer()
@@ -106,6 +122,13 @@ func (p *Pool) runTask(t poolTask) {
 
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
+
+// Stats reports the pool's live state: tasks waiting in the queue, workers
+// currently scoring, and the pool size. Queue depth and busy count are
+// instantaneous reads for gauges, not a consistent snapshot.
+func (p *Pool) Stats() (queue, busy, workers int) {
+	return len(p.tasks), int(p.busy.Load()), p.workers
+}
 
 // Close stops the workers after in-flight batches finish submitting.
 // ScoreFrame calls that race with (or follow) Close fall back to inline
@@ -126,8 +149,11 @@ func (p *Pool) Close() {
 // scored by the pool over the shared frame; smaller ones run inline on a
 // borrowed scorer. The scores are identical either way, and — beyond a
 // possible dst growth — the steady-state batch performs no per-row
-// allocation at all.
-func (p *Pool) ScoreFrame(m *core.Model, f *frame.Frame, dst []float64) []float64 {
+// allocation at all. When ctx carries an obs.Trace, each shard records a
+// score span on it (worker index = shard); by return, all spans are
+// visible.
+func (p *Pool) ScoreFrame(ctx context.Context, m *core.Model, f *frame.Frame, dst []float64) []float64 {
+	tr := obs.FromContext(ctx)
 	n := f.N()
 	if cap(dst) >= n {
 		dst = dst[:n]
@@ -135,12 +161,12 @@ func (p *Pool) ScoreFrame(m *core.Model, f *frame.Frame, dst []float64) []float6
 		dst = make([]float64, n)
 	}
 	if p == nil || n < concurrencyThreshold {
-		return scoreInline(m, f, dst)
+		return scoreInline(tr, m, f, dst)
 	}
 	p.closeMu.RLock()
 	if p.closed {
 		p.closeMu.RUnlock()
-		return scoreInline(m, f, dst)
+		return scoreInline(tr, m, f, dst)
 	}
 	// Aim for a few chunks per worker so an uneven row mix still balances,
 	// but never chunks so small the channel hops dominate.
@@ -150,13 +176,15 @@ func (p *Pool) ScoreFrame(m *core.Model, f *frame.Frame, dst []float64) []float6
 	}
 	var done sync.WaitGroup
 	var fail atomic.Pointer[any]
+	shard := int32(0)
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		done.Add(1)
-		p.tasks <- poolTask{model: m, f: f, out: dst, lo: lo, hi: hi, done: &done, fail: &fail}
+		p.tasks <- poolTask{model: m, f: f, out: dst, lo: lo, hi: hi, shard: shard, tr: tr, done: &done, fail: &fail}
+		shard++
 	}
 	p.closeMu.RUnlock()
 	done.Wait()
@@ -168,10 +196,18 @@ func (p *Pool) ScoreFrame(m *core.Model, f *frame.Frame, dst []float64) []float6
 	return dst
 }
 
-func scoreInline(m *core.Model, f *frame.Frame, dst []float64) []float64 {
+func scoreInline(tr *obs.Trace, m *core.Model, f *frame.Frame, dst []float64) []float64 {
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	sc := m.AcquireScorer()
 	defer m.ReleaseScorer(sc)
-	return sc.ScoreFrame(dst, f)
+	dst = sc.ScoreFrame(dst, f)
+	if tr != nil {
+		tr.AddSpan(obs.StageScore, -1, t0, time.Now())
+	}
+	return dst
 }
 
 // ScoreBatch is ScoreFrame over slice-of-slice rows: the batch is packed
@@ -179,10 +215,10 @@ func scoreInline(m *core.Model, f *frame.Frame, dst []float64) []float64 {
 // It exists for callers still holding [][]float64 — the server's stdlib
 // fallback decode path among them; ragged rows score inline via
 // Model.ScoreAll, which surfaces the canonical dimension panic per row.
-func (p *Pool) ScoreBatch(m *core.Model, rows [][]float64) []float64 {
+func (p *Pool) ScoreBatch(ctx context.Context, m *core.Model, rows [][]float64) []float64 {
 	f, err := frame.FromRows(rows)
 	if err != nil {
 		return m.ScoreAll(rows)
 	}
-	return p.ScoreFrame(m, f, nil)
+	return p.ScoreFrame(ctx, m, f, nil)
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -30,11 +31,11 @@ func TestScoreBatchAfterCloseFallsBackSerial(t *testing.T) {
 		rows[i] = []float64{10 * u, 5*u*u + 1, 3 - 2*u}
 	}
 	pool := NewPool(2)
-	want := pool.ScoreBatch(m, rows)
+	want := pool.ScoreBatch(context.Background(), m, rows)
 	pool.Close()
 	// A batch after Close (e.g. a request landing during shutdown drain)
 	// must not panic on the closed channel; it scores inline instead.
-	got := pool.ScoreBatch(m, rows)
+	got := pool.ScoreBatch(context.Background(), m, rows)
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("row %d: post-close score %v != pooled %v", i, got[i], want[i])
@@ -60,11 +61,11 @@ func TestWorkerPanicSurfacesOnCallerNotWorker(t *testing.T) {
 		for i := range good {
 			good[i] = []float64{1, 2, 3}
 		}
-		if out := pool.ScoreBatch(m, good); len(out) != len(good) {
+		if out := pool.ScoreBatch(context.Background(), m, good); len(out) != len(good) {
 			t.Errorf("pool broken after contained panic")
 		}
 	}()
-	pool.ScoreBatch(m, rows)
+	pool.ScoreBatch(context.Background(), m, rows)
 }
 
 func TestPoolConcurrentBatchesDuringClose(t *testing.T) {
@@ -80,7 +81,7 @@ func TestPoolConcurrentBatchesDuringClose(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if out := pool.ScoreBatch(m, rows); len(out) != len(rows) {
+			if out := pool.ScoreBatch(context.Background(), m, rows); len(out) != len(rows) {
 				t.Errorf("short result: %d", len(out))
 			}
 		}()

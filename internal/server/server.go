@@ -15,20 +15,29 @@
 //	POST   /v1/models/{id}/rank   score rows and return 1-based positions
 //	GET    /healthz               liveness + model count
 //	GET    /metrics               Prometheus-style counters and latencies
+//	GET    /statusz               live status snapshot (JSON or HTML)
+//
+// Every request is traced (see internal/obs): responses carry an
+// X-Request-Id header, error bodies echo the ID, stage timings are
+// recorded per request, and requests slower than Options.SlowThreshold
+// are logged structurally and retained for /statusz.
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"rpcrank/internal/core"
 	"rpcrank/internal/frame"
+	"rpcrank/internal/obs"
 	"rpcrank/internal/order"
 	"rpcrank/internal/registry"
 )
@@ -42,21 +51,37 @@ type Options struct {
 	// MaxBatchRows bounds the row count of one score/rank/fit request
 	// (default 1,000,000).
 	MaxBatchRows int
+	// SlowThreshold is the latency at or above which a request's stage
+	// trace is logged (Warn) and retained for /statusz. Zero selects the
+	// 500ms default; negative disables slow tracing.
+	SlowThreshold time.Duration
+	// TraceSample, when positive, logs roughly one in TraceSample
+	// requests as a structured access line (Info) with stage timings.
+	TraceSample int
+	// Logger receives slow-request and sampled access logs (nil selects
+	// slog.Default()).
+	Logger *slog.Logger
 }
 
 const (
-	defaultMaxBodyBytes = 32 << 20
-	defaultMaxBatchRows = 1_000_000
-	defaultRuleName     = "model"
+	defaultMaxBodyBytes  = 32 << 20
+	defaultMaxBatchRows  = 1_000_000
+	defaultRuleName      = "model"
+	defaultSlowThreshold = 500 * time.Millisecond
+	// slowRingSize bounds the /statusz slow-request history.
+	slowRingSize = 64
 )
 
 // Server routes the API. Create with New; it implements http.Handler.
 type Server struct {
-	reg     *registry.Registry
-	pool    *Pool
-	metrics *Metrics
-	mux     *http.ServeMux
-	opts    Options
+	reg      *registry.Registry
+	pool     *Pool
+	metrics  *Metrics
+	mux      *http.ServeMux
+	opts     Options
+	logger   *slog.Logger
+	slowRing *obs.Ring
+	start    time.Time
 }
 
 // New builds a Server around an open registry.
@@ -67,13 +92,24 @@ func New(reg *registry.Registry, opts Options) *Server {
 	if opts.MaxBatchRows <= 0 {
 		opts.MaxBatchRows = defaultMaxBatchRows
 	}
-	s := &Server{
-		reg:     reg,
-		pool:    NewPool(opts.Workers),
-		metrics: NewMetrics(),
-		mux:     http.NewServeMux(),
-		opts:    opts,
+	if opts.SlowThreshold == 0 {
+		opts.SlowThreshold = defaultSlowThreshold
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s := &Server{
+		reg:      reg,
+		pool:     NewPool(opts.Workers),
+		metrics:  NewMetrics(),
+		mux:      http.NewServeMux(),
+		opts:     opts,
+		logger:   logger,
+		slowRing: obs.NewRing(slowRingSize),
+		start:    time.Now(),
+	}
+	s.metrics.SetPoolStats(s.pool.Stats)
 	s.mux.HandleFunc("POST /v1/models", s.instrument("fit", s.handleFit))
 	s.mux.HandleFunc("GET /v1/models", s.instrument("list", s.handleList))
 	s.mux.HandleFunc("GET /v1/models/{id}", s.instrument("get", s.handleGet))
@@ -82,6 +118,7 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/models/{id}/score", s.instrument("score", s.handleScore))
 	s.mux.HandleFunc("POST /v1/models/{id}/rank", s.instrument("rank", s.handleRank))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /statusz", s.instrument("statusz", s.handleStatusz))
 	s.mux.Handle("GET /metrics", s.metrics)
 	return s
 }
@@ -95,10 +132,18 @@ func (s *Server) Close() { s.pool.Close() }
 // Metrics exposes the collector (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// statusWriter captures the response code for metrics.
+// statusWriter captures the response code for metrics and carries the
+// request's trace through the handler (handlers reach it with traceOf).
+// It is pooled — together with its embedded body limiter — so the
+// per-request instrumentation costs no allocation beyond the request-ID
+// string and its header slot.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status  int
+	trace   *obs.Trace
+	model   string // model ID of a score/rank request, for slow logs
+	rows    int    // rows scored, for slow logs
+	limiter bodyLimiter
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -106,23 +151,149 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+var swPool sync.Pool
+
+func getStatusWriter() *statusWriter {
+	if sw, ok := swPool.Get().(*statusWriter); ok {
+		return sw
+	}
+	return &statusWriter{}
+}
+
+func putStatusWriter(sw *statusWriter) {
+	*sw = statusWriter{}
+	swPool.Put(sw)
+}
+
+// traceOf returns the trace carried by a handler's ResponseWriter (nil for
+// a writer the instrumentation middleware did not wrap, as in direct
+// handler tests). The obs.Trace recording methods are nil-safe, so callers
+// use the result unconditionally.
+func traceOf(w http.ResponseWriter) *obs.Trace {
+	if sw, ok := w.(*statusWriter); ok {
+		return sw.trace
+	}
+	return nil
+}
+
+// traceCtx adapts a possibly-nil trace to the context the pool expects.
+// A non-nil trace is its own context, so this is allocation-free.
+func traceCtx(tr *obs.Trace) context.Context {
+	if tr == nil {
+		return context.Background()
+	}
+	return tr
+}
+
+// shardKeyOf returns the metric shard key for a request: its trace ID, or
+// 0 without a trace.
+func shardKeyOf(tr *obs.Trace) uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.ID()
+}
+
+// bodyLimiter is http.MaxBytesReader without the per-request allocation:
+// it lives inside the pooled statusWriter. Reads beyond the limit return
+// *http.MaxBytesError exactly like the stdlib reader, so the 413 mapping
+// in writeError and the decode paths is unchanged.
+type bodyLimiter struct {
+	rc        io.ReadCloser
+	remaining int64
+	limit     int64
+	tripped   bool
+}
+
+func (l *bodyLimiter) Read(p []byte) (int, error) {
+	if l.tripped {
+		return 0, &http.MaxBytesError{Limit: l.limit}
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	// Read one byte past the budget so an exactly-limit-sized body
+	// succeeds and limit+1 trips, matching MaxBytesReader.
+	if int64(len(p)) > l.remaining+1 {
+		p = p[:l.remaining+1]
+	}
+	n, err := l.rc.Read(p)
+	if int64(n) <= l.remaining {
+		l.remaining -= int64(n)
+		return n, err
+	}
+	l.tripped = true
+	n = int(l.remaining)
+	l.remaining = 0
+	return n, &http.MaxBytesError{Limit: l.limit}
+}
+
+func (l *bodyLimiter) Close() error { return l.rc.Close() }
+
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	// The route's sharded stats are resolved once at registration, so the
+	// per-request path touches no map and no lock.
+	rs := s.metrics.Route(route)
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		r.Body = http.MaxBytesReader(sw, r.Body, s.opts.MaxBodyBytes)
+		tr := obs.StartTrace(r.Context())
+		sw := getStatusWriter()
+		sw.ResponseWriter = w
+		sw.status = http.StatusOK
+		sw.trace = tr
+		sw.limiter = bodyLimiter{rc: r.Body, remaining: s.opts.MaxBodyBytes, limit: s.opts.MaxBodyBytes}
+		r.Body = &sw.limiter
+		w.Header().Set("X-Request-Id", tr.IDString())
+		s.metrics.InFlight().Add(1)
 		// Deferred so a panicking handler (net/http recovers it per
 		// connection) still counts as a request — and as an error, not as
-		// the 200 the status writer was initialised with.
+		// the 200 the status writer was initialised with. The writer is
+		// not repooled on the panic path.
 		defer func() {
+			s.metrics.InFlight().Add(-1)
+			elapsed := time.Since(tr.Start())
 			if rec := recover(); rec != nil {
-				s.metrics.Observe(route, http.StatusInternalServerError, time.Since(start))
+				rs.Observe(tr.ID(), http.StatusInternalServerError, elapsed)
+				s.finishTrace(route, tr, sw, http.StatusInternalServerError, elapsed)
+				tr.Release()
 				panic(rec)
 			}
-			s.metrics.Observe(route, sw.status, time.Since(start))
+			rs.Observe(tr.ID(), sw.status, elapsed)
+			s.finishTrace(route, tr, sw, sw.status, elapsed)
+			tr.Release()
+			putStatusWriter(sw)
 		}()
 		h(sw, r)
 	}
+}
+
+// finishTrace emits the request's structured log line — Warn with the full
+// stage breakdown when it crossed the slow threshold (also retained for
+// /statusz), Info when it fell in the 1-in-TraceSample access sample — and
+// is a pair of comparisons otherwise.
+func (s *Server) finishTrace(route string, tr *obs.Trace, sw *statusWriter, status int, elapsed time.Duration) {
+	slow := s.opts.SlowThreshold > 0 && elapsed >= s.opts.SlowThreshold
+	sampled := s.opts.TraceSample > 0 && tr.ID()%uint64(s.opts.TraceSample) == 0
+	if !slow && !sampled {
+		return
+	}
+	if slow {
+		s.metrics.AddSlow(tr.ID())
+		s.slowRing.Push(obs.Summarize(tr, route, sw.model, status, sw.rows, elapsed))
+	}
+	attrs := tr.LogAttrs()
+	attrs = append(attrs,
+		slog.String("route", route),
+		slog.Int("status", status),
+		slog.Float64("total_ms", float64(elapsed.Nanoseconds())/1e6),
+	)
+	if sw.model != "" {
+		attrs = append(attrs, slog.String("model", sw.model), slog.Int("rows", sw.rows))
+	}
+	msg, level := "request", slog.LevelInfo
+	if slow {
+		msg, level = "slow request", slog.LevelWarn
+	}
+	s.logger.LogAttrs(context.Background(), level, msg, attrs...)
 }
 
 // httpError is an error with an HTTP status attached.
@@ -156,7 +327,11 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, registry.ErrNotFound):
 		status = http.StatusNotFound
 	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	resp := ErrorResponse{Error: err.Error()}
+	if tr := traceOf(w); tr != nil {
+		resp.RequestID = tr.IDString()
+	}
+	writeJSON(w, status, resp)
 }
 
 // decodeJSONBytes is decodeJSON over an already-read body, used when the
@@ -435,7 +610,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // trailing garbage, the canonical dimension message) is exactly the
 // stdlib path's. The returned scores slice is pooled; handlers return it
 // via putScores after encoding the response.
-func (s *Server) scoreRows(r *http.Request) (id string, scores []float64, err error) {
+//
+// Stage spans recorded on tr: normalize (metadata resolution, and again
+// for the model load — the per-row min–max transform itself is fused into
+// the score kernels and lands in the score spans), decode (body read +
+// parse), validate (shape and batch-size checks), score (one span per pool
+// shard, recorded by the workers). The caller records encode.
+func (s *Server) scoreRows(tr *obs.Trace, r *http.Request) (id string, scores []float64, err error) {
 	id = r.PathValue("id")
 	// Validate against the metadata first: a request that will be
 	// rejected must not pay a model load (disk read + decode + LRU churn).
@@ -443,6 +624,7 @@ func (s *Server) scoreRows(r *http.Request) (id string, scores []float64, err er
 	if err != nil {
 		return id, nil, err
 	}
+	tr.EndStage(obs.StageNormalize)
 	body, err := readBody(r, s.opts.MaxBodyBytes)
 	if err != nil {
 		putBuf(&bodyPool, body)
@@ -452,6 +634,7 @@ func (s *Server) scoreRows(r *http.Request) (id string, scores []float64, err er
 		}
 		return id, nil, badRequest("reading request body: %v", err)
 	}
+	key := shardKeyOf(tr)
 	fr := getFrame()
 	if parseScoreFrame(fr, body, meta.Dim) {
 		// The frame owns the values; the body is done. The fast parser
@@ -461,18 +644,24 @@ func (s *Server) scoreRows(r *http.Request) (id string, scores []float64, err er
 		// 400s with the canonical message below.
 		putBuf(&bodyPool, body)
 		defer putFrame(fr)
+		tr.EndStage(obs.StageDecode)
 		if fr.N() > s.opts.MaxBatchRows {
 			return id, nil, badRequest("%d rows exceeds the limit of %d", fr.N(), s.opts.MaxBatchRows)
 		}
 		if fr.N() == 0 {
 			return id, nil, badRequest("invalid rows: %v", order.ValidateFrame(fr, meta.Dim))
 		}
+		tr.EndStage(obs.StageValidate)
 		m, _, err := s.reg.Get(id)
 		if err != nil {
 			return id, nil, err
 		}
-		scores = s.pool.ScoreFrame(m, fr, getScores())
-		s.metrics.AddRows(len(scores))
+		tr.EndStage(obs.StageNormalize)
+		t0 := time.Now()
+		scores = s.pool.ScoreFrame(traceCtx(tr), m, fr, getScores())
+		tr.SkipStage() // score wall time is covered by the shard spans
+		s.metrics.AddRows(key, len(scores))
+		s.metrics.Model(id).ObserveScore(key, len(scores), time.Since(t0))
 		return id, scores, nil
 	}
 	putFrame(fr)
@@ -482,6 +671,7 @@ func (s *Server) scoreRows(r *http.Request) (id string, scores []float64, err er
 	if derr != nil {
 		return id, nil, derr
 	}
+	tr.EndStage(obs.StageDecode)
 	rows := req.Rows
 	if len(rows) > s.opts.MaxBatchRows {
 		return id, nil, badRequest("%d rows exceeds the limit of %d", len(rows), s.opts.MaxBatchRows)
@@ -489,17 +679,27 @@ func (s *Server) scoreRows(r *http.Request) (id string, scores []float64, err er
 	if err := order.ValidateRows(rows, meta.Dim); err != nil {
 		return id, nil, badRequest("invalid rows: %v", err)
 	}
+	tr.EndStage(obs.StageValidate)
 	m, _, err := s.reg.Get(id)
 	if err != nil {
 		return id, nil, err
 	}
-	scores = s.pool.ScoreBatch(m, rows)
-	s.metrics.AddRows(len(scores))
+	tr.EndStage(obs.StageNormalize)
+	t0 := time.Now()
+	scores = s.pool.ScoreBatch(traceCtx(tr), m, rows)
+	tr.SkipStage()
+	s.metrics.AddRows(key, len(scores))
+	s.metrics.Model(id).ObserveScore(key, len(scores), time.Since(t0))
 	return id, scores, nil
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
-	id, scores, err := s.scoreRows(r)
+	tr := traceOf(w)
+	id, scores, err := s.scoreRows(tr, r)
+	if sw, ok := w.(*statusWriter); ok {
+		sw.model = id
+		sw.rows = len(scores)
+	}
 	if err != nil {
 		writeError(w, err)
 		return
@@ -509,14 +709,21 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if b, ok := appendScoreResponse(buf, id, scores, nil); ok {
 		writeRawJSON(w, b)
 		putBuf(&respPool, b)
+		tr.EndStage(obs.StageEncode)
 		return
 	}
 	putBuf(&respPool, buf)
 	writeJSON(w, http.StatusOK, ScoreResponse{ModelID: id, Count: len(scores), Scores: scores})
+	tr.EndStage(obs.StageEncode)
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
-	id, scores, err := s.scoreRows(r)
+	tr := traceOf(w)
+	id, scores, err := s.scoreRows(tr, r)
+	if sw, ok := w.(*statusWriter); ok {
+		sw.model = id
+		sw.rows = len(scores)
+	}
 	if err != nil {
 		writeError(w, err)
 		return
@@ -527,6 +734,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if b, ok := appendScoreResponse(buf, id, scores, positions); ok {
 		writeRawJSON(w, b)
 		putBuf(&respPool, b)
+		tr.EndStage(obs.StageEncode)
 		return
 	}
 	putBuf(&respPool, buf)
@@ -536,6 +744,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		Scores:    scores,
 		Positions: positions,
 	})
+	tr.EndStage(obs.StageEncode)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"html"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"rpcrank/internal/obs"
+	"rpcrank/internal/registry"
+)
+
+// statuszPool is the scoring-pool section of a status snapshot.
+type statuszPool struct {
+	Workers int `json:"workers"`
+	Queue   int `json:"queue"`
+	Busy    int `json:"busy"`
+}
+
+// statuszSnapshot is the /statusz document: one consistent-enough view of
+// the live server, serialisable as JSON and renderable as HTML. Model
+// metadata includes per-version fit diagnostics when the model was fitted
+// in-process (registry.Meta.Fit).
+type statuszSnapshot struct {
+	Now            time.Time          `json:"now"`
+	UptimeSeconds  float64            `json:"uptime_seconds"`
+	Build          obs.BuildInfo      `json:"build"`
+	Goroutines     int                `json:"goroutines"`
+	HeapAllocBytes uint64             `json:"heap_alloc_bytes"`
+	InFlight       int64              `json:"in_flight"`
+	Pool           statuszPool        `json:"pool"`
+	Models         []registry.Meta    `json:"models"`
+	SlowRequests   []obs.TraceSummary `json:"slow_requests"`
+}
+
+func (s *Server) snapshot() statuszSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	queue, busy, workers := s.pool.Stats()
+	return statuszSnapshot{
+		Now:            time.Now(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Build:          obs.Build(),
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		InFlight:       s.metrics.InFlight().Load(),
+		Pool:           statuszPool{Workers: workers, Queue: queue, Busy: busy},
+		Models:         s.reg.List(),
+		SlowRequests:   s.slowRing.Snapshot(),
+	}
+}
+
+// handleStatusz serves the live status snapshot. Browsers (Accept:
+// text/html) get a readable page; everything else — and ?format=json —
+// gets the JSON document.
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot()
+	format := r.URL.Query().Get("format")
+	wantHTML := format == "html" ||
+		(format == "" && strings.Contains(r.Header.Get("Accept"), "text/html"))
+	if !wantHTML {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	var b bytes.Buffer
+	renderStatuszHTML(&b, &snap)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(b.Bytes())
+}
+
+func renderStatuszHTML(b *bytes.Buffer, snap *statuszSnapshot) {
+	esc := html.EscapeString
+	fmt.Fprintf(b, "<!DOCTYPE html>\n<html><head><title>rpcd status</title>")
+	fmt.Fprintf(b, "<style>body{font-family:monospace;margin:2em}table{border-collapse:collapse}td,th{border:1px solid #999;padding:2px 8px;text-align:left}h2{margin-top:1.5em}</style>")
+	fmt.Fprintf(b, "</head><body>\n<h1>rpcd status</h1>\n")
+
+	fmt.Fprintf(b, "<h2>Process</h2><table>\n")
+	fmt.Fprintf(b, "<tr><th>now</th><td>%s</td></tr>\n", snap.Now.Format(time.RFC3339))
+	fmt.Fprintf(b, "<tr><th>uptime</th><td>%.1fs</td></tr>\n", snap.UptimeSeconds)
+	fmt.Fprintf(b, "<tr><th>build</th><td>%s %s (%s)</td></tr>\n", esc(snap.Build.Version), esc(snap.Build.Revision), esc(snap.Build.GoVersion))
+	fmt.Fprintf(b, "<tr><th>goroutines</th><td>%d</td></tr>\n", snap.Goroutines)
+	fmt.Fprintf(b, "<tr><th>heap alloc</th><td>%d bytes</td></tr>\n", snap.HeapAllocBytes)
+	fmt.Fprintf(b, "<tr><th>in-flight requests</th><td>%d</td></tr>\n", snap.InFlight)
+	fmt.Fprintf(b, "<tr><th>pool</th><td>%d workers, %d busy, %d queued</td></tr>\n", snap.Pool.Workers, snap.Pool.Busy, snap.Pool.Queue)
+	fmt.Fprintf(b, "</table>\n")
+
+	fmt.Fprintf(b, "<h2>Models (%d)</h2>\n", len(snap.Models))
+	fmt.Fprintf(b, "<table><tr><th>id</th><th>dim</th><th>degree</th><th>rows</th><th>explained var</th><th>monotone</th><th>fit iters</th><th>final objective</th><th>warm-hit</th></tr>\n")
+	for _, m := range snap.Models {
+		iters, obj, warm := "-", "-", "-"
+		if m.Fit != nil {
+			iters = fmt.Sprintf("%d", m.Fit.Iterations)
+			obj = fmt.Sprintf("%.6g", m.Fit.FinalObjective)
+			warm = fmt.Sprintf("%.1f%%", 100*m.Fit.WarmStartHitRate)
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%.4f</td><td>%v</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			esc(m.ID), m.Dim, m.Degree, m.Rows, m.ExplainedVariance, m.Monotone, iters, obj, warm)
+	}
+	fmt.Fprintf(b, "</table>\n")
+
+	fmt.Fprintf(b, "<h2>Recent slow requests (%d)</h2>\n", len(snap.SlowRequests))
+	fmt.Fprintf(b, "<table><tr><th>request id</th><th>route</th><th>model</th><th>status</th><th>rows</th><th>total ms</th><th>decode</th><th>validate</th><th>normalize</th><th>score</th><th>encode</th><th>shards</th></tr>\n")
+	for _, t := range snap.SlowRequests {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%d</td></tr>\n",
+			esc(t.RequestID), esc(t.Route), esc(t.Model), t.Status, t.Rows, t.TotalMs,
+			t.DecodeMs, t.ValidateMs, t.NormalizeMs, t.ScoreMs, t.EncodeMs, t.ScoreShards)
+	}
+	fmt.Fprintf(b, "</table>\n</body></html>\n")
+}
