@@ -61,8 +61,15 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr, p
 	maxBodyMB := fs.Int64("max-body-mb", 32, "largest accepted request body, in MiB")
 	maxBatchRows := fs.Int("max-batch-rows", 1_000_000, "largest accepted row count per request")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "HTTP read-header timeout (bounds slowloris header dribble)")
 	writeTimeout := fs.Duration("write-timeout", 2*time.Minute, "HTTP write timeout (covers fit time)")
+	idleTimeout := fs.Duration("idle-timeout", time.Minute, "HTTP keep-alive idle timeout")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "drain window on shutdown")
+	maxDeadlineMs := fs.Int64("max-deadline-ms", 60_000, "cap on client-requested deadlines (X-Deadline-Ms header or ?deadline_ms=)")
+	maxInflightMB := fs.Int64("max-inflight-mb", 0, "server-wide budget on in-flight request body bytes, in MiB (0 = 4x max-body-mb, negative = unlimited)")
+	maxInflightRows := fs.Int64("max-inflight-rows", 0, "server-wide budget on rows concurrently being scored (0 = 4x max-batch-rows, negative = unlimited)")
+	modelConcurrency := fs.Int("model-concurrency", 0, "concurrent scoring requests per model (0 = 2x workers)")
+	modelQueue := fs.Int("model-queue", 0, "requests that may queue per model for a scoring slot (0 = 4x model-concurrency, negative = no queue)")
 	pprofAddr := fs.String("pprof-addr", "", "listen address for net/http/pprof profiling (empty = disabled); bind it to localhost, the endpoint is unauthenticated")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	slowMs := fs.Int("slow-ms", 500, "log a structured stage trace for requests at or above this latency, in ms (0 disables)")
@@ -97,13 +104,22 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr, p
 	for _, s := range reg.Skipped() {
 		logger.Warn("skipped unreadable model file", "path", s)
 	}
+	inflightBytes := *maxInflightMB
+	if inflightBytes > 0 {
+		inflightBytes <<= 20
+	}
 	api := server.New(reg, server.Options{
-		Workers:       *workers,
-		MaxBodyBytes:  *maxBodyMB << 20,
-		MaxBatchRows:  *maxBatchRows,
-		SlowThreshold: slowThreshold,
-		TraceSample:   *traceSample,
-		Logger:        logger,
+		Workers:          *workers,
+		MaxBodyBytes:     *maxBodyMB << 20,
+		MaxBatchRows:     *maxBatchRows,
+		SlowThreshold:    slowThreshold,
+		TraceSample:      *traceSample,
+		Logger:           logger,
+		MaxDeadline:      time.Duration(*maxDeadlineMs) * time.Millisecond,
+		MaxInFlightBytes: inflightBytes,
+		MaxInFlightRows:  *maxInflightRows,
+		ModelConcurrency: *modelConcurrency,
+		ModelQueue:       *modelQueue,
 	})
 	defer api.Close()
 
@@ -112,10 +128,11 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr, p
 		return err
 	}
 	httpSrv := &http.Server{
-		Handler:      api,
-		ReadTimeout:  *readTimeout,
-		WriteTimeout: *writeTimeout,
-		IdleTimeout:  time.Minute,
+		Handler:           api,
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	// The profiling endpoint lives on its own listener (off by default) so
@@ -167,7 +184,14 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr, p
 		return err
 	case <-ctx.Done():
 	}
+	// Graceful drain: flip the application-level drain flag first so new
+	// requests are answered 503 + Retry-After + Connection: close (the same
+	// behaviour /controlz/drain gives an orchestrator), then let net/http
+	// stop accepting and wait out the in-flight requests, then checkpoint
+	// the registry's version index so a crash between drain and exit cannot
+	// lose the high-water marks.
 	logger.Info("shutting down", "drain_timeout", shutdownTimeout.String())
+	api.Drain()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
@@ -175,6 +199,12 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr, p
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	logger.Info("drained", "in_flight", api.InFlight())
+	if err := reg.Sync(); err != nil {
+		logger.Error("registry sync on shutdown", "err", err)
+	} else {
+		logger.Info("registry synced")
 	}
 	logger.Info("stopped")
 	return nil

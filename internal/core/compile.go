@@ -1,6 +1,10 @@
 package core
 
-import "rpcrank/internal/frame"
+import (
+	"context"
+
+	"rpcrank/internal/frame"
+)
 
 // Scorer is the compiled serving form of a fitted Model: the curve's
 // distance profile precomputed into Horner-evaluated polynomial
@@ -181,17 +185,37 @@ func (sc *Scorer) ScoreFrame(dst []float64, f *frame.Frame) []float64 {
 // loop, so behaviour (including the canonical dimension panic) is
 // unchanged.
 func (sc *Scorer) ScoreFrameRange(dst []float64, f *frame.Frame, lo, hi int) {
+	sc.ScoreFrameRangeCtx(nil, dst, f, lo, hi)
+}
+
+// ScoreFrameRangeCtx is ScoreFrameRange with cooperative cancellation: ctx
+// (when non-nil) is polled between row blocks, and the call returns the
+// number of rows actually scored — hi-lo on completion, less when the
+// context was done first, in which case dst beyond lo+n is untouched. The
+// scorer is left in a consistent, reusable state either way: cancellation
+// lands only on block boundaries, never inside a kernel, so a cancelled
+// scorer can be released back to its model's pool. A nil ctx compiles to
+// one comparison per block — the uncontended serving path pays nothing.
+func (sc *Scorer) ScoreFrameRangeCtx(ctx context.Context, dst []float64, f *frame.Frame, lo, hi int) int {
 	d := len(sc.u)
 	if sc.eng.kind == ProjectorQuintic || f.Dim() != d {
 		for i := lo; i < hi; i++ {
+			// Match the block path's cancellation cadence on the per-row
+			// fallback: one poll per projBlockRows rows.
+			if ctx != nil && (i-lo)%projBlockRows == 0 && i > lo && ctx.Err() != nil {
+				return i - lo
+			}
 			dst[i] = sc.Score(f.Row(i))
 		}
-		return
+		return hi - lo
 	}
 	if sc.ub == nil {
 		sc.ub = make([]float64, projBlockRows*d)
 	}
 	for b0 := lo; b0 < hi; b0 += projBlockRows {
+		if ctx != nil && ctx.Err() != nil {
+			return b0 - lo
+		}
 		bn := hi - b0
 		if bn > projBlockRows {
 			bn = projBlockRows
@@ -211,4 +235,5 @@ func (sc *Scorer) ScoreFrameRange(dst []float64, f *frame.Frame, lo, hi int) {
 		}
 		sc.eng.projectBlockPacked(sc.ub, bn, dst[b0:b0+bn], nil)
 	}
+	return hi - lo
 }

@@ -1,0 +1,160 @@
+// Package faultinject is a build-tag-free fault-injection harness for the
+// serving tier. A nil *Faults is the production configuration: every hook
+// compiles to a nil check and costs nothing, so injection points can stay
+// permanently wired through the server, the scoring pool, and the registry
+// without a test-only build. Tests construct a Faults with a seeded
+// schedule (New + Set) and hand it to server.Options.Faults; the chaos
+// suite drives randomized schedules through it and asserts the overload
+// invariants hold under -race.
+//
+// A point can inject latency (a sleep), an error (ErrInjected, for I/O
+// paths that propagate errors), or a panic (for the worker-pool containment
+// path). Each firing is counted so tests can assert a schedule actually
+// exercised what it configured.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site. The sites mirror the request lifecycle:
+// the body read (a slow client), the decode stage, a scoring-pool worker
+// (panic containment), the block boundary inside a score shard (latency
+// that stretches a batch past its deadline), and registry disk I/O.
+type Point uint8
+
+const (
+	// PointBodyRead fires on each read of a request body (slow-client
+	// simulation; latency only is meaningful here).
+	PointBodyRead Point = iota
+	// PointDecode fires once per score/rank request before the body is
+	// parsed.
+	PointDecode
+	// PointWorker fires when a pool worker picks up a score shard. A panic
+	// here exercises the pool's panic containment.
+	PointWorker
+	// PointScoreBlock fires between row blocks inside a score shard, so
+	// injected latency stretches a batch mid-flight — the window deadline
+	// cancellation must close.
+	PointScoreBlock
+	// PointRegistryRead fires before a registry file read.
+	PointRegistryRead
+	// PointRegistryWrite fires before a registry file write.
+	PointRegistryWrite
+	numPoints
+)
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	switch p {
+	case PointBodyRead:
+		return "body_read"
+	case PointDecode:
+		return "decode"
+	case PointWorker:
+		return "worker"
+	case PointScoreBlock:
+		return "score_block"
+	case PointRegistryRead:
+		return "registry_read"
+	case PointRegistryWrite:
+		return "registry_write"
+	}
+	return "unknown"
+}
+
+// NumPoints is the number of injection sites, for tests that iterate them.
+const NumPoints = int(numPoints)
+
+// ErrInjected is the error returned by a firing error injection. Paths
+// under test can match it with errors.Is.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// Spec configures one point. Probabilities are per firing opportunity, in
+// [0, 1]; zero values disable that mode. When several modes are configured
+// the order of evaluation is latency, then error, then panic.
+type Spec struct {
+	// Latency is slept when the latency mode fires.
+	Latency time.Duration
+	// LatencyProb is the probability a call at this point sleeps.
+	LatencyProb float64
+	// ErrProb is the probability a call returns ErrInjected.
+	ErrProb float64
+	// PanicProb is the probability a call panics with a PanicValue.
+	PanicProb float64
+}
+
+// PanicValue is what an injected panic carries, so recovery sites (and
+// tests) can tell an injected panic from a real one.
+type PanicValue struct{ Point Point }
+
+func (v PanicValue) String() string { return fmt.Sprintf("faultinject: injected panic at %s", v.Point) }
+
+// Faults is a schedule of fault specs, one per point. The zero value and
+// the nil pointer inject nothing. Safe for concurrent use: the RNG is
+// guarded, fire counts are atomics, and specs are fixed after Set.
+type Faults struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	specs [numPoints]Spec
+	fired [numPoints]atomic.Int64
+	// armed mirrors which specs are non-zero so Fire on an unconfigured
+	// point is one atomic load, not a mutex acquisition.
+	armed [numPoints]atomic.Bool
+}
+
+// New returns an empty schedule whose randomness derives from seed, so a
+// failing chaos run reproduces from its logged seed alone.
+func New(seed int64) *Faults {
+	return &Faults{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Set installs the spec for a point, replacing any previous one.
+func (f *Faults) Set(p Point, s Spec) {
+	f.mu.Lock()
+	f.specs[p] = s
+	f.mu.Unlock()
+	f.armed[p].Store(s.LatencyProb > 0 || s.ErrProb > 0 || s.PanicProb > 0)
+}
+
+// Fired reports how many times the point actually injected something.
+func (f *Faults) Fired(p Point) int64 {
+	if f == nil {
+		return 0
+	}
+	return f.fired[p].Load()
+}
+
+// Fire evaluates the point's spec: possibly sleeps, then possibly returns
+// ErrInjected, then possibly panics. Nil receivers and unconfigured points
+// return nil immediately.
+func (f *Faults) Fire(p Point) error {
+	if f == nil || !f.armed[p].Load() {
+		return nil
+	}
+	f.mu.Lock()
+	spec := f.specs[p]
+	sleep := spec.LatencyProb > 0 && f.rng.Float64() < spec.LatencyProb
+	fail := spec.ErrProb > 0 && f.rng.Float64() < spec.ErrProb
+	blow := spec.PanicProb > 0 && f.rng.Float64() < spec.PanicProb
+	f.mu.Unlock()
+	if !sleep && !fail && !blow {
+		return nil
+	}
+	f.fired[p].Add(1)
+	if sleep {
+		time.Sleep(spec.Latency)
+	}
+	if fail {
+		return ErrInjected
+	}
+	if blow {
+		panic(PanicValue{Point: p})
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilFaultsInjectNothing(t *testing.T) {
+	var f *Faults
+	for p := Point(0); p < Point(NumPoints); p++ {
+		if err := f.Fire(p); err != nil {
+			t.Fatalf("nil Faults fired at %s: %v", p, err)
+		}
+		if n := f.Fired(p); n != 0 {
+			t.Fatalf("nil Faults counted %d firings at %s", n, p)
+		}
+	}
+	f = New(1)
+	// A constructed schedule with no specs is also inert.
+	for p := Point(0); p < Point(NumPoints); p++ {
+		if err := f.Fire(p); err != nil {
+			t.Fatalf("empty schedule fired at %s: %v", p, err)
+		}
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	f := New(7)
+	f.Set(PointRegistryRead, Spec{ErrProb: 1})
+	err := f.Fire(PointRegistryRead)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Fire = %v, want ErrInjected", err)
+	}
+	if f.Fired(PointRegistryRead) != 1 {
+		t.Fatalf("Fired = %d, want 1", f.Fired(PointRegistryRead))
+	}
+	// Other points stay unaffected.
+	if err := f.Fire(PointDecode); err != nil {
+		t.Fatalf("unconfigured point fired: %v", err)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	f := New(7)
+	f.Set(PointWorker, Spec{PanicProb: 1})
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want PanicValue", r, r)
+		}
+		if pv.Point != PointWorker {
+			t.Fatalf("panic point = %s, want worker", pv.Point)
+		}
+	}()
+	f.Fire(PointWorker)
+	t.Fatal("Fire did not panic")
+}
+
+func TestLatencyInjection(t *testing.T) {
+	f := New(7)
+	f.Set(PointBodyRead, Spec{Latency: 20 * time.Millisecond, LatencyProb: 1})
+	t0 := time.Now()
+	if err := f.Fire(PointBodyRead); err != nil {
+		t.Fatalf("latency-only spec returned error: %v", err)
+	}
+	if d := time.Since(t0); d < 20*time.Millisecond {
+		t.Fatalf("Fire returned after %v, want >= 20ms", d)
+	}
+}
+
+// TestSeedDeterminism pins the property a failing chaos run depends on:
+// the same seed replays the same injection decisions.
+func TestSeedDeterminism(t *testing.T) {
+	run := func() []bool {
+		f := New(42)
+		f.Set(PointDecode, Spec{ErrProb: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = f.Fire(PointDecode) != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("firing %d diverged between identical seeds", i)
+		}
+	}
+}
+
+func TestSpecReplacementDisarms(t *testing.T) {
+	f := New(3)
+	f.Set(PointScoreBlock, Spec{ErrProb: 1})
+	if err := f.Fire(PointScoreBlock); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed point did not fire: %v", err)
+	}
+	f.Set(PointScoreBlock, Spec{})
+	if err := f.Fire(PointScoreBlock); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}

@@ -127,3 +127,46 @@ func (h *Histogram) Snapshot() (cum []int64, count, sumUs int64) {
 // UppersUs returns the configured bucket upper bounds (microseconds),
 // excluding +Inf.
 func (h *Histogram) UppersUs() []int64 { return h.uppersUs }
+
+// maxQuantileBuckets bounds the stack scratch of QuantileUs. The serving
+// latency ladder has 13 buckets; 32 leaves room without an allocation.
+const maxQuantileBuckets = 32
+
+// QuantileUs returns a conservative estimate of the q-quantile (q in
+// (0, 1)) in microseconds: the upper bound of the bucket the quantile
+// falls in. It returns 0 when the histogram is empty and -1 when the
+// quantile lands in the +Inf bucket (no finite bound is known). The scan
+// is allocation-free, so admission checks can call it per request.
+func (h *Histogram) QuantileUs(q float64) int64 {
+	var scratch [maxQuantileBuckets]int64
+	n := len(h.uppersUs) + 1
+	if n > maxQuantileBuckets {
+		n = maxQuantileBuckets
+	}
+	counts := scratch[:n]
+	var total int64
+	for s := range h.shards {
+		sh := &h.shards[s]
+		for i := 0; i < n; i++ {
+			counts[i] += sh.buckets[i].Load()
+		}
+	}
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum int64
+	for i := 0; i < len(h.uppersUs) && i < n; i++ {
+		cum += counts[i]
+		if cum > rank {
+			return h.uppersUs[i]
+		}
+	}
+	return -1
+}

@@ -16,18 +16,28 @@ type TraceSummary struct {
 	Start     time.Time `json:"start"`
 	TotalMs   float64   `json:"total_ms"`
 
+	AdmitMs     float64 `json:"admit_ms"`
 	DecodeMs    float64 `json:"decode_ms"`
 	ValidateMs  float64 `json:"validate_ms"`
 	NormalizeMs float64 `json:"normalize_ms"`
 	ScoreMs     float64 `json:"score_ms"`
 	EncodeMs    float64 `json:"encode_ms"`
 	ScoreShards int     `json:"score_shards,omitempty"`
+	// PartialRows is the rows a cancelled batch completed before its
+	// workers were freed (0 for requests that ran to completion).
+	PartialRows int `json:"partial_rows,omitempty"`
 }
 
 // Summarize fills a TraceSummary from the trace's spans plus the
 // request-level fields the server knows (route, model, status, rows).
 func Summarize(t *Trace, route, model string, status, rows int, total time.Duration) TraceSummary {
 	ms, shards := t.StageMillis()
+	partial := 0
+	if rows == 0 {
+		// A completed request reports its rows directly; a cancelled one
+		// has none, so the shard-accumulated progress is the story.
+		partial = t.RowsDone()
+	}
 	return TraceSummary{
 		RequestID:   t.IDString(),
 		Route:       route,
@@ -36,12 +46,14 @@ func Summarize(t *Trace, route, model string, status, rows int, total time.Durat
 		Rows:        rows,
 		Start:       t.Start(),
 		TotalMs:     float64(total.Nanoseconds()) / 1e6,
+		AdmitMs:     ms[StageAdmit],
 		DecodeMs:    ms[StageDecode],
 		ValidateMs:  ms[StageValidate],
 		NormalizeMs: ms[StageNormalize],
 		ScoreMs:     ms[StageScore],
 		EncodeMs:    ms[StageEncode],
 		ScoreShards: shards,
+		PartialRows: partial,
 	}
 }
 

@@ -16,16 +16,18 @@ import (
 	"time"
 )
 
-// Stage identifies one phase of a request's lifecycle. The five stages
-// mirror the serving pipeline: decode the body, validate shape and
-// finiteness, normalize (resolve the model and stage the batch — the
+// Stage identifies one phase of a request's lifecycle. The stages mirror
+// the serving pipeline: admit (admission-control wait — zero when the
+// request took a free slot immediately), decode the body, validate shape
+// and finiteness, normalize (resolve the model and stage the batch — the
 // per-row min–max normalisation itself is fused into the score kernels
 // and accounted under StageScore), score (one span per pool shard), and
 // encode the response.
 type Stage uint8
 
 const (
-	StageDecode Stage = iota
+	StageAdmit Stage = iota
+	StageDecode
 	StageValidate
 	StageNormalize
 	StageScore
@@ -33,9 +35,14 @@ const (
 	numStages
 )
 
+// NumStages is the number of lifecycle stages.
+const NumStages = int(numStages)
+
 // String implements fmt.Stringer.
 func (s Stage) String() string {
 	switch s {
+	case StageAdmit:
+		return "admit"
 	case StageDecode:
 		return "decode"
 	case StageValidate:
@@ -78,6 +85,18 @@ type Trace struct {
 	start  time.Time
 	cursor time.Time // end of the previous sequential stage
 
+	// deadline, when non-zero, is the request's absolute deadline (client
+	// deadline capped by the server). Expiry is surfaced through Err and
+	// Expired, which cooperative cancellation points poll between row
+	// blocks; the Done channel still belongs to the parent (client
+	// disconnects), so a deadline costs no timer and no allocation.
+	deadline time.Time
+
+	// rowsDone accumulates rows actually scored across pool shards, so a
+	// cancelled batch can report how much work it completed before its
+	// workers were freed.
+	rowsDone atomic.Int64
+
 	nspans  atomic.Int32
 	dropped atomic.Int32
 	spans   [MaxSpans]Span
@@ -98,9 +117,52 @@ func StartTrace(parent context.Context) *Trace {
 	t.id, t.idStr = nextID()
 	t.start = time.Now()
 	t.cursor = t.start
+	t.deadline = time.Time{}
+	t.rowsDone.Store(0)
 	t.nspans.Store(0)
 	t.dropped.Store(0)
 	return t
+}
+
+// SetDeadline arms the trace's cooperative deadline. Call once, from the
+// request goroutine, before the trace is shared with pool workers.
+func (t *Trace) SetDeadline(d time.Time) { t.deadline = d }
+
+// HasDeadline reports whether a deadline is armed. Nil-safe, like the
+// other read accessors, so callers holding an optional trace need no
+// guard.
+func (t *Trace) HasDeadline() bool { return t != nil && !t.deadline.IsZero() }
+
+// Expired reports whether the armed deadline has passed. Traces without a
+// deadline never expire. Safe to poll from pool workers; nil-safe.
+func (t *Trace) Expired() bool {
+	return t != nil && !t.deadline.IsZero() && !time.Now().Before(t.deadline)
+}
+
+// Remaining returns the time left until the deadline, or a negative value
+// once it passed; ok is false when no deadline is armed.
+func (t *Trace) Remaining() (d time.Duration, ok bool) {
+	if t.deadline.IsZero() {
+		return 0, false
+	}
+	return time.Until(t.deadline), true
+}
+
+// AddRowsDone accumulates rows completed by one score shard, for the
+// partial-work accounting of a cancelled batch.
+func (t *Trace) AddRowsDone(n int) {
+	if t == nil {
+		return
+	}
+	t.rowsDone.Add(int64(n))
+}
+
+// RowsDone returns the rows completed so far across shards.
+func (t *Trace) RowsDone() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.rowsDone.Load())
 }
 
 // Release returns the trace to the pool. The caller must not use it — nor
@@ -176,7 +238,7 @@ func (t *Trace) Dropped() int { return int(t.dropped.Load()) }
 // number of pool shards the score stage ran on (0 when scoring was inline,
 // recorded with worker -1). Concurrent score shards overlap in wall time,
 // so the score figure is CPU-time-like (the sum across shards).
-func (t *Trace) StageMillis() (ms [5]float64, scoreShards int) {
+func (t *Trace) StageMillis() (ms [NumStages]float64, scoreShards int) {
 	for _, sp := range t.Spans() {
 		if sp.Stage < numStages {
 			ms[sp.Stage] += float64(sp.EndNs-sp.StartNs) / 1e6
@@ -191,14 +253,34 @@ func (t *Trace) StageMillis() (ms [5]float64, scoreShards int) {
 // traceKey is the context key Trace answers to.
 type traceKey struct{}
 
-// Deadline implements context.Context by delegating to the parent.
-func (t *Trace) Deadline() (time.Time, bool) { return t.parent.Deadline() }
+// Deadline implements context.Context: the armed trace deadline when it is
+// earlier than the parent's (or the parent has none), the parent's
+// otherwise.
+func (t *Trace) Deadline() (time.Time, bool) {
+	pd, pok := t.parent.Deadline()
+	if t.deadline.IsZero() {
+		return pd, pok
+	}
+	if pok && pd.Before(t.deadline) {
+		return pd, true
+	}
+	return t.deadline, true
+}
 
-// Done implements context.Context by delegating to the parent.
+// Done implements context.Context by delegating to the parent. The trace's
+// own deadline closes no channel — it is polled cooperatively through Err
+// and Expired at row-block boundaries, which is what keeps arming it
+// allocation- and timer-free.
 func (t *Trace) Done() <-chan struct{} { return t.parent.Done() }
 
-// Err implements context.Context by delegating to the parent.
-func (t *Trace) Err() error { return t.parent.Err() }
+// Err implements context.Context: DeadlineExceeded once the armed trace
+// deadline passes, the parent's error otherwise.
+func (t *Trace) Err() error {
+	if t.Expired() {
+		return context.DeadlineExceeded
+	}
+	return t.parent.Err()
+}
 
 // Value implements context.Context: the trace answers for its own key and
 // delegates everything else to the parent.
@@ -229,6 +311,7 @@ func (t *Trace) LogAttrs() []slog.Attr {
 	ms, shards := t.StageMillis()
 	attrs := []slog.Attr{
 		slog.String("request_id", t.idStr),
+		slog.Float64("admit_ms", ms[StageAdmit]),
 		slog.Float64("decode_ms", ms[StageDecode]),
 		slog.Float64("validate_ms", ms[StageValidate]),
 		slog.Float64("normalize_ms", ms[StageNormalize]),
@@ -238,6 +321,9 @@ func (t *Trace) LogAttrs() []slog.Attr {
 	}
 	if d := t.Dropped(); d > 0 {
 		attrs = append(attrs, slog.Int("spans_dropped", d))
+	}
+	if n := t.RowsDone(); n > 0 {
+		attrs = append(attrs, slog.Int("rows_done", n))
 	}
 	return attrs
 }

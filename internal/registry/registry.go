@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rpcrank/internal/core"
@@ -113,6 +114,30 @@ type Registry struct {
 	cache    map[string]*list.Element // id → LRU element holding cached
 	lru      *list.List               // front = most recently used
 	skipped  []string                 // files Open could not index
+
+	// ioHook, when set, runs before each rule-file read ("read") or
+	// persisted write ("write") and can veto it with an error. It exists
+	// for fault injection — the chaos suite proves registry I/O failures
+	// surface as request errors, not hung requests or corrupted state.
+	ioHook atomic.Pointer[func(op string) error]
+}
+
+// SetIOHook installs (or, with nil, clears) the I/O fault hook. Safe to
+// call concurrently with reads and writes.
+func (r *Registry) SetIOHook(h func(op string) error) {
+	if h == nil {
+		r.ioHook.Store(nil)
+		return
+	}
+	r.ioHook.Store(&h)
+}
+
+// fireIOHook runs the installed hook, if any, for the given operation.
+func (r *Registry) fireIOHook(op string) error {
+	if h := r.ioHook.Load(); h != nil {
+		return (*h)(op)
+	}
+	return nil
 }
 
 // versionsFile records the highest version ever issued per name. Without
@@ -283,6 +308,9 @@ func (r *Registry) Put(name string, m *core.Model, rows int, explainedVariance f
 	if err != nil {
 		return Meta{}, fmt.Errorf("registry: encoding %s: %w", versionsFile, err)
 	}
+	if err := r.fireIOHook("write"); err != nil {
+		return Meta{}, fmt.Errorf("registry: writing %s: %w", meta.ID, err)
+	}
 	if err := atomicWrite(filepath.Join(r.dir, versionsFile), versionsPayload); err != nil {
 		return Meta{}, err
 	}
@@ -407,6 +435,9 @@ func (r *Registry) readFileJSON(id string) (fileJSON, error) {
 	if !ok {
 		return fileJSON{}, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
+	if err := r.fireIOHook("read"); err != nil {
+		return fileJSON{}, fmt.Errorf("registry: reading %s: %w", id, err)
+	}
 	raw, err := os.ReadFile(r.path(id))
 	if os.IsNotExist(err) {
 		return fileJSON{}, fmt.Errorf("%w: %q", ErrNotFound, id)
@@ -460,6 +491,31 @@ func (r *Registry) List() []Meta {
 		return out[i].Version < out[j].Version
 	})
 	return out
+}
+
+// Sync re-persists the registry's control state — the per-name version
+// high-water marks — with the same atomic-write discipline as Put. Every
+// Put already persists this snapshot, so Sync is a cheap idempotent
+// checkpoint; a draining server calls it before exit so the version
+// counters survive even if the last Put's write was lost to a disk hiccup
+// the process otherwise rode out.
+func (r *Registry) Sync() error {
+	r.putMu.Lock()
+	defer r.putMu.Unlock()
+	r.mu.Lock()
+	snapshot := make(map[string]int, len(r.versions))
+	for n, v := range r.versions {
+		snapshot[n] = v
+	}
+	r.mu.Unlock()
+	payload, err := json.Marshal(snapshot)
+	if err != nil {
+		return fmt.Errorf("registry: encoding %s: %w", versionsFile, err)
+	}
+	if err := r.fireIOHook("write"); err != nil {
+		return fmt.Errorf("registry: syncing %s: %w", versionsFile, err)
+	}
+	return atomicWrite(filepath.Join(r.dir, versionsFile), payload)
 }
 
 // Delete removes a rule from the registry and from disk. The in-memory

@@ -170,8 +170,8 @@ func BenchmarkPoolScoreBatch(b *testing.B) {
 	rows := benchRows(10_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out := pool.ScoreBatch(context.Background(), m, rows)
-		if len(out) != len(rows) {
+		out, err := pool.ScoreBatch(context.Background(), m, rows)
+		if err != nil || len(out) != len(rows) {
 			b.Fatal("short result")
 		}
 	}

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ControlState answers the /controlz endpoints: the drain flag plus the
+// in-flight count a drain watcher polls toward zero.
+type ControlState struct {
+	Draining bool  `json:"draining"`
+	InFlight int64 `json:"in_flight"`
+}
+
+// Draining reports whether the server is shedding new work.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain flips the server into draining mode: new API requests are answered
+// 503 with Retry-After and Connection: close, in-flight requests run to
+// completion, /healthz turns unhealthy (so load balancers stop routing
+// here), and the observability and control endpoints stay up. Idempotent.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Resume undoes Drain. Idempotent.
+func (s *Server) Resume() { s.draining.Store(false) }
+
+// InFlight returns the number of requests currently being handled.
+func (s *Server) InFlight() int64 { return s.metrics.InFlight().Load() }
+
+// controlState snapshots the drain lifecycle. The in-flight count includes
+// the /controlz request reading it.
+func (s *Server) controlState() ControlState {
+	return ControlState{Draining: s.draining.Load(), InFlight: s.InFlight()}
+}
+
+// handleDrain serves POST /controlz/drain. An optional ?wait_ms= parks the
+// request until every other in-flight request finished (or the wait
+// expired), so "drain and wait" is one blocking call for orchestration
+// scripts; the response reports the state actually reached.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.Drain()
+	if waitMs := r.URL.Query().Get("wait_ms"); waitMs != "" {
+		ms, err := strconv.ParseInt(waitMs, 10, 64)
+		if err != nil || ms < 0 {
+			writeError(w, badRequest("invalid wait_ms %q", waitMs))
+			return
+		}
+		deadline := time.Now().Add(time.Duration(ms) * time.Millisecond)
+		// This request is itself in flight, so the drained floor is 1.
+		for s.InFlight() > 1 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	writeJSON(w, http.StatusOK, s.controlState())
+}
+
+// handleResume serves POST /controlz/resume.
+func (s *Server) handleResume(w http.ResponseWriter, _ *http.Request) {
+	s.Resume()
+	writeJSON(w, http.StatusOK, s.controlState())
+}
+
+// handleControlz serves GET /controlz, the lifecycle state read-back.
+func (s *Server) handleControlz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.controlState())
+}

@@ -59,6 +59,12 @@ type Metrics struct {
 	// poolStats, when set, supplies live scoring-pool gauges at scrape
 	// time: queued tasks, busy workers, pool size.
 	poolStats func() (queue, busy, workers int)
+
+	// adm, when set, supplies the admission-control series: shed counts by
+	// reason, queue wait histogram, and the in-flight budget gauges.
+	adm *admission
+	// draining, when set, supplies the drain-state gauge.
+	draining func() bool
 }
 
 // RouteStats holds one route's sharded counters. Handlers obtain theirs at
@@ -165,6 +171,12 @@ func (m *Metrics) InFlight() *obs.Gauge { return &m.inFlight }
 // SetPoolStats installs the scoring-pool gauge source.
 func (m *Metrics) SetPoolStats(f func() (queue, busy, workers int)) { m.poolStats = f }
 
+// SetAdmission installs the admission-control series source.
+func (m *Metrics) SetAdmission(a *admission) { m.adm = a }
+
+// SetDraining installs the drain-state gauge source.
+func (m *Metrics) SetDraining(f func() bool) { m.draining = f }
+
 // writeHistogram renders one histogram family member with a label,
 // converting the stored microseconds back to the millisecond unit the
 // exposition has always used.
@@ -176,6 +188,18 @@ func writeHistogram(w *bytes.Buffer, family, label, value string, h *obs.Histogr
 	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", family, label, value, count)
 	fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", family, label, value, float64(sumUs)/1000)
 	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", family, label, value, count)
+}
+
+// writeBareHistogram renders an unlabelled histogram family over an
+// explicit millisecond bucket ladder.
+func writeBareHistogram(w *bytes.Buffer, family string, bucketsMs []float64, h *obs.Histogram) {
+	cum, count, sumUs := h.Snapshot()
+	for i, ub := range bucketsMs {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", family, fmt.Sprintf("%g", ub), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", family, count)
+	fmt.Fprintf(w, "%s_sum %g\n", family, float64(sumUs)/1000)
+	fmt.Fprintf(w, "%s_count %d\n", family, count)
 }
 
 // ServeHTTP renders the metrics in Prometheus text format. Counters are
@@ -265,6 +289,40 @@ func (m *Metrics) ServeHTTP(rw http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&w, "# HELP rpcd_pool_workers Pool size.\n")
 		fmt.Fprintf(&w, "# TYPE rpcd_pool_workers gauge\n")
 		fmt.Fprintf(&w, "rpcd_pool_workers %d\n", workers)
+	}
+
+	if m.adm != nil {
+		fmt.Fprintf(&w, "# HELP rpcd_shed_total Requests shed by admission control, by reason.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_shed_total counter\n")
+		for i := 0; i < numShedReasons; i++ {
+			fmt.Fprintf(&w, "rpcd_shed_total{reason=%q} %d\n", shedReasonNames[i], m.adm.shed[i].Load())
+		}
+		fmt.Fprintf(&w, "# HELP rpcd_admission_wait_ms Time requests spent queued for a per-model concurrency slot, in milliseconds.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_admission_wait_ms histogram\n")
+		writeBareHistogram(&w, "rpcd_admission_wait_ms", admitWaitBucketsMs, m.adm.waitHist)
+		active, queued := m.adm.totals()
+		fmt.Fprintf(&w, "# HELP rpcd_admission_active Scoring requests currently holding a concurrency slot.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_admission_active gauge\n")
+		fmt.Fprintf(&w, "rpcd_admission_active %d\n", active)
+		fmt.Fprintf(&w, "# HELP rpcd_admission_queued Scoring requests currently queued for a concurrency slot.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_admission_queued gauge\n")
+		fmt.Fprintf(&w, "rpcd_admission_queued %d\n", queued)
+		fmt.Fprintf(&w, "# HELP rpcd_inflight_bytes Request body bytes charged against the in-flight byte budget.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_inflight_bytes gauge\n")
+		fmt.Fprintf(&w, "rpcd_inflight_bytes %d\n", m.adm.bytes.load())
+		fmt.Fprintf(&w, "# HELP rpcd_inflight_rows Rows charged against the in-flight row budget.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_inflight_rows gauge\n")
+		fmt.Fprintf(&w, "rpcd_inflight_rows %d\n", m.adm.rows.load())
+	}
+
+	if m.draining != nil {
+		v := 0
+		if m.draining() {
+			v = 1
+		}
+		fmt.Fprintf(&w, "# HELP rpcd_draining Whether the server is draining (shedding new work).\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_draining gauge\n")
+		fmt.Fprintf(&w, "rpcd_draining %d\n", v)
 	}
 
 	var ms runtime.MemStats

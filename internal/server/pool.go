@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"runtime/pprof"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"rpcrank/internal/core"
+	"rpcrank/internal/faultinject"
 	"rpcrank/internal/frame"
 	"rpcrank/internal/obs"
 )
@@ -19,6 +21,12 @@ import (
 // batches are cheaper serial.
 const concurrencyThreshold = 64
 
+// ErrPoolClosed is returned by ScoreFrame/ScoreBatch when the pool has
+// been closed — a request racing shutdown. The server maps it to 503 with
+// Retry-After so the client retries against a healthy node instead of
+// having its batch silently stolen by a dying one.
+var ErrPoolClosed = errors.New("scoring pool closed")
+
 // Pool is a fixed-size worker pool that shards batch scoring across
 // GOMAXPROCS goroutines. Row projections are independent (Eq. 22), so the
 // sharded result is bit-identical to the serial one. One pool is shared by
@@ -26,16 +34,27 @@ const concurrencyThreshold = 64
 // over a channel. Workers borrow compiled scorers from the model's internal
 // pool (core.Model.AcquireScorer), so steady-state batches allocate neither
 // row storage nor scorer scratch.
+//
+// Batches carrying a cancellable context (a trace with an armed deadline,
+// or a request context with a Done channel) are cooperatively cancellable:
+// workers poll between row blocks and the first shard to observe expiry
+// trips a batch-wide abort, so every worker frees itself mid-batch instead
+// of finishing doomed work. Batches without either signal pay nothing.
 type Pool struct {
 	workers int
 	tasks   chan poolTask
 	wg      sync.WaitGroup
 	busy    atomic.Int64 // workers currently inside a task
 
+	// faults, when non-nil, is the fault-injection schedule: worker panics
+	// at task pickup and latency between score sub-ranges.
+	faults *faultinject.Faults
+
 	// closeMu fences Close against in-flight ScoreFrame submitters: a
 	// batch holds the read side while feeding the channel, so Close
 	// cannot close it mid-send (a shutdown that drains slower than its
-	// timeout would otherwise panic). After Close, batches score inline.
+	// timeout would otherwise panic). After Close, submissions fail with
+	// ErrPoolClosed.
 	closeMu sync.RWMutex
 	closed  bool
 }
@@ -43,7 +62,8 @@ type Pool struct {
 // poolTask is one shard: score rows [lo, hi) of f into out[lo:hi]. The
 // frame and output slice are shared across the batch's tasks; the ranges
 // are disjoint, so no synchronisation beyond done is needed. tr, when
-// non-nil, receives a score span for the shard.
+// non-nil, receives a score span for the shard. bc, when non-nil, carries
+// the batch's cancellation state.
 type poolTask struct {
 	model  *core.Model
 	f      *frame.Frame
@@ -51,6 +71,7 @@ type poolTask struct {
 	lo, hi int
 	shard  int32
 	tr     *obs.Trace
+	bc     *batchCancel
 	done   *sync.WaitGroup
 	fail   *atomic.Pointer[any] // first panic value of the batch, if any
 }
@@ -91,14 +112,21 @@ func (p *Pool) worker() {
 	}
 }
 
-// runTask scores one row range. A panic in Scorer.Score (a poison model)
-// must not kill the worker — and with it the process — nor leave the
-// batch's WaitGroup hanging: it is captured for the submitter to re-raise
-// on the request goroutine, where net/http's recover turns it into one
-// failed request instead of a daemon crash. The borrowed scorer is dropped
-// on panic rather than released, so a poisoned scratch never re-enters the
-// model's pool. The trace span is recorded before done.Done(), so the
-// submitter's Wait is the barrier that makes every shard span visible.
+// runTask scores one row range. A panic in Scorer.Score (a poison model,
+// or an injected worker fault) must not kill the worker — and with it the
+// process — nor leave the batch's WaitGroup hanging: it is captured for
+// the submitter to re-raise on the request goroutine, where net/http's
+// recover turns it into one failed request instead of a daemon crash. The
+// borrowed scorer is dropped on panic rather than released, so a poisoned
+// scratch never re-enters the model's pool. The trace span is recorded
+// before done.Done(), so the submitter's Wait is the barrier that makes
+// every shard span visible.
+//
+// Cancellation: when the batch carries a batchCancel, the scorer polls it
+// between row blocks; a shard that stops short trips the batch-wide abort
+// so sibling shards (and queued ones, which skip scoring entirely) free
+// their workers too. Cancellation lands on block boundaries only, so the
+// borrowed scorer is released back to the model's pool in a clean state.
 func (p *Pool) runTask(t poolTask) {
 	p.busy.Add(1)
 	var t0 time.Time
@@ -115,9 +143,60 @@ func (p *Pool) runTask(t poolTask) {
 		p.busy.Add(-1)
 		t.done.Done()
 	}()
+	var cctx context.Context
+	if t.bc != nil {
+		if t.bc.Err() != nil {
+			// The batch is already dead: free this worker without touching
+			// a scorer. The shard still records its (empty) span.
+			return
+		}
+		cctx = t.bc
+	}
+	p.faults.Fire(faultinject.PointWorker)
 	sc := t.model.AcquireScorer()
-	sc.ScoreFrameRange(t.out, t.f, t.lo, t.hi)
+	n := p.scoreRange(cctx, sc, t.out, t.f, t.lo, t.hi)
 	t.model.ReleaseScorer(sc)
+	t.tr.AddRowsDone(n)
+	if n < t.hi-t.lo && t.bc != nil {
+		t.bc.aborted.Store(true)
+	}
+}
+
+// scoreRange scores [lo, hi) through the cancellable range scorer. With a
+// fault schedule configured it splits the range into sub-ranges with a
+// PointScoreBlock firing between them, so injected latency lands inside a
+// shard — the window deadline cancellation must close. Without one (the
+// production path) it is a single call.
+func (p *Pool) scoreRange(ctx context.Context, sc *core.Scorer, out []float64, f *frame.Frame, lo, hi int) int {
+	if p == nil || p.faults == nil {
+		return scoreFrameRange(ctx, sc, out, f, lo, hi)
+	}
+	const faultChunk = 256
+	total := 0
+	for b := lo; b < hi; b += faultChunk {
+		e := b + faultChunk
+		if e > hi {
+			e = hi
+		}
+		p.faults.Fire(faultinject.PointScoreBlock)
+		n := scoreFrameRange(ctx, sc, out, f, b, e)
+		total += n
+		if n < e-b {
+			break
+		}
+	}
+	return total
+}
+
+// scoreFrameRange dispatches to the cancellable scorer only when there is
+// a context to poll, keeping the uncontended path free of per-block
+// checks.
+func scoreFrameRange(ctx context.Context, sc *core.Scorer, out []float64, f *frame.Frame, lo, hi int) int {
+	if ctx == nil {
+		sc.ScoreFrameRange(out, f, lo, hi)
+		return hi - lo
+	}
+	return sc.ScoreFrameRangeCtx(ctx, out, f, lo, hi)
 }
 
 // Workers returns the pool size.
@@ -131,8 +210,9 @@ func (p *Pool) Stats() (queue, busy, workers int) {
 }
 
 // Close stops the workers after in-flight batches finish submitting.
-// ScoreFrame calls that race with (or follow) Close fall back to inline
-// scoring, so shutdown never panics a handler.
+// ScoreFrame calls that race with (or follow) Close fail with
+// ErrPoolClosed, which the server answers 503 + Retry-After — shutdown
+// neither panics a handler nor silently serves from a dying node.
 func (p *Pool) Close() {
 	p.closeMu.Lock()
 	if !p.closed {
@@ -152,7 +232,13 @@ func (p *Pool) Close() {
 // allocation at all. When ctx carries an obs.Trace, each shard records a
 // score span on it (worker index = shard); by return, all spans are
 // visible.
-func (p *Pool) ScoreFrame(ctx context.Context, m *core.Model, f *frame.Frame, dst []float64) []float64 {
+//
+// When ctx is cancellable (a Done channel, or a trace with an armed
+// deadline), the batch is cooperatively cancelled at row-block granularity:
+// the error is ctx.Err()'s cause, the returned slice holds only partially
+// valid scores, and the trace's RowsDone reports how far the batch got.
+// After Close, ErrPoolClosed.
+func (p *Pool) ScoreFrame(ctx context.Context, m *core.Model, f *frame.Frame, dst []float64) ([]float64, error) {
 	tr := obs.FromContext(ctx)
 	n := f.N()
 	if cap(dst) >= n {
@@ -160,13 +246,23 @@ func (p *Pool) ScoreFrame(ctx context.Context, m *core.Model, f *frame.Frame, ds
 	} else {
 		dst = make([]float64, n)
 	}
+	// One allocation per cancellable batch; requests without a deadline or
+	// a cancellable parent (ctx.Done() == nil) skip it entirely, keeping
+	// the uncontended serving path's alloc count flat.
+	var bc *batchCancel
+	if ctx != nil && (ctx.Done() != nil || (tr != nil && tr.HasDeadline())) {
+		bc = &batchCancel{ctx: ctx}
+		if err := bc.Err(); err != nil {
+			return dst[:0], err
+		}
+	}
 	if p == nil || n < concurrencyThreshold {
-		return scoreInline(tr, m, f, dst)
+		return p.scoreInlineCancel(bc, tr, m, f, dst)
 	}
 	p.closeMu.RLock()
 	if p.closed {
 		p.closeMu.RUnlock()
-		return scoreInline(tr, m, f, dst)
+		return dst[:0], ErrPoolClosed
 	}
 	// Aim for a few chunks per worker so an uneven row mix still balances,
 	// but never chunks so small the channel hops dominate.
@@ -183,7 +279,7 @@ func (p *Pool) ScoreFrame(ctx context.Context, m *core.Model, f *frame.Frame, ds
 			hi = n
 		}
 		done.Add(1)
-		p.tasks <- poolTask{model: m, f: f, out: dst, lo: lo, hi: hi, shard: shard, tr: tr, done: &done, fail: &fail}
+		p.tasks <- poolTask{model: m, f: f, out: dst, lo: lo, hi: hi, shard: shard, tr: tr, bc: bc, done: &done, fail: &fail}
 		shard++
 	}
 	p.closeMu.RUnlock()
@@ -193,21 +289,43 @@ func (p *Pool) ScoreFrame(ctx context.Context, m *core.Model, f *frame.Frame, ds
 		// HTTP server's per-connection recover contains it.
 		panic(*r)
 	}
-	return dst
+	if bc != nil {
+		if err := bc.ctx.Err(); err != nil {
+			return dst, err
+		}
+		if bc.aborted.Load() {
+			return dst, context.Canceled
+		}
+	}
+	return dst, nil
 }
 
-func scoreInline(tr *obs.Trace, m *core.Model, f *frame.Frame, dst []float64) []float64 {
+// scoreInlineCancel is the small-batch path: one borrowed scorer on the
+// caller's goroutine, with the same cancellation contract as the sharded
+// path.
+func (p *Pool) scoreInlineCancel(bc *batchCancel, tr *obs.Trace, m *core.Model, f *frame.Frame, dst []float64) ([]float64, error) {
 	var t0 time.Time
 	if tr != nil {
 		t0 = time.Now()
 	}
+	var cctx context.Context
+	if bc != nil {
+		cctx = bc
+	}
 	sc := m.AcquireScorer()
-	defer m.ReleaseScorer(sc)
-	dst = sc.ScoreFrame(dst, f)
+	n := p.scoreRange(cctx, sc, dst, f, 0, f.N())
+	m.ReleaseScorer(sc)
+	tr.AddRowsDone(n)
 	if tr != nil {
 		tr.AddSpan(obs.StageScore, -1, t0, time.Now())
 	}
-	return dst
+	if n < f.N() {
+		if err := bc.Err(); err != nil {
+			return dst, err
+		}
+		return dst, context.Canceled
+	}
+	return dst, nil
 }
 
 // ScoreBatch is ScoreFrame over slice-of-slice rows: the batch is packed
@@ -215,10 +333,10 @@ func scoreInline(tr *obs.Trace, m *core.Model, f *frame.Frame, dst []float64) []
 // It exists for callers still holding [][]float64 — the server's stdlib
 // fallback decode path among them; ragged rows score inline via
 // Model.ScoreAll, which surfaces the canonical dimension panic per row.
-func (p *Pool) ScoreBatch(ctx context.Context, m *core.Model, rows [][]float64) []float64 {
+func (p *Pool) ScoreBatch(ctx context.Context, m *core.Model, rows [][]float64) ([]float64, error) {
 	f, err := frame.FromRows(rows)
 	if err != nil {
-		return m.ScoreAll(rows)
+		return m.ScoreAll(rows), nil
 	}
 	return p.ScoreFrame(ctx, m, f, nil)
 }

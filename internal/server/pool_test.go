@@ -2,10 +2,14 @@ package server
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"rpcrank/internal/core"
+	"rpcrank/internal/faultinject"
+	"rpcrank/internal/frame"
 	"rpcrank/internal/order"
 )
 
@@ -23,7 +27,7 @@ func poolTestModel(t *testing.T) *core.Model {
 	return m
 }
 
-func TestScoreBatchAfterCloseFallsBackSerial(t *testing.T) {
+func TestScoreBatchAfterCloseReturnsErrPoolClosed(t *testing.T) {
 	m := poolTestModel(t)
 	rows := make([][]float64, 2*concurrencyThreshold)
 	for i := range rows {
@@ -31,15 +35,19 @@ func TestScoreBatchAfterCloseFallsBackSerial(t *testing.T) {
 		rows[i] = []float64{10 * u, 5*u*u + 1, 3 - 2*u}
 	}
 	pool := NewPool(2)
-	want := pool.ScoreBatch(context.Background(), m, rows)
+	if out, err := pool.ScoreBatch(context.Background(), m, rows); err != nil || len(out) != len(rows) {
+		t.Fatalf("pre-close batch: err=%v len=%d", err, len(out))
+	}
 	pool.Close()
 	// A batch after Close (e.g. a request landing during shutdown drain)
-	// must not panic on the closed channel; it scores inline instead.
-	got := pool.ScoreBatch(context.Background(), m, rows)
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("row %d: post-close score %v != pooled %v", i, got[i], want[i])
-		}
+	// must neither panic on the closed channel nor silently score on the
+	// dying node: it fails fast so the server answers 503 + Retry-After.
+	out, err := pool.ScoreBatch(context.Background(), m, rows)
+	if !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("post-close batch: err=%v, want ErrPoolClosed", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("post-close batch returned %d scores; want none", len(out))
 	}
 	pool.Close() // idempotent
 }
@@ -61,8 +69,8 @@ func TestWorkerPanicSurfacesOnCallerNotWorker(t *testing.T) {
 		for i := range good {
 			good[i] = []float64{1, 2, 3}
 		}
-		if out := pool.ScoreBatch(context.Background(), m, good); len(out) != len(good) {
-			t.Errorf("pool broken after contained panic")
+		if out, err := pool.ScoreBatch(context.Background(), m, good); err != nil || len(out) != len(good) {
+			t.Errorf("pool broken after contained panic (err=%v)", err)
 		}
 	}()
 	pool.ScoreBatch(context.Background(), m, rows)
@@ -81,11 +89,82 @@ func TestPoolConcurrentBatchesDuringClose(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if out := pool.ScoreBatch(context.Background(), m, rows); len(out) != len(rows) {
+			// Racing Close, a batch either completes in full or fails fast
+			// with ErrPoolClosed; nothing in between, and no panic.
+			out, err := pool.ScoreBatch(context.Background(), m, rows)
+			if err == nil && len(out) != len(rows) {
 				t.Errorf("short result: %d", len(out))
+			}
+			if err != nil && !errors.Is(err, ErrPoolClosed) {
+				t.Errorf("unexpected error: %v", err)
 			}
 		}()
 	}
 	pool.Close() // races the batches; must not panic any submitter
 	wg.Wait()
+}
+
+func TestScoreFrameAlreadyCancelledScoresNothing(t *testing.T) {
+	m := poolTestModel(t)
+	f, err := frame.FromRows(trainingRows(4 * concurrencyThreshold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(2)
+	defer pool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := pool.ScoreFrame(ctx, m, f, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("cancelled batch returned %d scores", len(out))
+	}
+}
+
+// TestScoreFrameCancelMidBatchLeavesScorersClean cancels a batch between
+// row blocks (injected latency holds it open long enough) and then checks
+// the cancellation parity contract: the model's scorer pool must come back
+// consistent, producing bit-identical scores to the serial path.
+func TestScoreFrameCancelMidBatchLeavesScorersClean(t *testing.T) {
+	m := poolTestModel(t)
+	rows := trainingRows(4096)
+	f, err := frame.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj := faultinject.New(1)
+	fj.Set(faultinject.PointScoreBlock, faultinject.Spec{Latency: 10 * time.Millisecond, LatencyProb: 1})
+	pool := NewPool(2)
+	pool.faults = fj
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		cancel()
+	}()
+	out, err := pool.ScoreFrame(ctx, m, f, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	_ = out
+
+	// Disarm the faults and rescore: the recycled scorers must match the
+	// serial reference exactly.
+	fj.Set(faultinject.PointScoreBlock, faultinject.Spec{})
+	got, err := pool.ScoreFrame(context.Background(), m, f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.ScoreAll(rows)
+	if len(got) != len(want) {
+		t.Fatalf("rescore returned %d scores, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: pooled rescore %v != serial %v", i, got[i], want[i])
+		}
+	}
 }

@@ -13,14 +13,27 @@
 //	DELETE /v1/models/{id}        remove a rule
 //	POST   /v1/models/{id}/score  score rows with a stored rule
 //	POST   /v1/models/{id}/rank   score rows and return 1-based positions
-//	GET    /healthz               liveness + model count
+//	GET    /healthz               liveness + model count (503 while draining)
 //	GET    /metrics               Prometheus-style counters and latencies
 //	GET    /statusz               live status snapshot (JSON or HTML)
+//	GET    /controlz              drain state + in-flight count
+//	POST   /controlz/drain        stop admitting work (?wait_ms= blocks until idle)
+//	POST   /controlz/resume       resume admitting work
 //
 // Every request is traced (see internal/obs): responses carry an
 // X-Request-Id header, error bodies echo the ID, stage timings are
 // recorded per request, and requests slower than Options.SlowThreshold
 // are logged structurally and retained for /statusz.
+//
+// Scoring requests pass admission control before touching the pool:
+// server-wide in-flight byte and row budgets, per-model concurrency with
+// a bounded wait queue, and a feasibility check of the client's deadline
+// (X-Deadline-Ms header or ?deadline_ms=, capped by Options.MaxDeadline)
+// against the model's observed median score time. Shed work answers 429
+// or 503 immediately with Retry-After; admitted work is cancelled
+// cooperatively at row-block boundaries once its deadline expires. See
+// admission.go, controlz.go, and internal/faultinject for the failure
+// harness the chaos suite drives through these paths.
 package server
 
 import (
@@ -33,9 +46,11 @@ import (
 	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rpcrank/internal/core"
+	"rpcrank/internal/faultinject"
 	"rpcrank/internal/frame"
 	"rpcrank/internal/obs"
 	"rpcrank/internal/order"
@@ -61,6 +76,32 @@ type Options struct {
 	// Logger receives slow-request and sampled access logs (nil selects
 	// slog.Default()).
 	Logger *slog.Logger
+
+	// MaxDeadline caps the client-supplied deadline (X-Deadline-Ms header
+	// or ?deadline_ms=); longer requests are silently clamped. Zero
+	// selects the 60s default.
+	MaxDeadline time.Duration
+	// MaxInFlightBytes is the server-wide admission budget on in-flight
+	// request body bytes (charged from Content-Length); requests beyond
+	// it are shed with 429. Zero selects 4×MaxBodyBytes; negative
+	// disables the budget.
+	MaxInFlightBytes int64
+	// MaxInFlightRows is the server-wide budget on rows concurrently
+	// being scored; batches beyond it are shed with 429. Zero selects
+	// 4×MaxBatchRows; negative disables the budget.
+	MaxInFlightRows int64
+	// ModelConcurrency bounds concurrent score/rank requests per model
+	// (≤ 0 selects 2×Workers). Requests beyond it queue.
+	ModelConcurrency int
+	// ModelQueue bounds how many requests may wait per model for a
+	// concurrency slot; one more is shed with 429 + Retry-After. Zero
+	// selects 4×ModelConcurrency; negative selects no queue (shed the
+	// moment the concurrency limit is hit).
+	ModelQueue int
+	// Faults, when non-nil, arms the fault-injection schedule (see
+	// internal/faultinject). Production servers leave it nil — every
+	// injection point then compiles to a nil check.
+	Faults *faultinject.Faults
 }
 
 const (
@@ -68,8 +109,13 @@ const (
 	defaultMaxBatchRows  = 1_000_000
 	defaultRuleName      = "model"
 	defaultSlowThreshold = 500 * time.Millisecond
+	defaultMaxDeadline   = time.Minute
 	// slowRingSize bounds the /statusz slow-request history.
 	slowRingSize = 64
+	// retryAfterSeconds is the Retry-After hint stamped on every 429/503:
+	// shed load is bursty, so "come back in a second" is the right order
+	// of magnitude, and a fixed value keeps the error path allocation-free.
+	retryAfterSeconds = "1"
 )
 
 // Server routes the API. Create with New; it implements http.Handler.
@@ -77,11 +123,17 @@ type Server struct {
 	reg      *registry.Registry
 	pool     *Pool
 	metrics  *Metrics
+	adm      *admission
 	mux      *http.ServeMux
 	opts     Options
 	logger   *slog.Logger
 	slowRing *obs.Ring
 	start    time.Time
+
+	// draining, when set, sheds new API work with 503 + Connection: close
+	// while in-flight requests run to completion (see Drain/Resume and
+	// the /controlz endpoints). Observability and control routes stay up.
+	draining atomic.Bool
 }
 
 // New builds a Server around an open registry.
@@ -95,21 +147,53 @@ func New(reg *registry.Registry, opts Options) *Server {
 	if opts.SlowThreshold == 0 {
 		opts.SlowThreshold = defaultSlowThreshold
 	}
+	if opts.MaxDeadline == 0 {
+		opts.MaxDeadline = defaultMaxDeadline
+	}
+	if opts.MaxInFlightBytes == 0 {
+		opts.MaxInFlightBytes = 4 * opts.MaxBodyBytes
+	}
+	if opts.MaxInFlightRows == 0 {
+		opts.MaxInFlightRows = 4 * int64(opts.MaxBatchRows)
+	}
 	logger := opts.Logger
 	if logger == nil {
 		logger = slog.Default()
 	}
+	pool := NewPool(opts.Workers)
+	pool.faults = opts.Faults
+	if opts.ModelConcurrency <= 0 {
+		opts.ModelConcurrency = 2 * pool.Workers()
+	}
+	if opts.ModelQueue == 0 {
+		opts.ModelQueue = 4 * opts.ModelConcurrency
+	}
+	if opts.ModelQueue < 0 {
+		opts.ModelQueue = 0
+	}
 	s := &Server{
 		reg:      reg,
-		pool:     NewPool(opts.Workers),
+		pool:     pool,
 		metrics:  NewMetrics(),
+		adm:      newAdmission(opts),
 		mux:      http.NewServeMux(),
 		opts:     opts,
 		logger:   logger,
 		slowRing: obs.NewRing(slowRingSize),
 		start:    time.Now(),
 	}
+	if opts.Faults != nil {
+		reg.SetIOHook(func(op string) error {
+			p := faultinject.PointRegistryRead
+			if op == "write" {
+				p = faultinject.PointRegistryWrite
+			}
+			return opts.Faults.Fire(p)
+		})
+	}
 	s.metrics.SetPoolStats(s.pool.Stats)
+	s.metrics.SetAdmission(s.adm)
+	s.metrics.SetDraining(s.draining.Load)
 	s.mux.HandleFunc("POST /v1/models", s.instrument("fit", s.handleFit))
 	s.mux.HandleFunc("GET /v1/models", s.instrument("list", s.handleList))
 	s.mux.HandleFunc("GET /v1/models/{id}", s.instrument("get", s.handleGet))
@@ -117,8 +201,14 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s.mux.HandleFunc("DELETE /v1/models/{id}", s.instrument("delete", s.handleDelete))
 	s.mux.HandleFunc("POST /v1/models/{id}/score", s.instrument("score", s.handleScore))
 	s.mux.HandleFunc("POST /v1/models/{id}/rank", s.instrument("rank", s.handleRank))
-	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
-	s.mux.HandleFunc("GET /statusz", s.instrument("statusz", s.handleStatusz))
+	// Observability and lifecycle-control routes bypass admission and the
+	// drain shed: a draining node must keep answering its orchestrator
+	// and its monitoring.
+	s.mux.HandleFunc("GET /healthz", s.instrumentOps("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /statusz", s.instrumentOps("statusz", s.handleStatusz))
+	s.mux.HandleFunc("GET /controlz", s.instrumentOps("controlz", s.handleControlz))
+	s.mux.HandleFunc("POST /controlz/drain", s.instrumentOps("drain", s.handleDrain))
+	s.mux.HandleFunc("POST /controlz/resume", s.instrumentOps("resume", s.handleResume))
 	s.mux.Handle("GET /metrics", s.metrics)
 	return s
 }
@@ -143,6 +233,7 @@ type statusWriter struct {
 	trace   *obs.Trace
 	model   string // model ID of a score/rank request, for slow logs
 	rows    int    // rows scored, for slow logs
+	charged int64  // bytes charged against the in-flight byte budget
 	limiter bodyLimiter
 }
 
@@ -203,11 +294,17 @@ type bodyLimiter struct {
 	remaining int64
 	limit     int64
 	tripped   bool
+	faults    *faultinject.Faults
 }
 
 func (l *bodyLimiter) Read(p []byte) (int, error) {
 	if l.tripped {
 		return 0, &http.MaxBytesError{Limit: l.limit}
+	}
+	// Slow-client and truncated-body faults land here, between the handler
+	// and the transport — exactly where a stalled peer would.
+	if err := l.faults.Fire(faultinject.PointBodyRead); err != nil {
+		return 0, err
 	}
 	if len(p) == 0 {
 		return 0, nil
@@ -231,6 +328,18 @@ func (l *bodyLimiter) Read(p []byte) (int, error) {
 func (l *bodyLimiter) Close() error { return l.rc.Close() }
 
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return s.instrumented(route, h, false)
+}
+
+// instrumentOps wraps observability and lifecycle-control handlers: same
+// tracing and metrics as instrument, but no drain shed, no deadline, no
+// admission budgets — a draining node must keep answering its monitoring
+// and its orchestrator.
+func (s *Server) instrumentOps(route string, h http.HandlerFunc) http.HandlerFunc {
+	return s.instrumented(route, h, true)
+}
+
+func (s *Server) instrumented(route string, h http.HandlerFunc, ops bool) http.HandlerFunc {
 	// The route's sharded stats are resolved once at registration, so the
 	// per-request path touches no map and no lock.
 	rs := s.metrics.Route(route)
@@ -240,16 +349,18 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		sw.ResponseWriter = w
 		sw.status = http.StatusOK
 		sw.trace = tr
-		sw.limiter = bodyLimiter{rc: r.Body, remaining: s.opts.MaxBodyBytes, limit: s.opts.MaxBodyBytes}
+		sw.limiter = bodyLimiter{rc: r.Body, remaining: s.opts.MaxBodyBytes, limit: s.opts.MaxBodyBytes, faults: s.opts.Faults}
 		r.Body = &sw.limiter
 		w.Header().Set("X-Request-Id", tr.IDString())
 		s.metrics.InFlight().Add(1)
 		// Deferred so a panicking handler (net/http recovers it per
 		// connection) still counts as a request — and as an error, not as
 		// the 200 the status writer was initialised with. The writer is
-		// not repooled on the panic path.
+		// not repooled on the panic path, but its budget charge is still
+		// released either way.
 		defer func() {
 			s.metrics.InFlight().Add(-1)
+			s.adm.bytes.release(sw.charged)
 			elapsed := time.Since(tr.Start())
 			if rec := recover(); rec != nil {
 				rs.Observe(tr.ID(), http.StatusInternalServerError, elapsed)
@@ -262,6 +373,34 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			tr.Release()
 			putStatusWriter(sw)
 		}()
+		if !ops {
+			if s.draining.Load() {
+				// Connection: close steers the next request of a keep-alive
+				// client (or the LB in front) to a healthy node.
+				sw.Header().Set("Connection", "close")
+				s.adm.recordShed(tr.ID(), shedDraining)
+				writeError(sw, &shedError{status: http.StatusServiceUnavailable, reason: shedDraining,
+					msg: "server draining; retry against another node"})
+				return
+			}
+			d, err := parseDeadline(r, s.opts.MaxDeadline)
+			if err != nil {
+				writeError(sw, err)
+				return
+			}
+			if d > 0 {
+				tr.SetDeadline(tr.Start().Add(d))
+			}
+			if n := r.ContentLength; n > 0 {
+				if !s.adm.bytes.tryAcquire(n) {
+					s.adm.recordShed(tr.ID(), shedBytes)
+					writeError(sw, &shedError{status: http.StatusTooManyRequests, reason: shedBytes,
+						msg: "server at its in-flight byte budget; retry later"})
+					return
+				}
+				sw.charged = n
+			}
+		}
 		h(sw, r)
 	}
 }
@@ -318,14 +457,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var he *httpError
+	var se *shedError
 	var mbe *http.MaxBytesError
 	switch {
+	case errors.As(err, &se):
+		status = se.status
 	case errors.As(err, &he):
 		status = he.status
 	case errors.As(err, &mbe):
 		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, registry.ErrNotFound):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrPoolClosed),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	}
+	// Every shed or shutdown answer carries a retry hint: the condition is
+	// transient by construction, and clients with backoff honour it.
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
 	}
 	resp := ErrorResponse{Error: err.Error()}
 	if tr := traceOf(w); tr != nil {
@@ -625,6 +776,41 @@ func (s *Server) scoreRows(tr *obs.Trace, r *http.Request) (id string, scores []
 		return id, nil, err
 	}
 	tr.EndStage(obs.StageNormalize)
+	key := shardKeyOf(tr)
+	// Admission. A request with an armed deadline is first checked for
+	// feasibility against the model's observed p50 score latency — a batch
+	// that cannot finish in time is shed before it costs a body read, a
+	// decode, or a concurrency slot. Then the model's limiter bounds
+	// concurrent scoring (queueing up to the wait cap); holding the slot
+	// through decode keeps one model's oversized bodies from monopolising
+	// decode CPU too.
+	if tr.HasDeadline() {
+		if rem, ok := tr.Remaining(); ok {
+			if rem <= 0 {
+				s.adm.recordShed(key, shedExpired)
+				return id, nil, &shedError{status: http.StatusServiceUnavailable, reason: shedExpired,
+					msg: "deadline already expired"}
+			}
+			if p50 := s.metrics.Model(id).lat.QuantileUs(0.5); p50 > 0 && rem < time.Duration(p50)*time.Microsecond {
+				s.adm.recordShed(key, shedDeadline)
+				return id, nil, &shedError{status: http.StatusServiceUnavailable, reason: shedDeadline,
+					msg: fmt.Sprintf("remaining deadline %v is below the model's observed p50 score time %v",
+						rem.Round(time.Millisecond), time.Duration(p50)*time.Microsecond)}
+			}
+		}
+	}
+	lim := s.adm.limiter(id)
+	wait, err := lim.acquire(r.Context(), tr)
+	if err != nil {
+		var se *shedError
+		if errors.As(err, &se) {
+			s.adm.recordShed(key, se.reason)
+		}
+		return id, nil, err
+	}
+	defer lim.release()
+	s.adm.waitHist.Observe(key, wait.Microseconds())
+	tr.EndStage(obs.StageAdmit)
 	body, err := readBody(r, s.opts.MaxBodyBytes)
 	if err != nil {
 		putBuf(&bodyPool, body)
@@ -634,7 +820,10 @@ func (s *Server) scoreRows(tr *obs.Trace, r *http.Request) (id string, scores []
 		}
 		return id, nil, badRequest("reading request body: %v", err)
 	}
-	key := shardKeyOf(tr)
+	if ferr := s.opts.Faults.Fire(faultinject.PointDecode); ferr != nil {
+		putBuf(&bodyPool, body)
+		return id, nil, ferr
+	}
 	fr := getFrame()
 	if parseScoreFrame(fr, body, meta.Dim) {
 		// The frame owns the values; the body is done. The fast parser
@@ -651,6 +840,12 @@ func (s *Server) scoreRows(tr *obs.Trace, r *http.Request) (id string, scores []
 		if fr.N() == 0 {
 			return id, nil, badRequest("invalid rows: %v", order.ValidateFrame(fr, meta.Dim))
 		}
+		if !s.adm.rows.tryAcquire(int64(fr.N())) {
+			s.adm.recordShed(key, shedRows)
+			return id, nil, &shedError{status: http.StatusTooManyRequests, reason: shedRows,
+				msg: "server at its in-flight row budget; retry later"}
+		}
+		defer s.adm.rows.release(int64(fr.N()))
 		tr.EndStage(obs.StageValidate)
 		m, _, err := s.reg.Get(id)
 		if err != nil {
@@ -658,8 +853,13 @@ func (s *Server) scoreRows(tr *obs.Trace, r *http.Request) (id string, scores []
 		}
 		tr.EndStage(obs.StageNormalize)
 		t0 := time.Now()
-		scores = s.pool.ScoreFrame(traceCtx(tr), m, fr, getScores())
+		var serr error
+		scores, serr = s.pool.ScoreFrame(traceCtx(tr), m, fr, getScores())
 		tr.SkipStage() // score wall time is covered by the shard spans
+		if serr != nil {
+			putScores(scores)
+			return id, nil, s.scoreFailed(tr, key, fr.N(), serr)
+		}
 		s.metrics.AddRows(key, len(scores))
 		s.metrics.Model(id).ObserveScore(key, len(scores), time.Since(t0))
 		return id, scores, nil
@@ -679,6 +879,12 @@ func (s *Server) scoreRows(tr *obs.Trace, r *http.Request) (id string, scores []
 	if err := order.ValidateRows(rows, meta.Dim); err != nil {
 		return id, nil, badRequest("invalid rows: %v", err)
 	}
+	if !s.adm.rows.tryAcquire(int64(len(rows))) {
+		s.adm.recordShed(key, shedRows)
+		return id, nil, &shedError{status: http.StatusTooManyRequests, reason: shedRows,
+			msg: "server at its in-flight row budget; retry later"}
+	}
+	defer s.adm.rows.release(int64(len(rows)))
 	tr.EndStage(obs.StageValidate)
 	m, _, err := s.reg.Get(id)
 	if err != nil {
@@ -686,11 +892,31 @@ func (s *Server) scoreRows(tr *obs.Trace, r *http.Request) (id string, scores []
 	}
 	tr.EndStage(obs.StageNormalize)
 	t0 := time.Now()
-	scores = s.pool.ScoreBatch(traceCtx(tr), m, rows)
+	var serr error
+	scores, serr = s.pool.ScoreBatch(traceCtx(tr), m, rows)
 	tr.SkipStage()
+	if serr != nil {
+		putScores(scores)
+		return id, nil, s.scoreFailed(tr, key, len(rows), serr)
+	}
 	s.metrics.AddRows(key, len(scores))
 	s.metrics.Model(id).ObserveScore(key, len(scores), time.Since(t0))
 	return id, scores, nil
+}
+
+// scoreFailed maps a scoring error — cooperative cancellation, deadline
+// expiry, or the pool racing shutdown — into the shed taxonomy, with the
+// partial work the trace recorded in the message so a client knows how
+// much of its batch was abandoned.
+func (s *Server) scoreFailed(tr *obs.Trace, key uint64, total int, err error) error {
+	if errors.Is(err, ErrPoolClosed) {
+		s.adm.recordShed(key, shedClosed)
+		return &shedError{status: http.StatusServiceUnavailable, reason: shedClosed,
+			msg: "scoring pool closed; server shutting down"}
+	}
+	s.adm.recordShed(key, shedExpired)
+	return &shedError{status: http.StatusServiceUnavailable, reason: shedExpired,
+		msg: fmt.Sprintf("request expired mid-batch: scored %d of %d rows", tr.RowsDone(), total)}
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
@@ -748,5 +974,11 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// A draining node reports unhealthy so load balancers stop routing to
+	// it, while /statusz and /controlz keep answering with full detail.
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, Health{Status: "draining", Models: s.reg.Len()})
+		return
+	}
 	writeJSON(w, http.StatusOK, Health{Status: "ok", Models: s.reg.Len()})
 }

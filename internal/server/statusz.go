@@ -6,6 +6,7 @@ import (
 	"html"
 	"net/http"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -20,6 +21,18 @@ type statuszPool struct {
 	Busy    int `json:"busy"`
 }
 
+// statuszAdmission is the overload-protection section of a status
+// snapshot: budget occupancy, cumulative shed counts by reason, and the
+// per-model limiters that are currently busy.
+type statuszAdmission struct {
+	InFlightBytes int64                 `json:"in_flight_bytes"`
+	MaxBytes      int64                 `json:"max_bytes"`
+	InFlightRows  int64                 `json:"in_flight_rows"`
+	MaxRows       int64                 `json:"max_rows"`
+	Shed          map[string]int64      `json:"shed"`
+	Models        []admissionModelState `json:"models,omitempty"`
+}
+
 // statuszSnapshot is the /statusz document: one consistent-enough view of
 // the live server, serialisable as JSON and renderable as HTML. Model
 // metadata includes per-version fit diagnostics when the model was fitted
@@ -30,8 +43,10 @@ type statuszSnapshot struct {
 	Build          obs.BuildInfo      `json:"build"`
 	Goroutines     int                `json:"goroutines"`
 	HeapAllocBytes uint64             `json:"heap_alloc_bytes"`
+	Draining       bool               `json:"draining"`
 	InFlight       int64              `json:"in_flight"`
 	Pool           statuszPool        `json:"pool"`
+	Admission      statuszAdmission   `json:"admission"`
 	Models         []registry.Meta    `json:"models"`
 	SlowRequests   []obs.TraceSummary `json:"slow_requests"`
 }
@@ -40,16 +55,31 @@ func (s *Server) snapshot() statuszSnapshot {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	queue, busy, workers := s.pool.Stats()
+	shed := make(map[string]int64, numShedReasons)
+	for i := 0; i < numShedReasons; i++ {
+		if n := s.adm.shed[i].Load(); n > 0 {
+			shed[shedReasonNames[i]] = n
+		}
+	}
 	return statuszSnapshot{
 		Now:            time.Now(),
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Build:          obs.Build(),
 		Goroutines:     runtime.NumGoroutine(),
 		HeapAllocBytes: ms.HeapAlloc,
+		Draining:       s.draining.Load(),
 		InFlight:       s.metrics.InFlight().Load(),
 		Pool:           statuszPool{Workers: workers, Queue: queue, Busy: busy},
-		Models:         s.reg.List(),
-		SlowRequests:   s.slowRing.Snapshot(),
+		Admission: statuszAdmission{
+			InFlightBytes: s.adm.bytes.load(),
+			MaxBytes:      s.adm.bytes.max,
+			InFlightRows:  s.adm.rows.load(),
+			MaxRows:       s.adm.rows.max,
+			Shed:          shed,
+			Models:        s.adm.snapshotModels(),
+		},
+		Models:       s.reg.List(),
+		SlowRequests: s.slowRing.Snapshot(),
 	}
 }
 
@@ -83,9 +113,30 @@ func renderStatuszHTML(b *bytes.Buffer, snap *statuszSnapshot) {
 	fmt.Fprintf(b, "<tr><th>build</th><td>%s %s (%s)</td></tr>\n", esc(snap.Build.Version), esc(snap.Build.Revision), esc(snap.Build.GoVersion))
 	fmt.Fprintf(b, "<tr><th>goroutines</th><td>%d</td></tr>\n", snap.Goroutines)
 	fmt.Fprintf(b, "<tr><th>heap alloc</th><td>%d bytes</td></tr>\n", snap.HeapAllocBytes)
+	fmt.Fprintf(b, "<tr><th>draining</th><td>%v</td></tr>\n", snap.Draining)
 	fmt.Fprintf(b, "<tr><th>in-flight requests</th><td>%d</td></tr>\n", snap.InFlight)
 	fmt.Fprintf(b, "<tr><th>pool</th><td>%d workers, %d busy, %d queued</td></tr>\n", snap.Pool.Workers, snap.Pool.Busy, snap.Pool.Queue)
 	fmt.Fprintf(b, "</table>\n")
+
+	fmt.Fprintf(b, "<h2>Admission</h2><table>\n")
+	fmt.Fprintf(b, "<tr><th>in-flight bytes</th><td>%d / %d</td></tr>\n", snap.Admission.InFlightBytes, snap.Admission.MaxBytes)
+	fmt.Fprintf(b, "<tr><th>in-flight rows</th><td>%d / %d</td></tr>\n", snap.Admission.InFlightRows, snap.Admission.MaxRows)
+	shedReasons := make([]string, 0, len(snap.Admission.Shed))
+	for r := range snap.Admission.Shed {
+		shedReasons = append(shedReasons, r)
+	}
+	sort.Strings(shedReasons)
+	for _, r := range shedReasons {
+		fmt.Fprintf(b, "<tr><th>shed (%s)</th><td>%d</td></tr>\n", esc(r), snap.Admission.Shed[r])
+	}
+	fmt.Fprintf(b, "</table>\n")
+	if len(snap.Admission.Models) > 0 {
+		fmt.Fprintf(b, "<table><tr><th>model</th><th>active</th><th>queued</th></tr>\n")
+		for _, m := range snap.Admission.Models {
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%d</td></tr>\n", esc(m.Model), m.Active, m.Queued)
+		}
+		fmt.Fprintf(b, "</table>\n")
+	}
 
 	fmt.Fprintf(b, "<h2>Models (%d)</h2>\n", len(snap.Models))
 	fmt.Fprintf(b, "<table><tr><th>id</th><th>dim</th><th>degree</th><th>rows</th><th>explained var</th><th>monotone</th><th>fit iters</th><th>final objective</th><th>warm-hit</th></tr>\n")
@@ -102,11 +153,11 @@ func renderStatuszHTML(b *bytes.Buffer, snap *statuszSnapshot) {
 	fmt.Fprintf(b, "</table>\n")
 
 	fmt.Fprintf(b, "<h2>Recent slow requests (%d)</h2>\n", len(snap.SlowRequests))
-	fmt.Fprintf(b, "<table><tr><th>request id</th><th>route</th><th>model</th><th>status</th><th>rows</th><th>total ms</th><th>decode</th><th>validate</th><th>normalize</th><th>score</th><th>encode</th><th>shards</th></tr>\n")
+	fmt.Fprintf(b, "<table><tr><th>request id</th><th>route</th><th>model</th><th>status</th><th>rows</th><th>partial rows</th><th>total ms</th><th>admit</th><th>decode</th><th>validate</th><th>normalize</th><th>score</th><th>encode</th><th>shards</th></tr>\n")
 	for _, t := range snap.SlowRequests {
-		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%d</td></tr>\n",
-			esc(t.RequestID), esc(t.Route), esc(t.Model), t.Status, t.Rows, t.TotalMs,
-			t.DecodeMs, t.ValidateMs, t.NormalizeMs, t.ScoreMs, t.EncodeMs, t.ScoreShards)
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%d</td></tr>\n",
+			esc(t.RequestID), esc(t.Route), esc(t.Model), t.Status, t.Rows, t.PartialRows, t.TotalMs,
+			t.AdmitMs, t.DecodeMs, t.ValidateMs, t.NormalizeMs, t.ScoreMs, t.EncodeMs, t.ScoreShards)
 	}
 	fmt.Fprintf(b, "</table>\n</body></html>\n")
 }
