@@ -1,0 +1,81 @@
+package bezier
+
+import "math"
+
+// Compiled32 is the float32 serving form of a Compiled curve: the
+// centre-shifted profile coefficients rounded once to float32, so a serving
+// kernel can collapse and scan a row's distance profile entirely in
+// single precision. There is no float32 grid table — the collapsed profile
+// already encodes every grid node's distance value (one Horner pass per
+// node, dimension-independent), so a separate table would only duplicate
+// what the coefficients express.
+//
+// A Compiled32 never produces final scores by itself: the intended use
+// (core's float32 scoring mode) runs the grid scan and the safeguarded
+// Newton refinement in float32 and then polishes the result with a few
+// float64 Newton steps on the exactly-collapsed profile. Under the
+// Compile32 acceptance bound below, the float32 stage lands in the same
+// bracket as the float64 reference on monotone served curves and the polish
+// converges to the float64 stationary point, giving
+// |score32 − score64| ≤ 1e-6 (empirically ~1e-8); see the float32 error
+// bound test in internal/core. Curves Compile32 rejects must be served
+// through the float64 path.
+type Compiled32 struct {
+	deg, dim int
+	// smono is ShiftedMono rounded to float32, same layout: coordinate j's
+	// centre-shifted monomial coefficients occupy [j·(deg+1), (j+1)·(deg+1)).
+	smono []float32
+	// snormSq is ShiftedNormSq rounded to float32 (len 2·deg+1).
+	snormSq []float32
+}
+
+// compile32MaxCoeff is the acceptance bound of Compile32: every shifted
+// coefficient must satisfy |c| ≤ 2¹². A float32 ulp at that magnitude is
+// 2⁻¹¹ ≈ 4.9e-4, which keeps the collapsed profile's evaluation error far
+// below the value separation of distinct grid nodes on any normalised
+// served curve (whose coefficients are O(dim)); curves assembled outside
+// the normalised [0,1]^d contract can exceed it and are rejected.
+const compile32MaxCoeff = 1 << 12
+
+// Compile32 rounds cc's centre-shifted profile coefficients to float32.
+// It returns nil when any coefficient is non-finite or exceeds the
+// acceptance bound in magnitude — the caller must then serve float64.
+func Compile32(cc *Compiled) *Compiled32 {
+	for _, c := range cc.smono {
+		if math.IsNaN(c) || math.Abs(c) > compile32MaxCoeff {
+			return nil
+		}
+	}
+	for _, c := range cc.snormSq {
+		if math.IsNaN(c) || math.Abs(c) > compile32MaxCoeff {
+			return nil
+		}
+	}
+	c32 := &Compiled32{
+		deg:     cc.deg,
+		dim:     cc.dim,
+		smono:   make([]float32, len(cc.smono)),
+		snormSq: make([]float32, len(cc.snormSq)),
+	}
+	for i, c := range cc.smono {
+		c32.smono[i] = float32(c)
+	}
+	for i, c := range cc.snormSq {
+		c32.snormSq[i] = float32(c)
+	}
+	return c32
+}
+
+// Degree returns the polynomial degree.
+func (cc *Compiled32) Degree() int { return cc.deg }
+
+// Dim returns the ambient dimension.
+func (cc *Compiled32) Dim() int { return cc.dim }
+
+// ShiftedMono32 returns the float32 centre-shifted coefficient array,
+// aliasing internal storage under the usual read-only contract.
+func (cc *Compiled32) ShiftedMono32() []float32 { return cc.smono }
+
+// ShiftedNormSq32 returns the float32 centre-shifted coefficients of
+// ‖f(t+½)‖², aliasing internal storage.
+func (cc *Compiled32) ShiftedNormSq32() []float32 { return cc.snormSq }

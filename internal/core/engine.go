@@ -62,6 +62,15 @@ type engine struct {
 	stageNs  *FitStageNanos
 	warmRows int64
 	warmHits int64
+
+	// Lockstep refinement scratch (lockstep.go), embedded by value so the
+	// engine allocation count never changes: ctail serves the cubic Newton
+	// tail, ptail the general-degree and warm tails. scalarTail forces the
+	// per-row refinement path — the test knob the lockstep parity suite
+	// compares against.
+	ctail      cubicTail[float64]
+	ptail      polyTail
+	scalarTail bool
 }
 
 // projBlockRows is the row-block size of the batched seeding path: big
@@ -111,7 +120,7 @@ func (e *engine) initScratch() {
 // clone returns an engine sharing the compiled coefficients but owning
 // fresh scratch, for use by another goroutine.
 func (e *engine) clone() *engine {
-	c := &engine{kind: e.kind, cells: e.cells, tol: e.tol, comp: e.comp, curve: e.curve}
+	c := &engine{kind: e.kind, cells: e.cells, tol: e.tol, comp: e.comp, curve: e.curve, scalarTail: e.scalarTail}
 	c.initScratch()
 	return c
 }
@@ -387,48 +396,22 @@ func cubicNewtonKernel(c0, c1, c2, c3, c4, c5, c6 float64, cells int, wantDist b
 // block-batched seeder calls it directly, having found bestI through the
 // shared GEMM and re-evaluated bestV with the scan's own Estrin expression —
 // the split is pure extraction, so the per-row kernel's results are
-// unchanged bit for bit.
+// unchanged bit for bit. The classification and parabolic seed live in
+// cubicSeedBracket (lockstep.go), shared with the lockstep tail; the Newton
+// loop body below must stay in sync with cubicTail.drain.
 func cubicNewtonFromSeed(c0, c1, c2, c3, c4, c5, c6 float64, cells, bestI int, bestV float64, wantDist bool) (float64, float64) {
+	s, lo, hi, refine := cubicSeedBracket(c0, c1, c2, c3, c4, c5, c6, cells, bestI, bestV)
+	if !refine {
+		if wantDist {
+			return s, nonNeg(bestV)
+		}
+		return s, 0
+	}
+
 	// D′ and D″ coefficients (in the same shifted basis).
 	b0, b1, b2, b3, b4, b5 := c1, 2*c2, 3*c3, 4*c4, 5*c5, 6*c6
 	e0, e1, e2, e3, e4 := b1, 2*b2, 3*b3, 4*b4, 5*b5
-
 	const origin = bezier.DistPolyOrigin
-	h := 1 / float64(cells)
-	lo := float64(bestI-1) * h
-	hi := float64(bestI+1) * h
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > 1 {
-		hi = 1
-	}
-	s0 := float64(bestI) * h
-
-	tl := lo - origin
-	th := hi - origin
-	ga := ((((b5*tl+b4)*tl+b3)*tl+b2)*tl+b1)*tl + b0
-	gb := ((((b5*th+b4)*th+b3)*th+b2)*th+b1)*th + b0
-	if !(ga <= 0 && gb >= 0) {
-		if wantDist {
-			return s0, nonNeg(bestV)
-		}
-		return s0, 0
-	}
-
-	// Parabolic seed through (lo, s0, hi): two extra profile evaluations
-	// buy a Newton start ~h² from the root instead of ~h, saving an
-	// iteration or two of the most latency-bound loop.
-	s := s0
-	if lo < s0 && s0 < hi {
-		vl := (((((c6*tl+c5)*tl+c4)*tl+c3)*tl+c2)*tl+c1)*tl + c0
-		vh := (((((c6*th+c5)*th+c4)*th+c3)*th+c2)*th+c1)*th + c0
-		if den := vl - 2*bestV + vh; den > 0 {
-			if off := 0.5 * h * (vl - vh) / den; off > -h && off < h {
-				s = s0 + off
-			}
-		}
-	}
 
 	// Safeguarded Newton on D′ — control flow of optimize.NewtonBisect,
 	// with two liberties. The derivatives are evaluated in Estrin form
@@ -585,12 +568,23 @@ func (e *engine) projectBlockPacked(data []float64, nrows int, scores, resid []f
 		if profile {
 			st.set(st.refine)
 		}
-		for r := 0; r < bn; r++ {
-			i := b0 + r
-			s, dist := e.projectRowSeeded(data[i*d:i*d+d], e.seeds[r], resid != nil)
-			scores[i] = s
-			if resid != nil {
-				resid[i] = dist
+		// The Newton projector hands the whole block to the lockstep tail,
+		// which advances up to laneWidth rows per iteration; quintic and the
+		// scalarTail parity knob keep the one-row-at-a-time path.
+		if e.kind == ProjectorNewton && !e.scalarTail {
+			if len(e.dc) == 7 {
+				e.refineCubicBlock(data, d, b0, bn, scores, resid)
+			} else {
+				e.refinePolyBlock(data, d, b0, bn, scores, resid)
+			}
+		} else {
+			for r := 0; r < bn; r++ {
+				i := b0 + r
+				s, dist := e.projectRowSeeded(data[i*d:i*d+d], e.seeds[r], resid != nil)
+				scores[i] = s
+				if resid != nil {
+					resid[i] = dist
+				}
 			}
 		}
 		if timing {

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"context"
+	"math"
+
+	"rpcrank/internal/bezier"
+	"rpcrank/internal/frame"
+)
+
+// This file holds the opt-in float32 scoring mode: the cubic serving kernel
+// — collapse, grid scan, safeguarded-Newton refinement — run in single
+// precision through the lane-typed lockstep tail, with a float64 final
+// polish on the exactly-collapsed profile so the published score converges
+// to the float64 stationary point. The mode is negotiated per request (the
+// server's X-Precision header) and never replaces the float64 path: models
+// whose coefficients bezier.Compile32 rejects, non-cubic degrees, and
+// quintic-projector models all fall back to float64 transparently, and the
+// float64 path itself is untouched.
+//
+// Error contract: on monotone served curves the float32 stage lands in the
+// same grid bracket as the float64 reference and the polish then converges
+// under the float64 kernel's own stopping rule, so
+// |score32 − score64| ≤ 1e-6 (empirically ~1e-8; pinned by the error-bound
+// test). The residual difference comes from rows whose float32 grid scan
+// ties two nodes within single-precision rounding — the same tie the
+// float64 paths document, one precision coarser.
+
+// float32Stop is the step-size stop of the float32 Newton stage. It is
+// deliberately loose: the float64 polish converges quadratically from
+// wherever the float32 lanes leave off, so iterating the single-precision
+// stage to its own round-off (~1e-6) just duplicates work the polish redoes
+// anyway. From a 1e-3-accurate start the polish lands within its 1e-13 stop
+// in two to three steps, and the published error bound is set by the polish,
+// not this stop.
+const float32Stop = 1e-3
+
+// f32state is the Scorer's float32 serving scratch, built lazily on the
+// first float32 batch so float64-only scorers never pay for it.
+type f32state struct {
+	smono []float32 // model's centre-shifted coefficients, stride 4
+	snorm []float32 // shifted ‖f‖² coefficients, len 7
+	tail  cubicTail[float32]
+}
+
+// CanServeFloat32 reports whether the model's curve admits the float32
+// scoring mode: cubic degree, a grid-seeded serving projector, and
+// coefficients within bezier.Compile32's acceptance bound. The compiled
+// float32 coefficients are cached on the model (they are immutable once a
+// model serves), so the check is a pointer load after the first call.
+func (m *Model) CanServeFloat32() bool { return m.compiled32() != nil }
+
+func (m *Model) compiled32() *bezier.Compiled32 {
+	m.c32once.Do(func() {
+		if m.Curve.Degree() != 3 {
+			return
+		}
+		opts := m.opts
+		if opts.GridCells == 0 {
+			opts = opts.withDefaults()
+		}
+		if opts.Projector == ProjectorQuintic {
+			return
+		}
+		m.c32 = bezier.Compile32(bezier.Compile(m.Curve))
+	})
+	return m.c32
+}
+
+// float32Ready initialises the scorer's float32 scratch (once) and reports
+// whether this scorer can serve float32 batches.
+func (sc *Scorer) float32Ready() bool {
+	if sc.f32 != nil {
+		return true
+	}
+	if !sc.fastCubic {
+		return false
+	}
+	c32 := sc.model.compiled32()
+	if c32 == nil {
+		return false
+	}
+	sc.f32 = &f32state{smono: c32.ShiftedMono32(), snorm: c32.ShiftedNormSq32()}
+	return true
+}
+
+// ScoreFrameRange32 scores frame rows [lo, hi) into dst[lo:hi] through the
+// float32 kernel when the model admits it, and through the standard float64
+// path otherwise. The returned bool reports which mode actually ran — the
+// server reflects it back to the client. See the file comment for the
+// error contract of the float32 mode.
+func (sc *Scorer) ScoreFrameRange32(dst []float64, f *frame.Frame, lo, hi int) bool {
+	_, f32 := sc.ScoreFrameRange32Ctx(nil, dst, f, lo, hi)
+	return f32
+}
+
+// ScoreFrameRange32Ctx is ScoreFrameRange32 with the cooperative
+// cancellation contract of ScoreFrameRangeCtx: ctx (when non-nil) is polled
+// between row blocks and the call returns how many rows were scored, plus
+// which precision served them.
+func (sc *Scorer) ScoreFrameRange32Ctx(ctx context.Context, dst []float64, f *frame.Frame, lo, hi int) (int, bool) {
+	d := len(sc.u)
+	if f.Dim() != d || !sc.float32Ready() {
+		return sc.ScoreFrameRangeCtx(ctx, dst, f, lo, hi), false
+	}
+	if sc.ub == nil {
+		sc.ub = make([]float64, projBlockRows*d)
+	}
+	st := sc.f32
+	cells := sc.eng.cells
+	h32 := 1 / float32(cells)
+	const origin32 = float32(bezier.DistPolyOrigin)
+	n0, n1, n2, n3 := st.snorm[0], st.snorm[1], st.snorm[2], st.snorm[3]
+	n4, n5, n6 := st.snorm[4], st.snorm[5], st.snorm[6]
+	rt := &st.tail
+	for b0 := lo; b0 < hi; b0 += projBlockRows {
+		if ctx != nil && ctx.Err() != nil {
+			return b0 - lo, true
+		}
+		bn := hi - b0
+		if bn > projBlockRows {
+			bn = projBlockRows
+		}
+		rt.n = 0
+		for r := 0; r < bn; r++ {
+			i := b0 + r
+			row := f.Row(i)
+			// Normalise in float64 exactly as the float64 fast path does —
+			// the polish collapses its profile from these values — and
+			// round per coordinate for the float32 collapse.
+			u := sc.ub[r*d : r*d+d]
+			c0, c1, c2, c3, c4, c5, c6 := n0, n1, n2, n3, n4, n5, n6
+			var x2 float32
+			for j, v := range row {
+				uj := (v - sc.mn[j]) * sc.inv[j]
+				u[j] = uj
+				u32 := float32(uj)
+				x2 += u32 * u32
+				t := 2 * u32
+				mr := st.smono[j*4 : j*4+4]
+				c0 -= t * mr[0]
+				c1 -= t * mr[1]
+				c2 -= t * mr[2]
+				c3 -= t * mr[3]
+			}
+			c0 += x2
+			// Grid scan, two nodes per step — cubicNewtonKernel's Estrin
+			// pairing in single precision.
+			bestI := 0
+			bestV := float32(math.MaxFloat32)
+			g := 0
+			for ; g+1 <= cells; g += 2 {
+				t := float32(g)*h32 - origin32
+				w := float32(g+1)*h32 - origin32
+				t2 := t * t
+				w2 := w * w
+				v := (c0 + c1*t) + t2*((c2+c3*t)+t2*((c4+c5*t)+t2*c6))
+				x := (c0 + c1*w) + w2*((c2+c3*w)+w2*((c4+c5*w)+w2*c6))
+				if v < bestV {
+					bestV, bestI = v, g
+				}
+				if x < bestV {
+					bestV, bestI = x, g+1
+				}
+			}
+			if g <= cells {
+				t := float32(g)*h32 - origin32
+				t2 := t * t
+				if v := (c0 + c1*t) + t2*((c2+c3*t)+t2*((c4+c5*t)+t2*c6)); v < bestV {
+					bestV, bestI = v, g
+				}
+			}
+			start, blo, bhi, refine := cubicSeedBracket(c0, c1, c2, c3, c4, c5, c6, cells, bestI, bestV)
+			if !refine {
+				// Bracket miss: the float64 kernel publishes the seed node's
+				// parameter; edge nodes give exactly 0 and 1 here too.
+				dst[i] = float64(start)
+				continue
+			}
+			p := rt.n
+			cc := rt.pc[p*7 : p*7+7]
+			cc[0], cc[1], cc[2], cc[3], cc[4], cc[5], cc[6] = c0, c1, c2, c3, c4, c5, c6
+			rt.ps[p], rt.pa[p], rt.pb[p] = start, blo, bhi
+			rt.prow[p] = int32(r)
+			rt.n++
+		}
+		rt.drain(float32Stop, false)
+		m1, m2, m3 := sc.snorm[1], sc.snorm[2], sc.snorm[3]
+		m4, m5, m6 := sc.snorm[4], sc.snorm[5], sc.snorm[6]
+		for p := 0; p < rt.n; p++ {
+			r := int(rt.prow[p])
+			i := b0 + r
+			// Float64 polish: collapse the row's profile through the same
+			// fused register pass as the float64 fast path (Score) and run
+			// the scalar safeguarded Newton from the float32 result inside
+			// its retirement bracket. A couple of steps close the gap from
+			// single-precision convergence to the float64 stopping rule.
+			// c0 only shifts the profile, not its stationary points, so the
+			// polish needs just c1..c3 from the row (c4..c6 are row-free).
+			k1, k2, k3 := m1, m2, m3
+			for j, uj := range sc.ub[r*d : r*d+d] {
+				t := 2 * uj
+				row := sc.smono[j*4 : j*4+4]
+				k1 -= t * row[1]
+				k2 -= t * row[2]
+				k3 -= t * row[3]
+			}
+			dst[i] = polishCubic64(k1, k2, k3, m4, m5, m6,
+				float64(rt.pres[p]), float64(rt.pra[p]), float64(rt.prb[p]))
+		}
+	}
+	return hi - lo, true
+}
+
+// polishCubic64 runs cubicNewtonFromSeed's safeguarded-Newton loop (same
+// expressions, same 1e-13 step stop) on the float64-collapsed cubic profile
+// coefficients c1..c6 (c0 shifts the profile, not its stationary points),
+// starting from the float32 stage's result s within its retirement bracket
+// [a, b].
+func polishCubic64(c1, c2, c3, c4, c5, c6, s, a, b float64) float64 {
+	b0, b1, b2, b3, b4, b5 := c1, 2*c2, 3*c3, 4*c4, 5*c5, 6*c6
+	e0, e1, e2, e3, e4 := b1, 2*b2, 3*b3, 4*b4, 5*b5
+	const origin = bezier.DistPolyOrigin
+	for i := 0; i < 80; i++ {
+		t := s - origin
+		t2 := t * t
+		gs := (b0 + b1*t) + t2*((b2+b3*t)+t2*(b4+b5*t))
+		if gs == 0 {
+			break
+		}
+		if gs < 0 {
+			a = s
+		} else {
+			b = s
+		}
+		hs := (e0 + e1*t) + t2*((e2+e3*t)+t2*e4)
+		nt := s - gs/hs
+		if !(nt > a && nt < b) {
+			nt = 0.5 * (a + b)
+		}
+		d := nt - s
+		s = nt
+		if d < 1e-13 && d > -1e-13 {
+			break
+		}
+	}
+	return s
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rpcrank/internal/frame"
+	"rpcrank/internal/order"
+)
+
+// score32Bound is the documented error contract of the float32 scoring
+// mode: on monotone served curves, |score32 − score64| ≤ 1e-6 (see
+// score32.go; observed differences are ~1e-8, dominated by rows whose
+// float32 grid scan ties two nodes).
+const score32Bound = 1e-6
+
+// score32Frame builds a batch of raw rows spanning the model's data box
+// with a margin, so interior rows, clamped edge rows (exact 0/1 scores),
+// and everything between are all present.
+func score32Frame(rng *rand.Rand, m *Model, n int) *frame.Frame {
+	d := m.Dim()
+	f := frame.New(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			lo, hi := m.Norm.Min[j], m.Norm.Max[j]
+			f.Set(i, j, lo+(hi-lo)*(rng.Float64()*1.6-0.3))
+		}
+	}
+	return f
+}
+
+// TestScore32ErrorBound pins the float32 mode's error contract across
+// dimensions: every score within the documented bound of the float64
+// reference, scores in [0,1], and rows the float64 path publishes exactly
+// at a clamped end (0 or 1) published exactly there by the float32 path
+// too — both paths put bracket-miss rows on exact grid parameters.
+func TestScore32ErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, dim := range []int{2, 3, 8} {
+		t.Run(fmt.Sprintf("d=%d", dim), func(t *testing.T) {
+			m := randParityModel(rng, 3, dim, ProjectorNewton)
+			if !m.CanServeFloat32() {
+				t.Fatal("cubic Newton model must admit the float32 mode")
+			}
+			const n = 513 // odd block remainder on purpose
+			f := score32Frame(rng, m, n)
+			ref := make([]float64, n)
+			got := make([]float64, n)
+			sc := m.Compile()
+			sc.ScoreFrameRange(ref, f, 0, n)
+			if !m.Compile().ScoreFrameRange32(got, f, 0, n) {
+				t.Fatal("ScoreFrameRange32 fell back to float64 on a capable model")
+			}
+			edges := 0
+			var maxd float64
+			for i := 0; i < n; i++ {
+				if got[i] < 0 || got[i] > 1 || math.IsNaN(got[i]) {
+					t.Fatalf("row %d: float32 score %v out of [0,1]", i, got[i])
+				}
+				if d := math.Abs(got[i] - ref[i]); d > maxd {
+					maxd = d
+				}
+				if ref[i] == 0 || ref[i] == 1 {
+					edges++
+					if got[i] != ref[i] {
+						t.Fatalf("row %d: float64 clamps exactly to %v, float32 gives %.17g", i, ref[i], got[i])
+					}
+				}
+			}
+			if maxd > score32Bound {
+				t.Fatalf("max |score32 − score64| = %.3g exceeds the documented bound %g", maxd, score32Bound)
+			}
+			if edges == 0 {
+				t.Fatal("batch exercised no clamped edge rows; widen the margin")
+			}
+		})
+	}
+}
+
+// TestScore32FallsBackFloat64: models the float32 mode cannot express —
+// non-cubic degrees, the quintic projector — must report float64 service
+// and produce scores bit-identical to the plain float64 path.
+func TestScore32FallsBackFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	cases := []struct {
+		name string
+		deg  int
+		proj Projector
+	}{
+		{"deg2-newton", 2, ProjectorNewton},
+		{"deg5-newton", 5, ProjectorNewton},
+		{"deg3-quintic", 3, ProjectorQuintic},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := randParityModel(rng, tc.deg, 3, tc.proj)
+			if m.CanServeFloat32() {
+				t.Fatal("model must not admit the float32 mode")
+			}
+			const n = 100
+			f := score32Frame(rng, m, n)
+			ref := make([]float64, n)
+			got := make([]float64, n)
+			m.Compile().ScoreFrameRange(ref, f, 0, n)
+			if m.Compile().ScoreFrameRange32(got, f, 0, n) {
+				t.Fatal("ScoreFrameRange32 claimed float32 service")
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("row %d: fallback score %.17g differs from float64 path %.17g", i, got[i], ref[i])
+				}
+			}
+		})
+	}
+}
+
+// TestScore32RejectsHugeCoefficients: a curve outside the normalised
+// serving contract (coefficients beyond bezier.Compile32's acceptance
+// bound) must be rejected at compile time and served float64.
+func TestScore32RejectsHugeCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	m := randParityModel(rng, 3, 3, ProjectorNewton)
+	for _, p := range m.Curve.Points {
+		for j := range p {
+			p[j] *= 1e6 // ‖f‖² coefficients blow past the float32 bound
+		}
+	}
+	if m.CanServeFloat32() {
+		t.Fatal("model with 1e12-scale profile coefficients must be rejected")
+	}
+	const n = 64
+	f := score32Frame(rng, m, n)
+	got := make([]float64, n)
+	if m.Compile().ScoreFrameRange32(got, f, 0, n) {
+		t.Fatal("rejected model served float32")
+	}
+}
+
+// TestScore32Cancellation: the float32 range honours the cooperative
+// cancellation contract at block granularity.
+func TestScore32Cancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	m := randParityModel(rng, 3, 3, ProjectorNewton)
+	const n = 4 * projBlockRows
+	f := score32Frame(rng, m, n)
+	got := make([]float64, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n0, f32 := m.Compile().ScoreFrameRange32Ctx(ctx, got, f, 0, n)
+	if !f32 {
+		t.Fatal("expected float32 service")
+	}
+	if n0 != 0 {
+		t.Fatalf("cancelled-before-start range scored %d rows", n0)
+	}
+}
+
+// BenchmarkScoreFrame32 compares the float64 serving path against the
+// opt-in float32 mode on a large batch, isolating the score kernels from
+// request parsing and encoding.
+func BenchmarkScoreFrame32(b *testing.B) {
+	rng := rand.New(rand.NewSource(89))
+	signs := order.MustDirection(1, 1, -1)
+	xs, _ := genBezierCloud(rng, 10000, signs, 0.05)
+	m, err := Fit(xs, Options{Alpha: signs, MaxIter: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := frame.FromRows(xs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, f.N())
+	sc := m.Compile()
+	if !sc.float32Ready() {
+		b.Fatal("model must admit float32")
+	}
+	b.Run("float64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc.ScoreFrameRange(dst, f, 0, f.N())
+		}
+		b.ReportMetric(float64(f.N())*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	b.Run("float32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc.ScoreFrameRange32(dst, f, 0, f.N())
+		}
+		b.ReportMetric(float64(f.N())*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+}

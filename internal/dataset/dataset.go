@@ -81,15 +81,6 @@ func (t *Table) Append(object string, row []float64) {
 	t.Data.AppendRow(row)
 }
 
-// Rows returns one zero-copy view per row sharing the table's backing
-// array.
-//
-// Deprecated: every in-tree call site has migrated to frame views — Data
-// (with Data.Row/Data.ToRows) or the frame-native entry points
-// (core.FitFrame, crossval.RunFrame, stability.RunFrame) — and Rows will be
-// removed in a future change. Do not add new callers.
-func (t *Table) Rows() [][]float64 { return t.Data.ToRows() }
-
 // Row returns a zero-copy view of row i.
 func (t *Table) Row(i int) []float64 { return t.Data.Row(i) }
 

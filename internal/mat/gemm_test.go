@@ -7,8 +7,9 @@ import (
 )
 
 // TestMulABTBlockedMatchesNaive pins the blocked kernel to MulABTInto bit
-// for bit across shapes that exercise every micro-kernel remainder: rows
-// and columns around multiples of four, degenerate single-row/column cases,
+// for bit across shapes that exercise every micro-kernel remainder: columns
+// around multiples of eight (the wide block) and of four (the remainder
+// block), rows around multiples of four, degenerate single-row/column cases,
 // and long shared dimensions.
 func TestMulABTBlockedMatchesNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
@@ -16,6 +17,11 @@ func TestMulABTBlockedMatchesNaive(t *testing.T) {
 		{4, 4, 4}, {8, 8, 16}, {5, 7, 3}, {1, 1, 1}, {1, 9, 257},
 		{3, 33, 3}, {4, 33, 3}, {7, 33, 4}, {64, 33, 3}, {13, 5, 100},
 		{4, 5, 1}, {6, 4, 2}, {12, 3, 7},
+		// n % 8 ∈ {0, 1, ..., 7} with n ≥ 8, so the 8-wide block runs and
+		// every combination of 4-wide and scalar tail follows it.
+		{4, 8, 5}, {5, 9, 6}, {8, 10, 7}, {9, 11, 4}, {4, 12, 9},
+		{7, 13, 3}, {6, 14, 8}, {4, 15, 2}, {5, 16, 11}, {8, 23, 5},
+		{3, 17, 4}, {1, 25, 6}, {64, 40, 4},
 	}
 	for _, sh := range shapes {
 		m, n, k := sh[0], sh[1], sh[2]

@@ -1,0 +1,112 @@
+package server
+
+// Tests of the per-request precision negotiation: a client opts into the
+// float32 scoring mode with the X-Precision request header, the server
+// reflects the precision that actually served the batch in the response
+// header, and models the float32 kernel cannot express are served float64
+// with the header saying so. Requests without the header never see a
+// response header and never touch the float32 path.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+)
+
+func scoreWithHeader(t *testing.T, url string, rows [][]float64, precision string) (*http.Response, ScoreResponse) {
+	t.Helper()
+	raw, err := json.Marshal(ScoreRequest{Rows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if precision != "" {
+		req.Header.Set("X-Precision", precision)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("score: status %d", resp.StatusCode)
+	}
+	return resp, decodeBody[ScoreResponse](t, resp)
+}
+
+func TestScorePrecisionNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	fitModel(t, ts, "prec")
+	url := ts.URL + "/v1/models/prec-v1/score"
+	probe := [][]float64{{0.5, 1.1, 2.9}, {5.0, 2.3, 2.0}, {9.5, 5.8, 1.1}, {3.3, 2.0, 2.4}}
+
+	// Baseline: no header → float64 path, no response header.
+	respRef, ref := scoreWithHeader(t, url, probe, "")
+	if got := respRef.Header.Get("X-Precision"); got != "" {
+		t.Fatalf("unnegotiated request got X-Precision %q in the response", got)
+	}
+
+	// Opt-in on a capable (cubic Newton) model → served float32, reflected
+	// in the header, scores within the documented 1e-6 contract.
+	resp32, got32 := scoreWithHeader(t, url, probe, "float32")
+	if got := resp32.Header.Get("X-Precision"); got != "float32" {
+		t.Fatalf("response X-Precision = %q, want float32", got)
+	}
+	for i := range ref.Scores {
+		if d := math.Abs(got32.Scores[i] - ref.Scores[i]); d > 1e-6 {
+			t.Fatalf("row %d: float32 score %v vs float64 %v (diff %.3g)", i, got32.Scores[i], ref.Scores[i], d)
+		}
+	}
+
+	// Header values are case-insensitive; anything else is ignored (no
+	// negotiation, no response header).
+	respUp, _ := scoreWithHeader(t, url, probe, "FLOAT32")
+	if got := respUp.Header.Get("X-Precision"); got != "float32" {
+		t.Fatalf("case-insensitive opt-in got X-Precision %q", got)
+	}
+	respGarbage, garbage := scoreWithHeader(t, url, probe, "float16")
+	if got := respGarbage.Header.Get("X-Precision"); got != "" {
+		t.Fatalf("unknown precision %q negotiated to %q", "float16", got)
+	}
+	for i := range ref.Scores {
+		if garbage.Scores[i] != ref.Scores[i] {
+			t.Fatalf("unknown precision changed scores: %v vs %v", garbage.Scores[i], ref.Scores[i])
+		}
+	}
+}
+
+// TestScorePrecisionFallbackHeader: opting in on a model the float32 mode
+// cannot express (non-cubic degree) answers with X-Precision: float64 and
+// float64 scores — the request succeeds, the client learns the mode.
+func TestScorePrecisionFallbackHeader(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	resp := postJSON(t, ts.URL+"/v1/models", FitRequest{
+		Name:   "prec2",
+		Alpha:  []float64{1, 1, -1},
+		Rows:   trainingRows(24),
+		Degree: 2,
+		Seed:   3,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("fit: status %d", resp.StatusCode)
+	}
+	decodeBody[FitResponse](t, resp)
+	url := ts.URL + "/v1/models/prec2-v1/score"
+	probe := [][]float64{{0.5, 1.1, 2.9}, {9.5, 5.8, 1.1}}
+
+	_, ref := scoreWithHeader(t, url, probe, "")
+	respF, got := scoreWithHeader(t, url, probe, "float32")
+	if h := respF.Header.Get("X-Precision"); h != "float64" {
+		t.Fatalf("fallback response X-Precision = %q, want float64", h)
+	}
+	for i := range ref.Scores {
+		if got.Scores[i] != ref.Scores[i] {
+			t.Fatalf("fallback scores differ from float64 path: %v vs %v", got.Scores[i], ref.Scores[i])
+		}
+	}
+}
