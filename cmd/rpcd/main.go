@@ -31,9 +31,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"rpcrank/internal/cluster"
 	"rpcrank/internal/core"
 	"rpcrank/internal/registry"
 	"rpcrank/internal/server"
@@ -70,6 +72,10 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr, p
 	maxInflightRows := fs.Int64("max-inflight-rows", 0, "server-wide budget on rows concurrently being scored (0 = 4x max-batch-rows, negative = unlimited)")
 	modelConcurrency := fs.Int("model-concurrency", 0, "concurrent scoring requests per model (0 = 2x workers)")
 	modelQueue := fs.Int("model-queue", 0, "requests that may queue per model for a scoring slot (0 = 4x model-concurrency, negative = no queue)")
+	peers := fs.String("peers", "", "comma-separated base URLs of the other replicas in the serving group (empty = single node)")
+	advertise := fs.String("advertise", "", "this node's base URL as peers reach it (default: http://<bound addr>)")
+	probeInterval := fs.Duration("probe-interval", time.Second, "peer health-probe period")
+	antiEntropyInterval := fs.Duration("anti-entropy-interval", 5*time.Second, "peer digest-exchange period for replicated installs")
 	pprofAddr := fs.String("pprof-addr", "", "listen address for net/http/pprof profiling (empty = disabled); bind it to localhost, the endpoint is unauthenticated")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	slowMs := fs.Int("slow-ms", 500, "log a structured stage trace for requests at or above this latency, in ms (0 disables)")
@@ -108,6 +114,38 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr, p
 	if inflightBytes > 0 {
 		inflightBytes <<= 20
 	}
+
+	// The listener binds before the serving group forms so -advertise can
+	// default to the bound address (useful with -addr :0 in tests; real
+	// multi-node deployments pass an address peers can actually dial).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	var cl *cluster.Cluster
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+			logger.Warn("no -advertise; defaulting to the bound address", "self", self)
+		}
+		cl, err = cluster.New(cluster.Options{
+			Self:                self,
+			Peers:               strings.Split(*peers, ","),
+			Registry:            reg,
+			ProbeInterval:       *probeInterval,
+			AntiEntropyInterval: *antiEntropyInterval,
+			Logger:              logger,
+		})
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		defer cl.Close()
+		logger.Info("serving group joined", "self", cl.Self(), "peers", len(strings.Split(*peers, ",")))
+	}
+
 	api := server.New(reg, server.Options{
 		Workers:          *workers,
 		MaxBodyBytes:     *maxBodyMB << 20,
@@ -120,13 +158,10 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr, p
 		MaxInFlightRows:  *maxInflightRows,
 		ModelConcurrency: *modelConcurrency,
 		ModelQueue:       *modelQueue,
+		Cluster:          cl,
 	})
 	defer api.Close()
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
 	httpSrv := &http.Server{
 		Handler:           api,
 		ReadTimeout:       *readTimeout,
@@ -186,7 +221,9 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr, p
 	}
 	// Graceful drain: flip the application-level drain flag first so new
 	// requests are answered 503 + Retry-After + Connection: close (the same
-	// behaviour /controlz/drain gives an orchestrator), then let net/http
+	// behaviour /controlz/drain gives an orchestrator) and, in a serving
+	// group, peers are notified synchronously so this node leaves their
+	// routing rotations before anything else happens. Then let net/http
 	// stop accepting and wait out the in-flight requests, then checkpoint
 	// the registry's version index so a crash between drain and exit cannot
 	// lose the high-water marks.

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rpcrank/internal/registry"
+	"rpcrank/internal/server"
+)
+
+// startTestServer brings up an in-process rpcd with one fitted model and
+// returns its base URL.
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	reg, err := registry.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(reg, server.Options{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	rng := rand.New(rand.NewSource(11))
+	rows := make([][]float64, 32)
+	for i := range rows {
+		u := float64(i) / float64(len(rows)-1)
+		rows[i] = []float64{
+			u*8 + rng.Float64()*0.2,
+			u*6 + rng.Float64()*0.2,
+			(1-u)*7 + rng.Float64()*0.2,
+		}
+	}
+	fit := map[string]any{"name": "load", "alpha": []float64{1, 1, -1}, "rows": rows, "seed": 3}
+	doc, _ := json.Marshal(fit)
+	resp, err := http.Post(ts.URL+"/v1/models", "application/json", strings.NewReader(string(doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("fit: status %d", resp.StatusCode)
+	}
+	return ts.URL
+}
+
+func TestRunEmitsHistogramArtifact(t *testing.T) {
+	url := startTestServer(t)
+	out := filepath.Join(t.TempDir(), "hist.json")
+	var buf strings.Builder
+	err := run([]string{
+		"-url", url,
+		"-model", "load-v1",
+		"-concurrency", "3",
+		"-rows", "16",
+		"-duration", "300ms",
+		"-interval", "1ms",
+		"-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v (output: %s)", err, buf.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if art.Requests == 0 {
+		t.Fatal("artifact recorded zero requests")
+	}
+	if art.Errors != 0 || art.Non2xx != 0 {
+		t.Fatalf("clean run recorded %d errors, %d non-2xx", art.Errors, art.Non2xx)
+	}
+	var total int64
+	for _, b := range art.Histogram {
+		total += b.Count
+	}
+	if total != art.Requests {
+		t.Fatalf("histogram counts sum to %d, want %d", total, art.Requests)
+	}
+	if art.P50Ms <= 0 || art.P99Ms < art.P50Ms {
+		t.Fatalf("implausible quantiles: p50=%v p99=%v", art.P50Ms, art.P99Ms)
+	}
+	if !strings.Contains(buf.String(), "requests") {
+		t.Fatalf("missing summary line in output: %q", buf.String())
+	}
+}
+
+// TestRunSurvivesServerErrors pins reconnect-on-error: a storm against a
+// dead endpoint must complete, counting failures instead of aborting.
+func TestRunSurvivesServerErrors(t *testing.T) {
+	url := startTestServer(t)
+	// Point the senders at a port nobody listens on, but keep the model
+	// lookup against the live server so dim discovery succeeds first.
+	dim, err := fetchDim(url, "load-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim != 3 {
+		t.Fatalf("dim = %d, want 3", dim)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/score") {
+			panic(http.ErrAbortHandler) // kill the connection mid-request
+		}
+		http.Redirect(w, r, url+r.URL.Path, http.StatusTemporaryRedirect)
+	}))
+	defer ts.Close()
+	out := filepath.Join(t.TempDir(), "hist.json")
+	var buf strings.Builder
+	start := time.Now()
+	err = run([]string{
+		"-url", ts.URL,
+		"-model", "load-v1",
+		"-concurrency", "2",
+		"-rows", "4",
+		"-duration", "150ms",
+		"-interval", "5ms",
+		"-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run must survive transport errors, got: %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("run hung on a failing endpoint")
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Errors == 0 {
+		t.Fatalf("expected transport errors against an aborting endpoint, got %+v", art)
+	}
+	if art.Reconnects != art.Errors {
+		t.Fatalf("every transport error must trigger a reconnect: errors=%d reconnects=%d", art.Errors, art.Reconnects)
+	}
+}
+
+func TestRunRejectsMissingModel(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-url", "http://localhost:1"}, &buf); err == nil {
+		t.Fatal("run without -model must fail")
+	}
+}

@@ -46,6 +46,17 @@ const (
 	PointRegistryRead
 	// PointRegistryWrite fires before a registry file write.
 	PointRegistryWrite
+	// PointPeerDial fires before a cluster HTTP request (probe or forward)
+	// is sent to a peer — an error here is a connection that never
+	// happened, latency is a slow dial.
+	PointPeerDial
+	// PointPeerRead fires after a peer answered, before the response body
+	// is consumed — an error here is a connection cut mid-response.
+	PointPeerRead
+	// PointBroadcastSend fires before each install-broadcast attempt to a
+	// peer, so the chaos suite can lose broadcasts deterministically and
+	// prove anti-entropy repairs them.
+	PointBroadcastSend
 	numPoints
 )
 
@@ -64,6 +75,12 @@ func (p Point) String() string {
 		return "registry_read"
 	case PointRegistryWrite:
 		return "registry_write"
+	case PointPeerDial:
+		return "peer_dial"
+	case PointPeerRead:
+		return "peer_read"
+	case PointBroadcastSend:
+		return "broadcast_send"
 	}
 	return "unknown"
 }

@@ -464,6 +464,109 @@ func (r *Registry) RuleDocument(id string) (json.RawMessage, error) {
 	return f.Model, nil
 }
 
+// Export returns a rule's stored metadata and its raw saved-rule payload
+// in one read — the transfer unit of replicated installs. The pair
+// round-trips through InstallVersion on a peer registry to a byte-identical
+// on-disk file (both sides marshal the same envelope the same way).
+func (r *Registry) Export(id string) (Meta, json.RawMessage, error) {
+	f, err := r.readFileJSON(id)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	return f.Meta, f.Model, nil
+}
+
+// InstallVersion applies a replicated install: a rule whose identity —
+// name, version, metadata — was assigned by another registry (a broadcast
+// or an anti-entropy pull). It is idempotent: an ID that is already
+// indexed is a complete no-op, touching neither memory nor disk, so a
+// duplicated broadcast leaves byte-for-byte identical state. It is
+// ordered through the version high-water marks: installing name-vN raises
+// the name's counter to at least N, so a later local Put can never
+// re-issue a version this node first saw by replication, while an
+// out-of-order older version (pulled after a newer one) still installs
+// without regressing the counter. Returns installed=false for the no-op
+// case.
+func (r *Registry) InstallVersion(meta Meta, rule json.RawMessage) (bool, error) {
+	if !ValidName(meta.Name) {
+		return false, fmt.Errorf("registry: invalid rule name %q", meta.Name)
+	}
+	if meta.Version < 1 || meta.ID != fmt.Sprintf("%s-v%d", meta.Name, meta.Version) {
+		return false, fmt.Errorf("registry: rule id %q does not match name %q version %d", meta.ID, meta.Name, meta.Version)
+	}
+	// Decode before taking any lock: a corrupt payload must not burn a
+	// version or touch state, and the decoded model seeds the cache below.
+	m, err := core.Load(bytes.NewReader(rule))
+	if err != nil {
+		return false, fmt.Errorf("registry: installing %s: %w", meta.ID, err)
+	}
+
+	r.putMu.Lock()
+	defer r.putMu.Unlock()
+
+	r.mu.Lock()
+	if _, ok := r.metas[meta.ID]; ok {
+		r.mu.Unlock()
+		return false, nil
+	}
+	if meta.Version > r.versions[meta.Name] {
+		r.versions[meta.Name] = meta.Version
+	}
+	snapshot := make(map[string]int, len(r.versions))
+	for n, v := range r.versions {
+		snapshot[n] = v
+	}
+	r.mu.Unlock()
+
+	payload, err := json.MarshalIndent(fileJSON{Meta: meta, Model: rule}, "", "  ")
+	if err != nil {
+		return false, fmt.Errorf("registry: encoding %s: %w", meta.ID, err)
+	}
+	versionsPayload, err := json.Marshal(snapshot)
+	if err != nil {
+		return false, fmt.Errorf("registry: encoding %s: %w", versionsFile, err)
+	}
+	if err := r.fireIOHook("write"); err != nil {
+		return false, fmt.Errorf("registry: writing %s: %w", meta.ID, err)
+	}
+	if err := atomicWrite(filepath.Join(r.dir, versionsFile), versionsPayload); err != nil {
+		return false, err
+	}
+	if err := atomicWrite(r.path(meta.ID), payload); err != nil {
+		return false, err
+	}
+
+	r.mu.Lock()
+	r.metas[meta.ID] = meta
+	r.insertLocked(meta.ID, m.ServingCopy())
+	r.mu.Unlock()
+	return true, nil
+}
+
+// VersionDigest snapshots the per-name version high-water marks — the
+// anti-entropy digest a peer compares against its own to find names it
+// has fallen behind on.
+func (r *Registry) VersionDigest() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.versions))
+	for n, v := range r.versions {
+		out[n] = v
+	}
+	return out
+}
+
+// IDs returns the IDs of every stored rule, unsorted.
+func (r *Registry) IDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.metas))
+	for id := range r.metas {
+		out = append(out, id)
+	}
+	return out
+}
+
 // GetMeta returns the metadata of a rule without loading the model.
 func (r *Registry) GetMeta(id string) (Meta, error) {
 	r.mu.Lock()

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"rpcrank/internal/core"
 	"rpcrank/internal/order"
@@ -316,6 +317,118 @@ func TestDeleteRemovesFile(t *testing.T) {
 	for _, e := range entries {
 		if strings.HasPrefix(e.Name(), ".tmp-") {
 			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+// diskState captures every file in a registry directory: name -> contents
+// and modification time. Two captures being equal proves the directory was
+// not rewritten between them, even with identical bytes.
+func diskState(t *testing.T, dir string) map[string]struct {
+	data  string
+	mtime time.Time
+} {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]struct {
+		data  string
+		mtime time.Time
+	}, len(entries))
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = struct {
+			data  string
+			mtime time.Time
+		}{string(raw), info.ModTime()}
+	}
+	return out
+}
+
+// TestInstallVersionDuplicateIsByteForByteNoOp pins the idempotency
+// contract replication relies on: applying the same versioned install
+// twice (a duplicated broadcast, or a broadcast racing an anti-entropy
+// pull) must be a complete no-op the second time — same answer to every
+// read, and the registry directory untouched down to file modification
+// times.
+func TestInstallVersionDuplicateIsByteForByteNoOp(t *testing.T) {
+	src, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fitTestModel(t)
+	meta, err := src.Put("wine", m, 8, m.ExplainedVariance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	expMeta, rule, err := src.Export(meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	dst, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	installed, err := dst.InstallVersion(expMeta, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !installed {
+		t.Fatal("first install reported no-op")
+	}
+	before := diskState(t, dir)
+	digestBefore := dst.VersionDigest()
+
+	// Give file mtimes room to differ if the duplicate were to rewrite
+	// anything (mtime granularity can be coarse).
+	time.Sleep(20 * time.Millisecond)
+
+	installed, err = dst.InstallVersion(expMeta, rule)
+	if err != nil {
+		t.Fatalf("duplicate install: %v", err)
+	}
+	if installed {
+		t.Fatal("duplicate install reported installed=true")
+	}
+	after := diskState(t, dir)
+	if len(after) != len(before) {
+		t.Fatalf("duplicate install changed the file set: %d -> %d files", len(before), len(after))
+	}
+	for name, b := range before {
+		a, ok := after[name]
+		if !ok {
+			t.Fatalf("duplicate install removed %s", name)
+		}
+		if a.data != b.data {
+			t.Errorf("duplicate install rewrote %s with different bytes", name)
+		}
+		if !a.mtime.Equal(b.mtime) {
+			t.Errorf("duplicate install touched %s (mtime %v -> %v)", name, b.mtime, a.mtime)
+		}
+	}
+	if got := dst.VersionDigest(); len(got) != len(digestBefore) || got["wine"] != digestBefore["wine"] {
+		t.Errorf("duplicate install changed the version digest: %v -> %v", digestBefore, got)
+	}
+
+	// The served model still answers identically to the source.
+	got, _, err := dst.Get(meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range probeRows {
+		if got.Score(row) != m.Score(row) {
+			t.Errorf("installed model scores differ for %v", row)
 		}
 	}
 }

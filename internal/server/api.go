@@ -73,8 +73,16 @@ type ErrorResponse struct {
 	RequestID string `json:"request_id,omitempty"`
 }
 
-// Health answers GET /healthz.
+// Health answers GET /healthz. Beyond the original status/models pair the
+// body carries the readiness facts a load balancer or peer prober wants:
+// the drain flag and the serving group's routable-peer count (both zero
+// on a single node). The fields are always present so probers can parse
+// them unconditionally; the status codes are unchanged (200 serving, 503
+// draining).
 type Health struct {
-	Status string `json:"status"`
-	Models int    `json:"models"`
+	Status     string `json:"status"`
+	Models     int    `json:"models"`
+	Draining   bool   `json:"draining"`
+	PeersUp    int    `json:"peers_up"`
+	PeersTotal int    `json:"peers_total"`
 }

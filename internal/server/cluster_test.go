@@ -1,0 +1,375 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rpcrank/internal/cluster"
+	"rpcrank/internal/registry"
+)
+
+// stormNode is one in-process member of a test serving group, with a kill
+// gate: flipping dead makes the node abort every inbound connection without
+// a response (a crashed process, as seen by clients and peers) and fail
+// every outbound peer request (so a dead node cannot keep probing or
+// syncing while "down").
+type stormNode struct {
+	url     string
+	reg     *registry.Registry
+	cl      *cluster.Cluster
+	srv     *Server
+	ts      *httptest.Server
+	dead    atomic.Bool
+	apiHits atomic.Int64 // inbound /v1/ requests that reached this node
+}
+
+func (n *stormNode) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if n.dead.Load() {
+		// Abort the connection without writing a response: the peer (or
+		// client) sees a transport failure, exactly like a killed process.
+		panic(http.ErrAbortHandler)
+	}
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		n.apiHits.Add(1)
+	}
+	n.srv.ServeHTTP(w, r)
+}
+
+// gatedTransport fails a dead node's outbound requests, so being "dead"
+// cuts both directions.
+type gatedTransport struct {
+	n  *stormNode
+	rt http.RoundTripper
+}
+
+func (g *gatedTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if g.n.dead.Load() {
+		return nil, errors.New("node is dead")
+	}
+	return g.rt.RoundTrip(r)
+}
+
+// newStormCluster brings up n in-process replicas, fully meshed, with fast
+// probe and anti-entropy periods sized for a test.
+func newStormCluster(t *testing.T, n int) []*stormNode {
+	t.Helper()
+	nodes := make([]*stormNode, n)
+	for i := range nodes {
+		nd := &stormNode{}
+		nd.ts = httptest.NewUnstartedServer(nd)
+		nd.url = "http://" + nd.ts.Listener.Addr().String()
+		reg, err := registry.Open(t.TempDir(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.reg = reg
+		nodes[i] = nd
+	}
+	for i, nd := range nodes {
+		peers := make([]string, 0, n-1)
+		for j, o := range nodes {
+			if j != i {
+				peers = append(peers, o.url)
+			}
+		}
+		cl, err := cluster.New(cluster.Options{
+			Self:                nd.url,
+			Peers:               peers,
+			Registry:            nd.reg,
+			ProbeInterval:       20 * time.Millisecond,
+			ProbeTimeout:        250 * time.Millisecond,
+			FailThreshold:       2,
+			AntiEntropyInterval: 100 * time.Millisecond,
+			AttemptTimeout:      500 * time.Millisecond,
+			BackoffBase:         2 * time.Millisecond,
+			BackoffMax:          10 * time.Millisecond,
+			Client:              &http.Client{Transport: &gatedTransport{n: nd, rt: http.DefaultTransport}},
+			Seed:                int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.cl = cl
+		nd.srv = New(nd.reg, Options{Cluster: cl})
+		nd.ts.Start()
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.cl.Close()
+		}
+		for _, nd := range nodes {
+			nd.ts.Close()
+			nd.srv.Close()
+		}
+	})
+	return nodes
+}
+
+func waitForCondition(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestClusterStorm is the three-node kill/converge/drain scenario: under a
+// request storm, killing one of three replicas must cost clients nothing
+// (every request answers 200 after at most one retry), a rule installed
+// while the replica was dead must reach it via anti-entropy once it
+// recovers, and draining a node must remove it from peers' rotations
+// before any shutdown work starts.
+func TestClusterStorm(t *testing.T) {
+	nodes := newStormCluster(t, 3)
+
+	// Every node must see both peers routable before the storm starts.
+	for i, nd := range nodes {
+		waitForCondition(t, 3*time.Second, fmt.Sprintf("node %d to see 2 peers up", i), func() bool {
+			up, _ := nd.cl.PeerCounts()
+			return up == 2
+		})
+	}
+
+	// Fit on node 0; the install broadcast must converge on all three.
+	fitStormModel(t, nodes[0].url, "storm")
+	for i, nd := range nodes {
+		waitForCondition(t, 3*time.Second, fmt.Sprintf("storm-v1 on node %d", i), func() bool {
+			_, err := nd.reg.GetMeta("storm-v1")
+			return err == nil
+		})
+	}
+
+	// Phase A: storm nodes 0 and 1, kill node 2 mid-storm. Zero
+	// client-visible failures allowed.
+	var stop atomic.Bool
+	var total atomic.Int64
+	var failures atomic.Int64
+	var failOnce sync.Once
+	var firstFail string
+	record := func(msg string) {
+		failures.Add(1)
+		failOnce.Do(func() { firstFail = msg })
+	}
+	const senders = 8
+	var wg sync.WaitGroup
+	body := `{"rows":[[1.0,1.5,7.5],[4.5,4.4,3.9],[7.7,7.5,0.9]]}`
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			target := nodes[s%2] // only the two surviving nodes take client traffic
+			for !stop.Load() {
+				resp, err := http.Post(target.url+"/v1/models/storm-v1/score", "application/json", strings.NewReader(body))
+				if err != nil {
+					record(fmt.Sprintf("sender %d: transport error: %v", s, err))
+					continue
+				}
+				total.Add(1)
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					record(fmt.Sprintf("sender %d: status %d: %s", s, resp.StatusCode, raw))
+					continue
+				}
+				if !strings.Contains(string(raw), `"scores":[`) {
+					record(fmt.Sprintf("sender %d: malformed response: %s", s, raw))
+				}
+			}
+		}(s)
+	}
+	time.Sleep(100 * time.Millisecond)
+	nodes[2].dead.Store(true)
+	nodes[2].ts.CloseClientConnections() // cut in-flight forwards too
+	time.Sleep(250 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d of %d storm requests failed despite retries; first: %s", n, total.Load(), firstFail)
+	}
+	if total.Load() == 0 {
+		t.Fatal("storm sent no requests")
+	}
+	retries := nodes[0].cl.Snapshot().ForwardRetries + nodes[1].cl.Snapshot().ForwardRetries
+	if retries > total.Load() {
+		t.Fatalf("%d forward retries for %d requests; want at most one retry per request", retries, total.Load())
+	}
+	// The survivors must have opened the dead node's breaker.
+	for i := 0; i < 2; i++ {
+		waitForCondition(t, 2*time.Second, fmt.Sprintf("node %d to mark node 2 down", i), func() bool {
+			up, _ := nodes[i].cl.PeerCounts()
+			return up == 1
+		})
+	}
+
+	// Phase B: a rule installed while node 2 is dead must reach it by
+	// anti-entropy after it recovers.
+	fitStormModel(t, nodes[0].url, "late")
+	waitForCondition(t, 3*time.Second, "late-v1 to reach node 1 by broadcast", func() bool {
+		_, err := nodes[1].reg.GetMeta("late-v1")
+		return err == nil
+	})
+	if _, err := nodes[2].reg.GetMeta("late-v1"); err == nil {
+		t.Fatal("dead node acquired late-v1 while dead; the kill gate leaks")
+	}
+	// Keep node 2 dead until node 0's broadcast to it has provably given
+	// up (its retry schedule would otherwise outlive this short dead
+	// window and deliver late-v1 itself), so anti-entropy is the only
+	// repair path left.
+	waitForCondition(t, 3*time.Second, "node 0's broadcast to the dead node to give up", func() bool {
+		return nodes[0].cl.Snapshot().BroadcastFailures >= 1
+	})
+	nodes[2].dead.Store(false)
+	waitForCondition(t, 5*time.Second, "late-v1 to reach recovered node 2 by anti-entropy", func() bool {
+		_, err := nodes[2].reg.GetMeta("late-v1")
+		return err == nil
+	})
+	// The pull counter increments just after the install lands, so give it
+	// its own (short) wait rather than racing the registry poll above.
+	waitForCondition(t, time.Second, "the recovery to be attributed to anti-entropy pulls", func() bool {
+		return nodes[2].cl.Snapshot().AntiEntropyPulls > 0
+	})
+	// And it must rejoin the survivors' rotations.
+	for i := 0; i < 2; i++ {
+		waitForCondition(t, 3*time.Second, fmt.Sprintf("node %d to see node 2 routable again", i), func() bool {
+			up, _ := nodes[i].cl.PeerCounts()
+			return up == 2
+		})
+	}
+
+	// Phase C: draining node 1 removes it from node 0's rotation before
+	// the drain call even returns, and no subsequent request lands on it.
+	resp, err := http.Post(nodes[1].url+"/controlz/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	snap := nodes[0].cl.Snapshot()
+	for _, p := range snap.Peers {
+		if p.URL == nodes[1].url && !p.Draining {
+			t.Fatal("node 0 does not see node 1 draining after a synchronous drain")
+		}
+	}
+	baseline := nodes[1].apiHits.Load()
+	for i := 0; i < 30; i++ {
+		id := "storm-v1"
+		if i%2 == 1 {
+			id = "late-v1"
+		}
+		resp, err := http.Post(nodes[0].url+"/v1/models/"+id+"/score", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("post-drain request %d: %v", i, err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-drain request %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+	if hits := nodes[1].apiHits.Load(); hits != baseline {
+		t.Fatalf("draining node received %d forwarded requests; rotation removal failed", hits-baseline)
+	}
+
+	// Resume restores the node to rotation.
+	resp, err = http.Post(nodes[1].url+"/controlz/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitForCondition(t, 2*time.Second, "node 0 to see node 1 routable after resume", func() bool {
+		up, _ := nodes[0].cl.PeerCounts()
+		return up == 2
+	})
+}
+
+// fitStormModel fits a small rule on the given node over HTTP.
+func fitStormModel(t *testing.T, baseURL, name string) {
+	t.Helper()
+	resp := postJSON(t, baseURL+"/v1/models", FitRequest{
+		Name:  name,
+		Alpha: []float64{1, 1, -1},
+		Rows:  trainingRows(24),
+		Seed:  3,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("fit %s: status %d: %s", name, resp.StatusCode, raw)
+	}
+}
+
+// TestHealthzReadinessBody pins the readiness fields: always present, with
+// peer counts wired to the cluster and the drain flag to the drain state.
+func TestHealthzReadinessBody(t *testing.T) {
+	nodes := newStormCluster(t, 2)
+	waitForCondition(t, 3*time.Second, "peer up", func() bool {
+		up, _ := nodes[0].cl.PeerCounts()
+		return up == 1
+	})
+	resp, err := http.Get(nodes[0].url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := decodeBody[Health](t, resp)
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" || h.Draining || h.PeersUp != 1 || h.PeersTotal != 1 {
+		t.Fatalf("healthz = %d %+v, want 200 ok with peers 1/1", resp.StatusCode, h)
+	}
+
+	nodes[0].srv.Drain()
+	resp, err = http.Get(nodes[0].url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = decodeBody[Health](t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable || !h.Draining || h.Status != "draining" {
+		t.Fatalf("draining healthz = %d %+v, want 503 draining", resp.StatusCode, h)
+	}
+	nodes[0].srv.Resume()
+}
+
+// TestForwardedRequestServedLocally pins the loop guard: a request that
+// already crossed one hop is always served by the receiving node, whatever
+// the rendezvous order says.
+func TestForwardedRequestServedLocally(t *testing.T) {
+	nodes := newStormCluster(t, 3)
+	fitStormModel(t, nodes[0].url, "loop")
+	for i, nd := range nodes {
+		waitForCondition(t, 3*time.Second, fmt.Sprintf("loop-v1 on node %d", i), func() bool {
+			_, err := nd.reg.GetMeta("loop-v1")
+			return err == nil
+		})
+	}
+	body := `{"rows":[[1.0,1.5,7.5]]}`
+	for _, nd := range nodes {
+		req, err := http.NewRequest(http.MethodPost, nd.url+"/v1/models/loop-v1/score", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(cluster.ForwardedHeader, "http://elsewhere:1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("forwarded request to %s: status %d: %s", nd.url, resp.StatusCode, raw)
+		}
+		if sb := resp.Header.Get("X-RPC-Served-By"); sb != "" {
+			t.Fatalf("forwarded request was forwarded again (served by %s)", sb)
+		}
+	}
+}

@@ -19,11 +19,26 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Drain flips the server into draining mode: new API requests are answered
 // 503 with Retry-After and Connection: close, in-flight requests run to
 // completion, /healthz turns unhealthy (so load balancers stop routing
-// here), and the observability and control endpoints stay up. Idempotent.
-func (s *Server) Drain() { s.draining.Store(true) }
+// here), and the observability and control endpoints stay up. In a serving
+// group the peers are notified synchronously, so by the time Drain returns
+// this node is out of every peer's routing rotation — shutdown
+// checkpointing can start without requests still being forwarded here.
+// Idempotent.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	if s.cluster != nil {
+		s.cluster.NotifyDraining(true)
+	}
+}
 
-// Resume undoes Drain. Idempotent.
-func (s *Server) Resume() { s.draining.Store(false) }
+// Resume undoes Drain, notifying peers that this node is routable again.
+// Idempotent.
+func (s *Server) Resume() {
+	s.draining.Store(false)
+	if s.cluster != nil {
+		s.cluster.NotifyDraining(false)
+	}
+}
 
 // InFlight returns the number of requests currently being handled.
 func (s *Server) InFlight() int64 { return s.metrics.InFlight().Load() }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"rpcrank/internal/cluster"
 	"rpcrank/internal/obs"
 )
 
@@ -65,6 +66,9 @@ type Metrics struct {
 	adm *admission
 	// draining, when set, supplies the drain-state gauge.
 	draining func() bool
+	// clusterSnap, when set, supplies the serving-group series: per-peer
+	// up gauges, forward/broadcast counters, and anti-entropy activity.
+	clusterSnap func() cluster.Snapshot
 }
 
 // RouteStats holds one route's sharded counters. Handlers obtain theirs at
@@ -176,6 +180,9 @@ func (m *Metrics) SetAdmission(a *admission) { m.adm = a }
 
 // SetDraining installs the drain-state gauge source.
 func (m *Metrics) SetDraining(f func() bool) { m.draining = f }
+
+// SetCluster installs the serving-group series source.
+func (m *Metrics) SetCluster(f func() cluster.Snapshot) { m.clusterSnap = f }
 
 // writeHistogram renders one histogram family member with a label,
 // converting the stored microseconds back to the millisecond unit the
@@ -313,6 +320,46 @@ func (m *Metrics) ServeHTTP(rw http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&w, "# HELP rpcd_inflight_rows Rows charged against the in-flight row budget.\n")
 		fmt.Fprintf(&w, "# TYPE rpcd_inflight_rows gauge\n")
 		fmt.Fprintf(&w, "rpcd_inflight_rows %d\n", m.adm.rows.load())
+	}
+
+	if m.clusterSnap != nil {
+		snap := m.clusterSnap()
+		fmt.Fprintf(&w, "# HELP rpcd_peer_up Whether a serving-group peer is routable (up or half-open, not draining).\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_peer_up gauge\n")
+		for _, p := range snap.Peers {
+			up := 0
+			if p.State != "down" && !p.Draining {
+				up = 1
+			}
+			fmt.Fprintf(&w, "rpcd_peer_up{peer=%q} %d\n", p.URL, up)
+		}
+		fmt.Fprintf(&w, "# HELP rpcd_forwards_total Score/rank requests answered by a peer's relayed response.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_forwards_total counter\n")
+		fmt.Fprintf(&w, "rpcd_forwards_total %d\n", snap.Forwards)
+		fmt.Fprintf(&w, "# HELP rpcd_forward_retries_total Forward attempts beyond the first, across all requests.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_forward_retries_total counter\n")
+		fmt.Fprintf(&w, "rpcd_forward_retries_total %d\n", snap.ForwardRetries)
+		fmt.Fprintf(&w, "# HELP rpcd_forward_shed_total Requests degraded to local serving after every candidate peer failed.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_forward_shed_total counter\n")
+		fmt.Fprintf(&w, "rpcd_forward_shed_total %d\n", snap.ForwardShed)
+		fmt.Fprintf(&w, "# HELP rpcd_broadcasts_total Install broadcasts settled by a peer.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_broadcasts_total counter\n")
+		fmt.Fprintf(&w, "rpcd_broadcasts_total %d\n", snap.Broadcasts)
+		fmt.Fprintf(&w, "# HELP rpcd_broadcast_failures_total Install broadcasts that exhausted retries (left to anti-entropy).\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_broadcast_failures_total counter\n")
+		fmt.Fprintf(&w, "rpcd_broadcast_failures_total %d\n", snap.BroadcastFailures)
+		fmt.Fprintf(&w, "# HELP rpcd_antientropy_pulls_total Rules pulled from peers by the anti-entropy loop.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_antientropy_pulls_total counter\n")
+		fmt.Fprintf(&w, "rpcd_antientropy_pulls_total %d\n", snap.AntiEntropyPulls)
+		fmt.Fprintf(&w, "# HELP rpcd_antientropy_rounds_total Anti-entropy digest-exchange rounds completed.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_antientropy_rounds_total counter\n")
+		fmt.Fprintf(&w, "rpcd_antientropy_rounds_total %d\n", snap.AntiEntropyRounds)
+		fmt.Fprintf(&w, "# HELP rpcd_peer_probes_total Health probes sent to peers.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_peer_probes_total counter\n")
+		fmt.Fprintf(&w, "rpcd_peer_probes_total %d\n", snap.Probes)
+		fmt.Fprintf(&w, "# HELP rpcd_installs_replicated_total Installs applied from peers (broadcast or anti-entropy).\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_installs_replicated_total counter\n")
+		fmt.Fprintf(&w, "rpcd_installs_replicated_total %d\n", snap.InstallsReplicated)
 	}
 
 	if m.draining != nil {

@@ -50,6 +50,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rpcrank/internal/cluster"
 	"rpcrank/internal/core"
 	"rpcrank/internal/faultinject"
 	"rpcrank/internal/frame"
@@ -103,6 +104,14 @@ type Options struct {
 	// internal/faultinject). Production servers leave it nil — every
 	// injection point then compiles to a nil check.
 	Faults *faultinject.Faults
+
+	// Cluster, when non-nil, makes this node a member of a fault-tolerant
+	// serving group (see internal/cluster): score/rank traffic is sharded
+	// by rendezvous hashing across the live members and forwarded with
+	// retries, installs are broadcast to peers, and the /clusterz
+	// replication endpoints answer them. Nil is a single node; the scoring
+	// fast path then pays only a nil check.
+	Cluster *cluster.Cluster
 }
 
 const (
@@ -130,6 +139,7 @@ type Server struct {
 	logger   *slog.Logger
 	slowRing *obs.Ring
 	start    time.Time
+	cluster  *cluster.Cluster // nil on a single node
 
 	// draining, when set, sheds new API work with 503 + Connection: close
 	// while in-flight requests run to completion (see Drain/Resume and
@@ -182,6 +192,7 @@ func New(reg *registry.Registry, opts Options) *Server {
 		logger:   logger,
 		slowRing: obs.NewRing(slowRingSize),
 		start:    time.Now(),
+		cluster:  opts.Cluster,
 	}
 	if opts.Faults != nil {
 		reg.SetIOHook(func(op string) error {
@@ -195,6 +206,9 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s.metrics.SetPoolStats(s.pool.Stats)
 	s.metrics.SetAdmission(s.adm)
 	s.metrics.SetDraining(s.draining.Load)
+	if s.cluster != nil {
+		s.metrics.SetCluster(s.cluster.Snapshot)
+	}
 	s.mux.HandleFunc("POST /v1/models", s.instrument("fit", s.handleFit))
 	s.mux.HandleFunc("GET /v1/models", s.instrument("list", s.handleList))
 	s.mux.HandleFunc("GET /v1/models/{id}", s.instrument("get", s.handleGet))
@@ -210,6 +224,17 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s.mux.HandleFunc("GET /controlz", s.instrumentOps("controlz", s.handleControlz))
 	s.mux.HandleFunc("POST /controlz/drain", s.instrumentOps("drain", s.handleDrain))
 	s.mux.HandleFunc("POST /controlz/resume", s.instrumentOps("resume", s.handleResume))
+	// Replication endpoints for the serving group (internal/cluster). They
+	// ride the ops instrumentation: a draining node must keep answering
+	// digests and exports so peers can anti-entropy off it, and install
+	// replication must not be sheddable by admission budgets. The digest
+	// and export handlers are registry-backed and work on a single node
+	// too, so a group can form around a node started without -peers.
+	s.mux.HandleFunc("POST /clusterz/install", s.instrumentOps("cluster_install", s.handleClusterInstall))
+	s.mux.HandleFunc("GET /clusterz/digest", s.instrumentOps("cluster_digest", s.handleClusterDigest))
+	s.mux.HandleFunc("GET /clusterz/export/{id}", s.instrumentOps("cluster_export", s.handleClusterExport))
+	s.mux.HandleFunc("POST /clusterz/draining", s.instrumentOps("cluster_draining", s.handleClusterDraining))
+	s.mux.HandleFunc("GET /clusterz", s.instrumentOps("clusterz", s.handleClusterz))
 	s.mux.Handle("GET /metrics", s.metrics)
 	return s
 }
@@ -663,6 +688,9 @@ func (s *Server) installRule(w http.ResponseWriter, name string, rule json.RawMe
 		writeError(w, err)
 		return
 	}
+	if s.cluster != nil {
+		s.cluster.BroadcastInstall(meta.ID)
+	}
 	writeJSON(w, http.StatusCreated, FitResponse{Model: meta})
 }
 
@@ -712,6 +740,9 @@ func (s *Server) fitRows(w http.ResponseWriter, name string, req *FitRequest) {
 	if err != nil {
 		writeError(w, err)
 		return
+	}
+	if s.cluster != nil {
+		s.cluster.BroadcastInstall(meta.ID)
 	}
 	writeJSON(w, http.StatusCreated, FitResponse{
 		Model:     meta,
@@ -950,6 +981,9 @@ func (s *Server) scoreFailed(tr *obs.Trace, key uint64, total int, err error) er
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if s.cluster != nil && s.maybeForward(w, r) {
+		return
+	}
 	tr := traceOf(w)
 	id, scores, err := s.scoreRows(w, tr, r)
 	if sw, ok := w.(*statusWriter); ok {
@@ -974,6 +1008,9 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	if s.cluster != nil && s.maybeForward(w, r) {
+		return
+	}
 	tr := traceOf(w)
 	id, scores, err := s.scoreRows(w, tr, r)
 	if sw, ok := w.(*statusWriter); ok {
@@ -1004,11 +1041,17 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := Health{Status: "ok", Models: s.reg.Len()}
+	if s.cluster != nil {
+		h.PeersUp, h.PeersTotal = s.cluster.PeerCounts()
+	}
 	// A draining node reports unhealthy so load balancers stop routing to
 	// it, while /statusz and /controlz keep answering with full detail.
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, Health{Status: "draining", Models: s.reg.Len()})
+		h.Status = "draining"
+		h.Draining = true
+		writeJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
-	writeJSON(w, http.StatusOK, Health{Status: "ok", Models: s.reg.Len()})
+	writeJSON(w, http.StatusOK, h)
 }

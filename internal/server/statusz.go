@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"rpcrank/internal/cluster"
 	"rpcrank/internal/obs"
 	"rpcrank/internal/registry"
 )
@@ -47,6 +48,7 @@ type statuszSnapshot struct {
 	InFlight       int64              `json:"in_flight"`
 	Pool           statuszPool        `json:"pool"`
 	Admission      statuszAdmission   `json:"admission"`
+	Cluster        *cluster.Snapshot  `json:"cluster,omitempty"`
 	Models         []registry.Meta    `json:"models"`
 	SlowRequests   []obs.TraceSummary `json:"slow_requests"`
 }
@@ -60,6 +62,11 @@ func (s *Server) snapshot() statuszSnapshot {
 		if n := s.adm.shed[i].Load(); n > 0 {
 			shed[shedReasonNames[i]] = n
 		}
+	}
+	var clusterSnap *cluster.Snapshot
+	if s.cluster != nil {
+		cs := s.cluster.Snapshot()
+		clusterSnap = &cs
 	}
 	return statuszSnapshot{
 		Now:            time.Now(),
@@ -78,6 +85,7 @@ func (s *Server) snapshot() statuszSnapshot {
 			Shed:          shed,
 			Models:        s.adm.snapshotModels(),
 		},
+		Cluster:      clusterSnap,
 		Models:       s.reg.List(),
 		SlowRequests: s.slowRing.Snapshot(),
 	}
@@ -136,6 +144,26 @@ func renderStatuszHTML(b *bytes.Buffer, snap *statuszSnapshot) {
 			fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%d</td></tr>\n", esc(m.Model), m.Active, m.Queued)
 		}
 		fmt.Fprintf(b, "</table>\n")
+	}
+
+	if snap.Cluster != nil {
+		c := snap.Cluster
+		fmt.Fprintf(b, "<h2>Cluster</h2><table>\n")
+		fmt.Fprintf(b, "<tr><th>self</th><td>%s</td></tr>\n", esc(c.Self))
+		fmt.Fprintf(b, "<tr><th>peers up</th><td>%d / %d</td></tr>\n", c.PeersUp, len(c.Peers))
+		fmt.Fprintf(b, "<tr><th>forwards</th><td>%d (%d retries, %d shed)</td></tr>\n", c.Forwards, c.ForwardRetries, c.ForwardShed)
+		fmt.Fprintf(b, "<tr><th>broadcasts</th><td>%d (%d failed)</td></tr>\n", c.Broadcasts, c.BroadcastFailures)
+		fmt.Fprintf(b, "<tr><th>anti-entropy</th><td>%d rounds, %d pulls</td></tr>\n", c.AntiEntropyRounds, c.AntiEntropyPulls)
+		fmt.Fprintf(b, "<tr><th>installs replicated</th><td>%d</td></tr>\n", c.InstallsReplicated)
+		fmt.Fprintf(b, "</table>\n")
+		if len(c.Peers) > 0 {
+			fmt.Fprintf(b, "<table><tr><th>peer</th><th>state</th><th>draining</th><th>consecutive fails</th><th>last probe</th><th>last error</th></tr>\n")
+			for _, p := range c.Peers {
+				fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%v</td><td>%d</td><td>%dms ago</td><td>%s</td></tr>\n",
+					esc(p.URL), esc(p.State), p.Draining, p.ConsecutiveFails, p.LastProbeAgoMs, esc(p.LastErr))
+			}
+			fmt.Fprintf(b, "</table>\n")
+		}
 	}
 
 	fmt.Fprintf(b, "<h2>Models (%d)</h2>\n", len(snap.Models))
