@@ -107,8 +107,16 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr, p
 	if err != nil {
 		return err
 	}
+	defer reg.Close()
 	for _, s := range reg.Skipped() {
 		logger.Warn("skipped unreadable model file", "path", s)
+	}
+	if rs := reg.Stats(); rs.TmpFilesRemoved > 0 || rs.Quarantined > 0 || rs.LegacyRecords > 0 {
+		logger.Info("registry integrity scan",
+			"tmp_files_removed", rs.TmpFilesRemoved,
+			"quarantined", rs.Quarantined,
+			"quarantined_ids", rs.QuarantinedIDs,
+			"legacy_records", rs.LegacyRecords)
 	}
 	inflightBytes := *maxInflightMB
 	if inflightBytes > 0 {

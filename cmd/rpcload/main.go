@@ -112,24 +112,33 @@ type bucketOut struct {
 
 // artifact is the JSON document rpcload writes: the run configuration,
 // outcome counters, and the latency distribution of successful requests.
+//
+// The failure counters keep three causes apart, because they call for
+// three different reactions: Errors are transport failures (the server or
+// network is broken), Shed counts 429/503 answers (the server is healthy
+// and protecting itself — expected when the storm exceeds its admission
+// limits), and Non2xx is everything else non-2xx (a real bug in the run
+// or the server). ByStatus has the full per-status breakdown.
 type artifact struct {
-	URL            string      `json:"url"`
-	Model          string      `json:"model"`
-	Concurrency    int         `json:"concurrency"`
-	RowsPerRequest int         `json:"rows_per_request"`
-	IntervalMs     float64     `json:"interval_ms"`
-	DurationMs     float64     `json:"duration_ms"`
-	Requests       int64       `json:"requests"`
-	Errors         int64       `json:"errors"`
-	Non2xx         int64       `json:"non_2xx"`
-	Reconnects     int64       `json:"reconnects"`
-	MinMs          float64     `json:"min_ms"`
-	MeanMs         float64     `json:"mean_ms"`
-	MaxMs          float64     `json:"max_ms"`
-	P50Ms          float64     `json:"p50_ms"`
-	P95Ms          float64     `json:"p95_ms"`
-	P99Ms          float64     `json:"p99_ms"`
-	Histogram      []bucketOut `json:"histogram"`
+	URL            string           `json:"url"`
+	Model          string           `json:"model"`
+	Concurrency    int              `json:"concurrency"`
+	RowsPerRequest int              `json:"rows_per_request"`
+	IntervalMs     float64          `json:"interval_ms"`
+	DurationMs     float64          `json:"duration_ms"`
+	Requests       int64            `json:"requests"`
+	Errors         int64            `json:"errors"`
+	Shed           int64            `json:"shed"`
+	Non2xx         int64            `json:"non_2xx"`
+	ByStatus       map[string]int64 `json:"by_status,omitempty"`
+	Reconnects     int64            `json:"reconnects"`
+	MinMs          float64          `json:"min_ms"`
+	MeanMs         float64          `json:"mean_ms"`
+	MaxMs          float64          `json:"max_ms"`
+	P50Ms          float64          `json:"p50_ms"`
+	P95Ms          float64          `json:"p95_ms"`
+	P99Ms          float64          `json:"p99_ms"`
+	Histogram      []bucketOut      `json:"histogram"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -169,7 +178,9 @@ func run(args []string, out io.Writer) error {
 	target := base + "/v1/models/" + *model + "/score"
 
 	hist := newHistogram()
-	var errors, non2xx, reconnects atomic.Int64
+	var errors, shed, non2xx, reconnects atomic.Int64
+	var statusMu sync.Mutex
+	byStatus := make(map[string]int64)
 	stopAt := time.Now().Add(*duration)
 	var wg sync.WaitGroup
 	for s := 0; s < *concurrency; s++ {
@@ -201,9 +212,18 @@ func run(args []string, out io.Writer) error {
 				} else {
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
-					if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+					statusMu.Lock()
+					byStatus[strconv.Itoa(resp.StatusCode)]++
+					statusMu.Unlock()
+					switch {
+					case resp.StatusCode >= 200 && resp.StatusCode < 300:
 						hist.observe(time.Since(start))
-					} else {
+					case resp.StatusCode == http.StatusTooManyRequests ||
+						resp.StatusCode == http.StatusServiceUnavailable:
+						// An overloaded-but-healthy server shedding load is a
+						// different outcome from a broken one.
+						shed.Add(1)
+					default:
 						non2xx.Add(1)
 					}
 				}
@@ -225,7 +245,9 @@ func run(args []string, out io.Writer) error {
 		DurationMs:     float64(*duration) / float64(time.Millisecond),
 		Requests:       hist.n,
 		Errors:         errors.Load(),
+		Shed:           shed.Load(),
 		Non2xx:         non2xx.Load(),
+		ByStatus:       byStatus,
 		Reconnects:     reconnects.Load(),
 		MinMs:          hist.minMs,
 		MaxMs:          hist.maxMs,
@@ -255,8 +277,8 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	fmt.Fprintf(out, "rpcload: %d requests, %d errors, %d non-2xx | p50 %.2fms p95 %.2fms p99 %.2fms\n",
-		art.Requests, art.Errors, art.Non2xx, art.P50Ms, art.P95Ms, art.P99Ms)
+	fmt.Fprintf(out, "rpcload: %d requests, %d errors, %d shed, %d non-2xx | p50 %.2fms p95 %.2fms p99 %.2fms\n",
+		art.Requests, art.Errors, art.Shed, art.Non2xx, art.P50Ms, art.P95Ms, art.P99Ms)
 	if *outPath != "" {
 		fmt.Fprintf(out, "rpcload: histogram written to %s\n", *outPath)
 	}

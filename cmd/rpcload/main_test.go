@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -79,8 +80,11 @@ func TestRunEmitsHistogramArtifact(t *testing.T) {
 	if art.Requests == 0 {
 		t.Fatal("artifact recorded zero requests")
 	}
-	if art.Errors != 0 || art.Non2xx != 0 {
-		t.Fatalf("clean run recorded %d errors, %d non-2xx", art.Errors, art.Non2xx)
+	if art.Errors != 0 || art.Shed != 0 || art.Non2xx != 0 {
+		t.Fatalf("clean run recorded %d errors, %d shed, %d non-2xx", art.Errors, art.Shed, art.Non2xx)
+	}
+	if art.ByStatus["200"] != art.Requests {
+		t.Fatalf("by_status = %v, want %d 200s", art.ByStatus, art.Requests)
 	}
 	var total int64
 	for _, b := range art.Histogram {
@@ -148,6 +152,65 @@ func TestRunSurvivesServerErrors(t *testing.T) {
 	}
 	if art.Reconnects != art.Errors {
 		t.Fatalf("every transport error must trigger a reconnect: errors=%d reconnects=%d", art.Errors, art.Reconnects)
+	}
+	if art.Shed != 0 {
+		t.Fatalf("transport errors must not count as sheds: %+v", art)
+	}
+}
+
+// TestRunSplitsShedsFromErrors pins the 429/503-vs-error split: a server
+// that sheds every request yields a run with Shed == attempts, zero
+// transport errors, zero non-2xx, and a per-status breakdown.
+func TestRunSplitsShedsFromErrors(t *testing.T) {
+	url := startTestServer(t)
+	var sheds atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/score") {
+			// Alternate the two shed statuses the server's admission
+			// control uses.
+			code := http.StatusTooManyRequests
+			if sheds.Add(1)%2 == 0 {
+				code = http.StatusServiceUnavailable
+			}
+			w.WriteHeader(code)
+			return
+		}
+		http.Redirect(w, r, url+r.URL.Path, http.StatusTemporaryRedirect)
+	}))
+	defer ts.Close()
+	out := filepath.Join(t.TempDir(), "hist.json")
+	var buf strings.Builder
+	err := run([]string{
+		"-url", ts.URL,
+		"-model", "load-v1",
+		"-concurrency", "2",
+		"-rows", "4",
+		"-duration", "150ms",
+		"-interval", "5ms",
+		"-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Shed == 0 {
+		t.Fatalf("shedding server produced no sheds: %+v", art)
+	}
+	if art.Errors != 0 || art.Non2xx != 0 || art.Requests != 0 {
+		t.Fatalf("sheds leaked into other counters: %+v", art)
+	}
+	if art.ByStatus["429"]+art.ByStatus["503"] != art.Shed {
+		t.Fatalf("by_status %v does not account for %d sheds", art.ByStatus, art.Shed)
+	}
+	if !strings.Contains(buf.String(), "shed") {
+		t.Fatalf("summary line missing shed count: %q", buf.String())
 	}
 }
 

@@ -89,6 +89,11 @@ type DrainNotice struct {
 // InstallResult answers POST /clusterz/install.
 type InstallResult struct {
 	Installed bool `json:"installed"`
+	// Persisted is false when the receiving node accepted the install in
+	// degraded write mode (serving from memory, disk write pending). The
+	// install still counts as applied; the sender needs no retry — the
+	// receiver's background flush owns the durability.
+	Persisted bool `json:"persisted"`
 }
 
 // State is a peer's circuit-breaker state.

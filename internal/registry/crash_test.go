@@ -1,0 +1,398 @@
+package registry
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rpcrank/internal/core"
+	"rpcrank/internal/faultinject"
+)
+
+// crashModels fits the two deterministic models every crash scenario
+// reuses; fitting is the expensive part, so it happens once per test
+// binary.
+var crashModels struct {
+	once sync.Once
+	m    [2]*core.Model
+}
+
+func crashModel(t *testing.T, i int) *core.Model {
+	t.Helper()
+	crashModels.once.Do(func() {
+		crashModels.m[0] = fitTestModel(t)
+		// A second, distinct model: same rows reversed gives a different
+		// curve, so "wrong model behind an ID" is detectable by score.
+		rows := [][]float64{
+			{8.1, 7.9, 0.3}, {7.0, 7.2, 1.1}, {6.2, 6.1, 2.2}, {5.1, 4.9, 3.0},
+			{4.0, 4.2, 4.1}, {3.2, 3.1, 5.2}, {2.1, 2.3, 6.5}, {0.9, 1.2, 8.0},
+		}
+		m, err := core.Fit(rows, core.Options{Alpha: crashModels.m[0].Alpha, Seed: 11})
+		if err != nil {
+			t.Fatalf("fit second crash model: %v", err)
+		}
+		crashModels.m[1] = m
+	})
+	return crashModels.m[i%2]
+}
+
+// TestCrashRecovery is the randomized crash-injection harness. For each
+// seed it drives a registry through a storm of Puts and replicated
+// installs with write faults injected at the faultinject RegistryWrite
+// point (the same hook the server wires), then simulates a crash by
+// damaging the directory directly — torn temp files, truncation at a
+// random byte, bit flips, spliced garbage, deleted files, stripped
+// footers — reopens, and asserts the invariant set:
+//
+//   - Open always succeeds; a damaged file never wedges startup.
+//   - No corrupt record ever loads: every rule the reopened registry
+//     serves scores exactly as the model that was stored under its ID.
+//   - Version high-water marks never regress below what the surviving
+//     state proves, so no ID is ever re-issued.
+//   - One anti-entropy round against a healthy mirror (export → install)
+//     restores every quarantined or missing version byte-identical to the
+//     mirror's copy.
+//
+// CRASH_SEEDS overrides the seed count (default 20; CI runs 100 under
+// -race). CRASH_SEED pins the base seed; every run logs it, so a failure
+// reproduces with CRASH_SEED=<logged value>.
+func TestCrashRecovery(t *testing.T) {
+	seeds := 20
+	if v := os.Getenv("CRASH_SEEDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad CRASH_SEEDS %q", v)
+		}
+		seeds = n
+	}
+	baseSeed := time.Now().UnixNano()
+	if v := os.Getenv("CRASH_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CRASH_SEED %q", v)
+		}
+		baseSeed = n
+	}
+	t.Logf("crash: %d seeds, base seed %d (reproduce with CRASH_SEED=%d)", seeds, baseSeed, baseSeed)
+	for i := 0; i < seeds; i++ {
+		seed := baseSeed + int64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runCrashScenario(t, seed)
+		})
+	}
+}
+
+func runCrashScenario(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	dir := t.TempDir()
+	reg, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.retryEvery = time.Hour // flushes in this test are explicit
+	defer reg.Close()
+
+	// mirror is the healthy replica: it receives every rule the stormed
+	// registry accepted, so it can play the anti-entropy peer afterwards.
+	mirror, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mirror.Close()
+
+	// Write faults at the faultinject RegistryWrite point, exactly as the
+	// server wires them.
+	faults := faultinject.New(seed)
+	faults.Set(faultinject.PointRegistryWrite, faultinject.Spec{ErrProb: 0.35})
+	reg.SetIOHook(func(op string) error {
+		if op != "write" {
+			return nil
+		}
+		return faults.Fire(faultinject.PointRegistryWrite)
+	})
+
+	// Storm phase: random local Puts and replicated installs under fire.
+	// expected maps every accepted ID to the score its model gives the
+	// probe row — the oracle for "the right model answers behind this ID".
+	probe := probeRows[0]
+	expected := make(map[string]float64)
+	names := []string{"alpha", "beta"}
+	ops := 10 + rng.Intn(8)
+	for op := 0; op < ops; op++ {
+		name := names[rng.Intn(len(names))]
+		m := crashModel(t, rng.Intn(2))
+		if rng.Float64() < 0.7 { // local Put
+			meta, err := reg.Put(name, m, 8, m.ExplainedVariance())
+			if err != nil {
+				t.Fatalf("put: %v", err)
+			}
+			expected[meta.ID] = m.Score(probe)
+			expMeta, rule, err := reg.Export(meta.ID)
+			if err != nil {
+				t.Fatalf("export to mirror: %v", err)
+			}
+			if _, err := mirror.InstallVersion(expMeta, rule); err != nil {
+				t.Fatalf("mirror install: %v", err)
+			}
+		} else { // replicated install minted by the mirror
+			meta, err := mirror.Put(name, m, 8, m.ExplainedVariance())
+			if err != nil {
+				t.Fatalf("mirror put: %v", err)
+			}
+			expMeta, rule, err := mirror.Export(meta.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := reg.InstallVersion(expMeta, rule); err != nil {
+				t.Fatalf("install: %v", err)
+			}
+			expected[meta.ID] = m.Score(probe)
+		}
+	}
+
+	// Let the disk "recover" and flush what the faults held back, so the
+	// crash damages a directory in a known pre-crash state. Some seeds
+	// leave the faults armed instead — crashing mid-degradation — and then
+	// only the surviving files define the floor.
+	flushed := rng.Float64() < 0.7
+	if flushed {
+		reg.SetIOHook(nil)
+		if remaining := reg.FlushPending(); remaining != 0 {
+			t.Fatalf("flush left %d pending", remaining)
+		}
+	}
+	preDigest := reg.VersionDigest()
+	reg.Close()
+
+	// Crash phase: damage the directory behind the closed registry.
+	damaged := make(map[string]string) // filename → damage kind
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []string{"truncate", "bitflip", "garbage", "delete", "stripfooter"}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		if e.Name() != versionsFile && rng.Float64() > 0.45 {
+			continue
+		}
+		if e.Name() == versionsFile && rng.Float64() > 0.3 {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		kind := kinds[rng.Intn(len(kinds))]
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch kind {
+		case "truncate":
+			if err := os.WriteFile(path, raw[:rng.Intn(len(raw))], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		case "bitflip":
+			raw[rng.Intn(len(raw))] ^= byte(1 << rng.Intn(8))
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		case "garbage":
+			if err := os.WriteFile(path, []byte("{\"torn\": tru"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		case "delete":
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		case "stripfooter":
+			// Lose exactly the footer: leaves a complete, valid legacy v1
+			// record — it must still load, not quarantine.
+			if payload, format, err := openRecord(raw); err == nil && format == formatV2 {
+				if err := os.WriteFile(path, payload, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		damaged[e.Name()] = kind
+	}
+	// Torn atomicWrite leftovers from the "crash".
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf(".tmp-torn%d", i)), []byte("to"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The floor the reopened marks must respect: versions provable from
+	// the files present on disk (filenames burn versions even damaged),
+	// plus the full pre-crash digest when the control file was flushed
+	// and survived intact.
+	floor := make(map[string]int)
+	entries, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		if name, v, ok := parseID(strings.TrimSuffix(e.Name(), ".json")); ok && v > floor[name] {
+			floor[name] = v
+		}
+	}
+	if flushed {
+		if _, wasDamaged := damaged[versionsFile]; !wasDamaged {
+			for name, v := range preDigest {
+				if v > floor[name] {
+					floor[name] = v
+				}
+			}
+		}
+	}
+
+	// Recovery phase.
+	reg2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	reg2.retryEvery = time.Hour
+	defer reg2.Close()
+
+	st := reg2.Stats()
+	if st.TmpFilesRemoved == 0 {
+		t.Fatal("torn temp files not swept")
+	}
+	// Invariant: nothing corrupt loads. Every served rule answers with
+	// exactly the score of the model stored under its ID.
+	for _, id := range reg2.IDs() {
+		m, _, err := reg2.Get(id)
+		if err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+		want, known := expected[id]
+		if !known {
+			t.Fatalf("reopened registry serves %s which was never accepted", id)
+		}
+		if got := m.Score(probe); got != want {
+			t.Fatalf("%s serves the wrong model: score %v, want %v", id, got, want)
+		}
+		doc, err := reg2.RuleDocument(id)
+		if err != nil {
+			t.Fatalf("rule document %s: %v", id, err)
+		}
+		if _, err := core.Load(bytes.NewReader(doc)); err != nil {
+			t.Fatalf("served rule %s does not round-trip: %v", id, err)
+		}
+	}
+	// Invariant: marks never regress below the provable floor.
+	digest := reg2.VersionDigest()
+	for name, v := range floor {
+		if digest[name] < v {
+			t.Fatalf("mark regressed: %s = %d, floor %d (damage: %v)", name, digest[name], v, damaged)
+		}
+	}
+	// Invariant: a fresh Put never collides with anything the mirror has
+	// seen for that name (ID reuse across the crash).
+	for _, name := range names {
+		meta, err := reg2.Put(name, crashModel(t, 0), 8, 0)
+		if err != nil {
+			t.Fatalf("post-crash put: %v", err)
+		}
+		if meta.Version <= floor[name] {
+			t.Fatalf("post-crash Put re-issued %s (floor %d)", meta.ID, floor[name])
+		}
+		expected[meta.ID] = crashModel(t, 0).Score(probe)
+		// Replicate to the mirror so the repair comparison below stays
+		// consistent.
+		expMeta, rule, err := reg2.Export(meta.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mirror.InstallVersion(expMeta, rule); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Repair phase: one anti-entropy round against the healthy mirror —
+	// pull every ID present there and missing here (exactly what
+	// cluster.antiEntropyRound does off /clusterz/digest).
+	have := make(map[string]bool)
+	for _, id := range reg2.IDs() {
+		have[id] = true
+	}
+	quarBefore := reg2.Stats().Quarantined
+	repairs := 0
+	for _, id := range mirror.IDs() {
+		if have[id] {
+			continue
+		}
+		expMeta, rule, err := mirror.Export(id)
+		if err != nil {
+			t.Fatalf("mirror export %s: %v", id, err)
+		}
+		installed, err := reg2.InstallVersion(expMeta, rule)
+		if err != nil {
+			t.Fatalf("repair install %s: %v", id, err)
+		}
+		if !installed {
+			t.Fatalf("repair install %s reported no-op for a missing id", id)
+		}
+		repairs++
+		// Byte-identical restoration.
+		want, err := os.ReadFile(filepath.Join(mirror.Dir(), id+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(dir, id+".json"))
+		if err != nil {
+			t.Fatalf("repaired file missing for %s: %v", id, err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("repaired %s is not byte-identical to the mirror's copy", id)
+		}
+	}
+	// After the round the registry is whole again: every accepted rule
+	// serves, nothing quarantined remains except records the mirror never
+	// had (impossible here — it saw every accept).
+	st = reg2.Stats()
+	if st.Quarantined != 0 {
+		t.Fatalf("quarantine not emptied by one round: %+v (damage: %v)", st, damaged)
+	}
+	if quarBefore > 0 && st.RepairedTotal == 0 {
+		t.Fatalf("quarantined records repaired without counting: before=%d stats=%+v", quarBefore, st)
+	}
+	for id, want := range expected {
+		m, _, err := reg2.Get(id)
+		if err != nil {
+			// A rule whose only copy was a degraded write on the crashed
+			// node (never flushed, never exported before the crash) is
+			// legitimately gone — but the mirror had everything here.
+			t.Fatalf("post-repair get %s: %v", id, err)
+		}
+		if got := m.Score(probe); got != want {
+			t.Fatalf("post-repair %s scores %v, want %v", id, got, want)
+		}
+	}
+	if repairs == 0 && len(damaged) > 0 {
+		// With damage applied, at least the deleted/corrupted rule files
+		// should have forced pulls unless every damaged file was the
+		// control file or a stripped footer (still-valid v1).
+		benign := true
+		for f, kind := range damaged {
+			if f == versionsFile || kind == "stripfooter" {
+				continue
+			}
+			benign = false
+		}
+		if !benign {
+			t.Fatalf("destructive damage %v produced no repair pulls", damaged)
+		}
+	}
+}

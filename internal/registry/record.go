@@ -1,0 +1,93 @@
+// Record envelope: the checksummed on-disk format of the registry.
+//
+// A format-v2 record is the JSON payload followed by a one-line footer
+//
+//	\n#rpcrank-rec v2 crc64=<16 hex digits> len=<payload bytes>\n
+//
+// The CRC64 (ECMA polynomial) covers exactly the payload bytes, so a torn
+// write, truncation, or bit-rot anywhere in the file is detected before the
+// payload is ever parsed. The footer rides behind the JSON document as a
+// comment-looking line: core.Load and json.Unmarshal never see it because
+// openRecord strips it first, and a v1 reader that ignores trailing garbage
+// would still parse the payload. Detection is unambiguous — a marshaled JSON
+// document cannot contain a literal newline inside a string (encoding/json
+// escapes control characters), so the last occurrence of the footer marker
+// in a well-formed record is always the real footer.
+//
+// Files with no footer are format v1 (written by earlier releases). They
+// stay loadable — openRecord returns the whole file as the payload — and are
+// rewritten to v2 lazily on the next Put or Sync.
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc64"
+)
+
+// ErrCorrupt marks a record that is structurally damaged — checksum
+// mismatch, truncation, or an unparseable payload — as opposed to a
+// transient I/O failure. Only ErrCorrupt records are quarantined.
+var ErrCorrupt = errors.New("registry: corrupt record")
+
+// recordFormat identifies the on-disk envelope a record was read with.
+type recordFormat int
+
+const (
+	formatV1 recordFormat = 1 // bare JSON payload, no integrity footer
+	formatV2 recordFormat = 2 // payload + CRC64 footer
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// footerMarker begins every v2 footer. The leading newline is part of the
+// marker so a payload byte sequence "#rpcrank-rec " mid-line cannot alias it.
+const footerMarker = "\n#rpcrank-rec "
+
+// sealRecord wraps payload in the v2 envelope: payload + CRC64 footer.
+func sealRecord(payload []byte) []byte {
+	footer := fmt.Sprintf("%sv2 crc64=%016x len=%d\n", footerMarker, crc64.Checksum(payload, crcTable), len(payload))
+	out := make([]byte, 0, len(payload)+len(footer))
+	out = append(out, payload...)
+	return append(out, footer...)
+}
+
+// openRecord validates a record read from disk and returns its payload.
+// A record without a footer is format v1 and passes through unverified
+// (there is nothing to verify against). A record with a footer must match
+// it exactly: wrong length or wrong checksum returns ErrCorrupt.
+func openRecord(data []byte) ([]byte, recordFormat, error) {
+	idx := bytes.LastIndex(data, []byte(footerMarker))
+	if idx < 0 {
+		return data, formatV1, nil
+	}
+	payload := data[:idx]
+	var crc uint64
+	var n int
+	tail := string(data[idx:])
+	if _, err := fmt.Sscanf(tail, footerMarker+"v2 crc64=%16x len=%d\n", &crc, &n); err != nil {
+		return nil, formatV2, fmt.Errorf("%w: malformed footer %q", ErrCorrupt, truncateForErr(tail))
+	}
+	// The footer must be the whole remainder of the file: trailing bytes
+	// after it mean the file was appended to or spliced.
+	if want := fmt.Sprintf("%sv2 crc64=%016x len=%d\n", footerMarker, crc, n); tail != want {
+		return nil, formatV2, fmt.Errorf("%w: trailing bytes after footer", ErrCorrupt)
+	}
+	if len(payload) != n {
+		return nil, formatV2, fmt.Errorf("%w: truncated payload (%d bytes, footer recorded %d)", ErrCorrupt, len(payload), n)
+	}
+	if got := crc64.Checksum(payload, crcTable); got != crc {
+		return nil, formatV2, fmt.Errorf("%w: crc64 mismatch (payload %016x, footer %016x)", ErrCorrupt, got, crc)
+	}
+	return payload, formatV2, nil
+}
+
+// truncateForErr bounds how much of a damaged footer lands in an error
+// string.
+func truncateForErr(s string) string {
+	if len(s) > 64 {
+		return s[:64] + "…"
+	}
+	return s
+}

@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -56,6 +57,13 @@ type Meta struct {
 	// rules installed from a saved document (the rule payload itself stays
 	// a pure serving artifact; diagnostics live only in this envelope).
 	Fit *core.FitDiagnostics `json:"fit,omitempty"`
+	// Persisted, when non-nil and false, marks a rule accepted in degraded
+	// write mode: the disk write failed and the rule serves from memory
+	// until a background retry lands it. nil (omitted) means durably
+	// persisted — the normal case — so on-disk and replicated bytes are
+	// unchanged for healthy records, and the flag clears once the retry
+	// succeeds.
+	Persisted *bool `json:"persisted,omitempty"`
 }
 
 // fileJSON is the on-disk envelope: metadata plus the exact byte output of
@@ -114,6 +122,24 @@ type Registry struct {
 	cache    map[string]*list.Element // id → LRU element holding cached
 	lru      *list.List               // front = most recently used
 	skipped  []string                 // files Open could not index
+	quar     map[string]string        // id (or filename) → why quarantined
+	pending  map[string]*pendingWrite // id → degraded write awaiting disk
+	legacy   map[string]bool          // id → format-v1 file awaiting rewrite
+
+	tmpRemoved int // dead .tmp-* files swept by Open
+
+	corruptTotal  atomic.Int64
+	repairedTotal atomic.Int64
+	degradedTotal atomic.Int64
+	flushedTotal  atomic.Int64
+
+	// Background flush of degraded writes (see durable.go). The goroutine
+	// starts lazily on the first degraded write and stops at Close.
+	retryEvery       time.Duration
+	retryMaxAttempts int
+	retryOnce        sync.Once
+	stop             chan struct{}
+	closeOnce        sync.Once
 
 	// ioHook, when set, runs before each rule-file read ("read") or
 	// persisted write ("write") and can veto it with an error. It exists
@@ -146,10 +172,17 @@ func (r *Registry) fireIOHook(op string) error {
 // IDs must stay immutable, so the high-water mark is persisted.
 const versionsFile = ".versions.json"
 
-// Open creates dir if needed, indexes every rule already present, and
-// returns the registry. maxLoaded bounds how many decoded models stay in
-// memory (≤ 0 selects DefaultMaxLoaded). Files that fail to index are
-// skipped, not fatal — see Skipped.
+// Open creates dir if needed, runs an integrity scan over every record
+// already present, and returns the registry. maxLoaded bounds how many
+// decoded models stay in memory (≤ 0 selects DefaultMaxLoaded).
+//
+// The scan verifies each record's envelope (CRC64 for format-v2 files, a
+// full model decode for legacy v1 files, which carry no checksum). Corrupt
+// or foreign files are moved to <dir>/quarantine/ — never deleted — and
+// reported via Skipped and Stats; their versions stay burned, so a
+// quarantined wine-v3 can be restored byte-identical by a peer without any
+// risk of a new model re-using its ID. A damaged file never prevents Open
+// from succeeding and never loads as a model.
 //
 // A directory must be owned by exactly one Registry at a time: two
 // instances over the same dir would fork the version counter and could
@@ -162,12 +195,18 @@ func Open(dir string, maxLoaded int) (*Registry, error) {
 		return nil, fmt.Errorf("registry: creating %s: %w", dir, err)
 	}
 	r := &Registry{
-		dir:       dir,
-		maxLoaded: maxLoaded,
-		metas:     make(map[string]Meta),
-		versions:  make(map[string]int),
-		cache:     make(map[string]*list.Element),
-		lru:       list.New(),
+		dir:              dir,
+		maxLoaded:        maxLoaded,
+		metas:            make(map[string]Meta),
+		versions:         make(map[string]int),
+		cache:            make(map[string]*list.Element),
+		lru:              list.New(),
+		quar:             make(map[string]string),
+		pending:          make(map[string]*pendingWrite),
+		legacy:           make(map[string]bool),
+		retryEvery:       defaultRetryInterval,
+		retryMaxAttempts: defaultRetryMaxAttempts,
+		stop:             make(chan struct{}),
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -176,8 +215,10 @@ func Open(dir string, maxLoaded int) (*Registry, error) {
 	for _, e := range entries {
 		if !e.IsDir() && strings.HasPrefix(e.Name(), ".tmp-") {
 			// Leftover from an atomicWrite interrupted by a crash; the
-			// rename never happened, so it is garbage.
-			os.Remove(filepath.Join(dir, e.Name()))
+			// rename never happened, so it is dead by construction.
+			if os.Remove(filepath.Join(dir, e.Name())) == nil {
+				r.tmpRemoved++
+			}
 			continue
 		}
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") || strings.HasPrefix(e.Name(), ".") {
@@ -189,62 +230,106 @@ func Open(dir string, maxLoaded int) (*Registry, error) {
 		if name, version, ok := parseID(strings.TrimSuffix(e.Name(), ".json")); ok && version > r.versions[name] {
 			r.versions[name] = version
 		}
-		meta, err := readMeta(filepath.Join(dir, e.Name()))
+		meta, format, err := readRecordMeta(filepath.Join(dir, e.Name()))
 		if err != nil {
-			// One corrupt or foreign file must not take every healthy
-			// rule offline; record it and keep indexing.
-			r.skipped = append(r.skipped, fmt.Sprintf("%s: %v", e.Name(), err))
+			// One damaged or foreign file must not take every healthy rule
+			// offline. Structural corruption is quarantined (moved aside,
+			// counted, repairable by a peer); an OS-level read error is
+			// only recorded — the file may be fine once the disk recovers.
+			if errors.Is(err, ErrCorrupt) {
+				r.quarantineAtOpen(e.Name(), err)
+			} else {
+				r.skipped = append(r.skipped, fmt.Sprintf("%s: %v", e.Name(), err))
+			}
 			continue
 		}
 		if e.Name() != meta.ID+".json" {
 			// A renamed or hand-copied file would be listed under an ID
-			// whose path does not exist (or shadow a real rule); skip it.
-			r.skipped = append(r.skipped, fmt.Sprintf("%s: filename does not match rule id %q", e.Name(), meta.ID))
+			// whose path does not exist (or shadow a real rule).
+			r.quarantineAtOpen(e.Name(), fmt.Errorf("%w: filename does not match rule id %q", ErrCorrupt, meta.ID))
 			continue
 		}
 		r.metas[meta.ID] = meta
+		if format == formatV1 {
+			r.legacy[meta.ID] = true
+		}
 		if meta.Version > r.versions[meta.Name] {
 			r.versions[meta.Name] = meta.Version
 		}
 	}
 	// The persisted high-water marks win over the scan: a name whose
-	// newest versions were deleted must not have its IDs re-issued.
+	// newest versions were deleted must not have its IDs re-issued. A
+	// damaged control file is quarantined and the scan-derived marks stand
+	// — strictly weaker information, but never a startup failure (and the
+	// marks re-persist, checksummed, on the next Put or Sync).
 	if raw, err := os.ReadFile(filepath.Join(dir, versionsFile)); err == nil {
 		saved := make(map[string]int)
-		if err := json.Unmarshal(raw, &saved); err != nil {
-			return nil, fmt.Errorf("registry: decoding %s: %w", versionsFile, err)
+		payload, _, verr := openRecord(raw)
+		if verr == nil {
+			if uerr := json.Unmarshal(payload, &saved); uerr != nil {
+				verr = fmt.Errorf("%w: %v", ErrCorrupt, uerr)
+			}
 		}
-		for name, v := range saved {
-			if v > r.versions[name] {
-				r.versions[name] = v
+		if verr != nil {
+			// Unlike a rule record, the control file is not repaired by a
+			// peer — its content rebuilds from the scan — so it is moved
+			// aside and counted but never sits in the awaiting-repair set,
+			// and a fresh checksummed snapshot replaces it immediately.
+			r.corruptTotal.Add(1)
+			r.skipped = append(r.skipped, fmt.Sprintf("%s: quarantined: %v", versionsFile, verr))
+			r.moveToQuarantine(versionsFile)
+			if err := r.persistVersions(r.versions); err != nil {
+				r.skipped = append(r.skipped, fmt.Sprintf("%s: rewrite after quarantine: %v", versionsFile, err))
+			}
+		} else {
+			for name, v := range saved {
+				if v > r.versions[name] {
+					r.versions[name] = v
+				}
 			}
 		}
 	} else if !os.IsNotExist(err) {
-		return nil, fmt.Errorf("registry: reading %s: %w", versionsFile, err)
+		r.skipped = append(r.skipped, fmt.Sprintf("%s: %v", versionsFile, err))
 	}
 	return r, nil
 }
 
-func readMeta(path string) (Meta, error) {
+// readRecordMeta verifies one record file and returns its metadata and
+// envelope format. Format-v2 files are verified by checksum alone (the CRC
+// proves the bytes are exactly what a writer persisted, and writers only
+// persist validated models); legacy v1 files carry no checksum, so they
+// are deep-verified by decoding the model payload. Corruption is reported
+// as ErrCorrupt; other errors are OS-level read failures.
+func readRecordMeta(path string) (Meta, recordFormat, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return Meta{}, err
+		return Meta{}, 0, err
+	}
+	payload, format, err := openRecord(raw)
+	if err != nil {
+		return Meta{}, format, err
 	}
 	var f fileJSON
-	if err := json.Unmarshal(raw, &f); err != nil {
-		return Meta{}, err
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return Meta{}, format, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	if f.Meta.ID == "" {
-		return Meta{}, fmt.Errorf("missing meta.id")
+		return Meta{}, format, fmt.Errorf("%w: missing meta.id", ErrCorrupt)
 	}
-	return f.Meta, nil
+	if format == formatV1 {
+		if _, err := core.Load(bytes.NewReader(f.Model)); err != nil {
+			return Meta{}, format, fmt.Errorf("%w: model payload: %v", ErrCorrupt, err)
+		}
+	}
+	return f.Meta, format, nil
 }
 
 // Dir returns the persistence directory.
 func (r *Registry) Dir() string { return r.dir }
 
 // Skipped lists files Open found in the directory but could not index
-// (corrupt, truncated, or foreign), so callers can surface a warning.
+// (corrupt, truncated, or foreign — including files the integrity scan
+// moved to quarantine), so callers can surface a warning.
 func (r *Registry) Skipped() []string { return append([]string{}, r.skipped...) }
 
 // Len returns the number of stored rules.
@@ -308,14 +393,19 @@ func (r *Registry) Put(name string, m *core.Model, rows int, explainedVariance f
 	if err != nil {
 		return Meta{}, fmt.Errorf("registry: encoding %s: %w", versionsFile, err)
 	}
-	if err := r.fireIOHook("write"); err != nil {
-		return Meta{}, fmt.Errorf("registry: writing %s: %w", meta.ID, err)
+	werr := r.fireIOHook("write")
+	if werr == nil {
+		werr = atomicWrite(filepath.Join(r.dir, versionsFile), sealRecord(versionsPayload))
 	}
-	if err := atomicWrite(filepath.Join(r.dir, versionsFile), versionsPayload); err != nil {
-		return Meta{}, err
+	if werr == nil {
+		werr = atomicWrite(r.path(meta.ID), sealRecord(payload))
 	}
-	if err := atomicWrite(r.path(meta.ID), payload); err != nil {
-		return Meta{}, err
+	if werr != nil {
+		// Degraded write mode: the fit already succeeded and the model is
+		// valid, so a full disk or failing device must not cost the caller
+		// the work. Serve from memory, flag the meta persisted:false, and
+		// let the background retry land it.
+		return r.degradeWrite(meta, payload, m), nil
 	}
 
 	// Cache a serving copy: the fitted model drags O(rows) training
@@ -325,6 +415,10 @@ func (r *Registry) Put(name string, m *core.Model, rows int, explainedVariance f
 	r.metas[meta.ID] = meta
 	r.insertLocked(meta.ID, m.ServingCopy())
 	r.mu.Unlock()
+	// Amortised v1→v2 rewrite: each successful Put upgrades a few legacy
+	// files, so an old directory converges to checksummed records without
+	// a stop-the-world migration.
+	r.upgradeLegacy(4)
 	return meta, nil
 }
 
@@ -410,7 +504,11 @@ func (r *Registry) Get(id string) (*core.Model, Meta, error) {
 	}
 	m, err := core.Load(bytes.NewReader(f.Model))
 	if err != nil {
-		return nil, Meta{}, fmt.Errorf("registry: loading %s: %w", id, err)
+		// The envelope verified but the model payload does not decode —
+		// possible only for legacy v1 records rotted since the Open scan.
+		// Same contract as any corruption: quarantine, never load.
+		r.quarantineRecord(id, fmt.Errorf("%w: model payload: %v", ErrCorrupt, err))
+		return nil, Meta{}, fmt.Errorf("%w: %q (quarantined: %v)", ErrNotFound, id, err)
 	}
 	r.mu.Lock()
 	// Re-check the index: a Delete may have won the race while the file
@@ -425,15 +523,28 @@ func (r *Registry) Get(id string) (*core.Model, Meta, error) {
 	return m, meta, nil
 }
 
-// readFileJSON reads and decodes a rule file after confirming the rule is
-// still indexed. An ENOENT means Delete won the race since the index
-// check, so it maps to ErrNotFound.
+// readFileJSON reads, verifies, and decodes a rule record after confirming
+// the rule is still indexed. A rule in degraded write mode is served from
+// its in-memory pending payload — the only copy there is. An ENOENT means
+// Delete won the race since the index check, so it maps to ErrNotFound.
+// A record that fails envelope verification or decoding is corrupt: it is
+// quarantined on the spot (dropped from the index, moved aside, advertised
+// as absent to peers so anti-entropy re-pulls it) and reported as
+// ErrNotFound with the corruption detail attached — it must never load.
 func (r *Registry) readFileJSON(id string) (fileJSON, error) {
 	r.mu.Lock()
 	_, ok := r.metas[id]
+	pw := r.pending[id]
 	r.mu.Unlock()
 	if !ok {
 		return fileJSON{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if pw != nil {
+		var f fileJSON
+		if err := json.Unmarshal(pw.payload, &f); err != nil {
+			return fileJSON{}, fmt.Errorf("registry: decoding pending %s: %w", id, err)
+		}
+		return f, nil
 	}
 	if err := r.fireIOHook("read"); err != nil {
 		return fileJSON{}, fmt.Errorf("registry: reading %s: %w", id, err)
@@ -445,9 +556,15 @@ func (r *Registry) readFileJSON(id string) (fileJSON, error) {
 	if err != nil {
 		return fileJSON{}, fmt.Errorf("registry: reading %s: %w", id, err)
 	}
+	payload, _, err := openRecord(raw)
+	if err != nil {
+		r.quarantineRecord(id, err)
+		return fileJSON{}, fmt.Errorf("%w: %q (quarantined: %v)", ErrNotFound, id, err)
+	}
 	var f fileJSON
-	if err := json.Unmarshal(raw, &f); err != nil {
-		return fileJSON{}, fmt.Errorf("registry: decoding %s: %w", id, err)
+	if err := json.Unmarshal(payload, &f); err != nil {
+		r.quarantineRecord(id, fmt.Errorf("%w: %v", ErrCorrupt, err))
+		return fileJSON{}, fmt.Errorf("%w: %q (quarantined: %v)", ErrNotFound, id, err)
 	}
 	return f, nil
 }
@@ -526,19 +643,27 @@ func (r *Registry) InstallVersion(meta Meta, rule json.RawMessage) (bool, error)
 	if err != nil {
 		return false, fmt.Errorf("registry: encoding %s: %w", versionsFile, err)
 	}
-	if err := r.fireIOHook("write"); err != nil {
-		return false, fmt.Errorf("registry: writing %s: %w", meta.ID, err)
+	werr := r.fireIOHook("write")
+	if werr == nil {
+		werr = atomicWrite(filepath.Join(r.dir, versionsFile), sealRecord(versionsPayload))
 	}
-	if err := atomicWrite(filepath.Join(r.dir, versionsFile), versionsPayload); err != nil {
-		return false, err
+	if werr == nil {
+		werr = atomicWrite(r.path(meta.ID), sealRecord(payload))
 	}
-	if err := atomicWrite(r.path(meta.ID), payload); err != nil {
-		return false, err
+	if werr != nil {
+		// Degraded install: the replicated document decoded fine, so the
+		// rule is servable; answer the install as applied with a
+		// persisted:false marker and land the bytes in the background.
+		r.degradeWrite(meta, payload, m)
+		return true, nil
 	}
 
 	r.mu.Lock()
 	r.metas[meta.ID] = meta
 	r.insertLocked(meta.ID, m.ServingCopy())
+	// A quarantined version re-installed from a peer is the repair path
+	// completing: the same ID is back, byte-identical by construction.
+	r.markRepairedLocked(meta.ID)
 	r.mu.Unlock()
 	return true, nil
 }
@@ -596,29 +721,24 @@ func (r *Registry) List() []Meta {
 	return out
 }
 
-// Sync re-persists the registry's control state — the per-name version
-// high-water marks — with the same atomic-write discipline as Put. Every
-// Put already persists this snapshot, so Sync is a cheap idempotent
-// checkpoint; a draining server calls it before exit so the version
-// counters survive even if the last Put's write was lost to a disk hiccup
-// the process otherwise rode out.
+// Sync flushes the registry's durable state: the per-name version
+// high-water marks re-persist with the same checksummed atomic-write
+// discipline as Put, every degraded (memory-only) write is force-retried,
+// and any remaining legacy v1 records rewrite to the checksummed envelope.
+// A draining server calls it before exit so nothing accepted in degraded
+// mode is lost to the shutdown if the disk has recovered. Returns the
+// first write error if state is still unflushed (the in-memory registry
+// remains intact either way).
 func (r *Registry) Sync() error {
-	r.putMu.Lock()
-	defer r.putMu.Unlock()
-	r.mu.Lock()
-	snapshot := make(map[string]int, len(r.versions))
-	for n, v := range r.versions {
-		snapshot[n] = v
-	}
-	r.mu.Unlock()
-	payload, err := json.Marshal(snapshot)
+	remaining, err := r.flushPending(false)
+	r.upgradeLegacy(-1)
 	if err != nil {
-		return fmt.Errorf("registry: encoding %s: %w", versionsFile, err)
+		return err
 	}
-	if err := r.fireIOHook("write"); err != nil {
-		return fmt.Errorf("registry: syncing %s: %w", versionsFile, err)
+	if remaining > 0 {
+		return fmt.Errorf("registry: %d degraded write(s) still unpersisted", remaining)
 	}
-	return atomicWrite(filepath.Join(r.dir, versionsFile), payload)
+	return nil
 }
 
 // Delete removes a rule from the registry and from disk. The in-memory
@@ -633,6 +753,8 @@ func (r *Registry) Delete(id string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	delete(r.metas, id)
+	delete(r.pending, id)
+	delete(r.legacy, id)
 	if el, ok := r.cache[id]; ok {
 		r.lru.Remove(el)
 		delete(r.cache, id)

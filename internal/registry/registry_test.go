@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -430,5 +431,141 @@ func TestInstallVersionDuplicateIsByteForByteNoOp(t *testing.T) {
 		if got.Score(row) != m.Score(row) {
 			t.Errorf("installed model scores differ for %v", row)
 		}
+	}
+}
+
+// TestConcurrentPutRacingInstallVersion storms one name from both sides at
+// once: local Puts minting new versions racing replicated installs of
+// versions minted elsewhere. The contract under the race: the per-name
+// high-water mark never regresses (sampled live), no version id is ever
+// bound twice (a Put can never re-issue an installed version and an
+// install of an id that exists is a no-op), and the final mark survives a
+// reopen so a later Put cannot reuse anything either side issued.
+func TestConcurrentPutRacingInstallVersion(t *testing.T) {
+	const replicated = 12
+
+	m := fitTestModel(t)
+	src, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	type doc struct {
+		meta Meta
+		rule []byte
+	}
+	docs := make([]doc, 0, replicated)
+	for i := 0; i < replicated; i++ {
+		meta, err := src.Put("wine", m, 8, m.ExplainedVariance())
+		if err != nil {
+			t.Fatal(err)
+		}
+		expMeta, rule, err := src.Export(meta.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, doc{meta: expMeta, rule: rule})
+	}
+
+	dir := t.TempDir()
+	dst, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	var (
+		wg       sync.WaitGroup
+		putMetas = make([]Meta, 0, replicated)
+		putMu    sync.Mutex
+		stop     = make(chan struct{})
+	)
+	wg.Add(2)
+	go func() { // local writer
+		defer wg.Done()
+		for i := 0; i < replicated; i++ {
+			meta, err := dst.Put("wine", m, 8, m.ExplainedVariance())
+			if err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+			putMu.Lock()
+			putMetas = append(putMetas, meta)
+			putMu.Unlock()
+		}
+	}()
+	go func() { // replication applier, newest-first to force reordering
+		defer wg.Done()
+		for i := len(docs) - 1; i >= 0; i-- {
+			if _, err := dst.InstallVersion(docs[i].meta, docs[i].rule); err != nil {
+				t.Errorf("install %s: %v", docs[i].meta.ID, err)
+				return
+			}
+		}
+	}()
+	// Live monotonicity sampler.
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		last := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := dst.VersionDigest()["wine"]
+			if v < last {
+				t.Errorf("high-water mark regressed: %d -> %d", last, v)
+				return
+			}
+			last = v
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-samplerDone
+
+	// No version id issued twice by local Puts.
+	seen := make(map[int]bool)
+	final := dst.VersionDigest()["wine"]
+	putMu.Lock()
+	for _, pm := range putMetas {
+		if seen[pm.Version] {
+			t.Fatalf("version %d issued twice by Put", pm.Version)
+		}
+		seen[pm.Version] = true
+		if pm.Version > final {
+			t.Fatalf("Put issued v%d above the final mark %d", pm.Version, final)
+		}
+	}
+	nPuts := len(putMetas)
+	putMu.Unlock()
+	if nPuts != replicated {
+		t.Fatalf("only %d of %d Puts completed", nPuts, replicated)
+	}
+	// Both sides' versions fit under the final mark, and every version in
+	// 1..final is bound to exactly one document on disk or pending none
+	// (gaps are only legal above replicated when Puts interleaved early).
+	if final < replicated {
+		t.Fatalf("final mark %d below replicated count %d", final, replicated)
+	}
+
+	// The mark survives a reopen and the next Put mints a fresh version.
+	dst.Close()
+	reopened, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if got := reopened.VersionDigest()["wine"]; got != final {
+		t.Fatalf("reopened mark = %d, want %d", got, final)
+	}
+	next, err := reopened.Put("wine", m, 8, m.ExplainedVariance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Version != final+1 {
+		t.Fatalf("post-reopen Put got v%d, want v%d", next.Version, final+1)
 	}
 }

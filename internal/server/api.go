@@ -85,4 +85,13 @@ type Health struct {
 	Draining   bool   `json:"draining"`
 	PeersUp    int    `json:"peers_up"`
 	PeersTotal int    `json:"peers_total"`
+	// RegistryOK is false while any record sits in quarantine awaiting
+	// repair or any degraded write is still memory-only. The node keeps
+	// serving (status stays "ok"); the flag is the repair-in-progress
+	// signal for operators and peers.
+	RegistryOK bool `json:"registry_ok"`
+	// Quarantined counts records currently in quarantine.
+	Quarantined int `json:"quarantined"`
+	// PendingWrites counts rules currently serving from memory only.
+	PendingWrites int `json:"pending_writes"`
 }

@@ -123,7 +123,10 @@ func runChaosSchedule(t *testing.T, seed int64) {
 	ts := httptest.NewUnstartedServer(s)
 	ts.Config.ErrorLog = log.New(io.Discard, "", 0)
 	ts.Start()
-	defer func() { ts.Close(); s.Close() }()
+	// reg.Close stops the degraded-write retry goroutine that registry
+	// write faults may have started; without it 100 schedules leak 100
+	// tickers into the test binary.
+	defer func() { ts.Close(); s.Close(); reg.Close() }()
 
 	// Fit the reference model and capture baseline scores before the
 	// schedule is armed, so the post-storm parity check has ground truth.

@@ -1,11 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -371,5 +374,108 @@ func TestForwardedRequestServedLocally(t *testing.T) {
 		if sb := resp.Header.Get("X-RPC-Served-By"); sb != "" {
 			t.Fatalf("forwarded request was forwarded again (served by %s)", sb)
 		}
+	}
+}
+
+// TestQuarantineRepairedByAntiEntropy is the full self-healing loop at the
+// serving-group level: bit rot on one replica's disk is detected on the
+// next read, the damaged record is quarantined (never served), the version
+// disappears from that node's digest, and the regular anti-entropy round
+// restores it byte-identical from a healthy peer — with the corruption and
+// the repair both visible in /healthz and the stats counters.
+func TestQuarantineRepairedByAntiEntropy(t *testing.T) {
+	nodes := newStormCluster(t, 2)
+	for i, nd := range nodes {
+		waitForCondition(t, 3*time.Second, fmt.Sprintf("node %d to see its peer", i), func() bool {
+			up, _ := nd.cl.PeerCounts()
+			return up == 1
+		})
+	}
+
+	fitStormModel(t, nodes[0].url, "rot")
+	waitForCondition(t, 3*time.Second, "rot-v1 to reach node 1", func() bool {
+		_, err := nodes[1].reg.GetMeta("rot-v1")
+		return err == nil
+	})
+
+	// Rot a byte in the middle of node 1's on-disk record.
+	path := filepath.Join(nodes[1].reg.Dir(), "rot-v1.json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotted := append([]byte{}, raw...)
+	rotted[len(rotted)/2] ^= 0x20
+	if err := os.WriteFile(path, rotted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next disk read detects the rot: the rule endpoint answers 404
+	// (never the corrupt bytes) and the record moves to quarantine.
+	resp, err := http.Get(nodes[1].url + "/v1/models/rot-v1/rule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("rule read over rotted record: status %d, want 404", resp.StatusCode)
+	}
+	st := nodes[1].reg.Stats()
+	if st.Quarantined != 1 || st.CorruptTotal == 0 {
+		t.Fatalf("after detection: stats %+v, want 1 quarantined", st)
+	}
+	if _, err := os.Stat(filepath.Join(nodes[1].reg.Dir(), "quarantine", "rot-v1.json")); err != nil {
+		t.Fatalf("rotted record not moved to quarantine: %v", err)
+	}
+	// Unhealthy state is visible to operators while repair is pending.
+	resp, err = http.Get(nodes[1].url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := decodeBody[Health](t, resp)
+	if h.RegistryOK || h.Quarantined != 1 {
+		t.Fatalf("healthz during quarantine = %+v, want registry_ok=false quarantined=1", h)
+	}
+
+	// Anti-entropy (no operator action) must restore the record from the
+	// healthy peer, byte-identical to the peer's copy.
+	waitForCondition(t, 5*time.Second, "anti-entropy to repair rot-v1", func() bool {
+		_, err := nodes[1].reg.GetMeta("rot-v1")
+		return err == nil
+	})
+	waitForCondition(t, 2*time.Second, "repair to clear the quarantine set", func() bool {
+		st := nodes[1].reg.Stats()
+		return st.Quarantined == 0 && st.RepairedTotal >= 1
+	})
+	want, err := os.ReadFile(filepath.Join(nodes[0].reg.Dir(), "rot-v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("repaired record is not byte-identical to the healthy peer's copy")
+	}
+	// The repaired rule serves again, and health is clean.
+	body := `{"rows":[[1.0,1.5,7.5]]}`
+	sresp, err := http.Post(nodes[1].url+"/v1/models/rot-v1/score", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sraw, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK || !strings.Contains(string(sraw), `"scores":[`) {
+		t.Fatalf("score after repair: status %d: %s", sresp.StatusCode, sraw)
+	}
+	resp, err = http.Get(nodes[1].url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = decodeBody[Health](t, resp)
+	if !h.RegistryOK || h.Quarantined != 0 {
+		t.Fatalf("healthz after repair = %+v, want registry_ok=true quarantined=0", h)
 	}
 }

@@ -86,7 +86,14 @@ func (s *Server) handleClusterInstall(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("install rejected: %v", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, cluster.InstallResult{Installed: installed})
+	// Report whether the rule reached disk: a degraded (memory-only)
+	// accept carries persisted:false in the stored meta until the
+	// background flush lands it.
+	persisted := true
+	if meta, merr := s.reg.GetMeta(doc.Meta.ID); merr == nil && meta.Persisted != nil {
+		persisted = *meta.Persisted
+	}
+	writeJSON(w, http.StatusOK, cluster.InstallResult{Installed: installed, Persisted: persisted})
 }
 
 // handleClusterDigest serves GET /clusterz/digest, the anti-entropy

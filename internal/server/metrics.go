@@ -11,6 +11,7 @@ import (
 
 	"rpcrank/internal/cluster"
 	"rpcrank/internal/obs"
+	"rpcrank/internal/registry"
 )
 
 // latencyBucketsMs are the upper bounds (milliseconds) of the request
@@ -69,6 +70,9 @@ type Metrics struct {
 	// clusterSnap, when set, supplies the serving-group series: per-peer
 	// up gauges, forward/broadcast counters, and anti-entropy activity.
 	clusterSnap func() cluster.Snapshot
+	// registryStats, when set, supplies the storage-durability series:
+	// corruption/repair counters, quarantine and degraded-write gauges.
+	registryStats func() registry.Stats
 }
 
 // RouteStats holds one route's sharded counters. Handlers obtain theirs at
@@ -183,6 +187,9 @@ func (m *Metrics) SetDraining(f func() bool) { m.draining = f }
 
 // SetCluster installs the serving-group series source.
 func (m *Metrics) SetCluster(f func() cluster.Snapshot) { m.clusterSnap = f }
+
+// SetRegistry installs the storage-durability series source.
+func (m *Metrics) SetRegistry(f func() registry.Stats) { m.registryStats = f }
 
 // writeHistogram renders one histogram family member with a label,
 // converting the stored microseconds back to the millisecond unit the
@@ -360,6 +367,28 @@ func (m *Metrics) ServeHTTP(rw http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&w, "# HELP rpcd_installs_replicated_total Installs applied from peers (broadcast or anti-entropy).\n")
 		fmt.Fprintf(&w, "# TYPE rpcd_installs_replicated_total counter\n")
 		fmt.Fprintf(&w, "rpcd_installs_replicated_total %d\n", snap.InstallsReplicated)
+	}
+
+	if m.registryStats != nil {
+		rs := m.registryStats()
+		fmt.Fprintf(&w, "# HELP rpcd_registry_corrupt_total Records quarantined after failing integrity verification (at open or at read).\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_registry_corrupt_total counter\n")
+		fmt.Fprintf(&w, "rpcd_registry_corrupt_total %d\n", rs.CorruptTotal)
+		fmt.Fprintf(&w, "# HELP rpcd_registry_repaired_total Quarantined rule versions restored by a peer re-install (anti-entropy repair).\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_registry_repaired_total counter\n")
+		fmt.Fprintf(&w, "rpcd_registry_repaired_total %d\n", rs.RepairedTotal)
+		fmt.Fprintf(&w, "# HELP rpcd_registry_degraded_writes_total Installs accepted serve-from-memory because the disk write failed.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_registry_degraded_writes_total counter\n")
+		fmt.Fprintf(&w, "rpcd_registry_degraded_writes_total %d\n", rs.DegradedWritesTotal)
+		fmt.Fprintf(&w, "# HELP rpcd_registry_flushed_writes_total Degraded writes later persisted by retry or Sync.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_registry_flushed_writes_total counter\n")
+		fmt.Fprintf(&w, "rpcd_registry_flushed_writes_total %d\n", rs.FlushedWritesTotal)
+		fmt.Fprintf(&w, "# HELP rpcd_registry_quarantined Records currently in quarantine awaiting repair.\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_registry_quarantined gauge\n")
+		fmt.Fprintf(&w, "rpcd_registry_quarantined %d\n", rs.Quarantined)
+		fmt.Fprintf(&w, "# HELP rpcd_registry_pending_writes Rules currently serving from memory only (unpersisted).\n")
+		fmt.Fprintf(&w, "# TYPE rpcd_registry_pending_writes gauge\n")
+		fmt.Fprintf(&w, "rpcd_registry_pending_writes %d\n", rs.PendingWrites)
 	}
 
 	if m.draining != nil {

@@ -206,6 +206,7 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s.metrics.SetPoolStats(s.pool.Stats)
 	s.metrics.SetAdmission(s.adm)
 	s.metrics.SetDraining(s.draining.Load)
+	s.metrics.SetRegistry(reg.Stats)
 	if s.cluster != nil {
 		s.metrics.SetCluster(s.cluster.Snapshot)
 	}
@@ -1045,6 +1046,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.cluster != nil {
 		h.PeersUp, h.PeersTotal = s.cluster.PeerCounts()
 	}
+	rs := s.reg.Stats()
+	h.RegistryOK = rs.OK()
+	h.Quarantined = rs.Quarantined
+	h.PendingWrites = rs.PendingWrites
 	// A draining node reports unhealthy so load balancers stop routing to
 	// it, while /statusz and /controlz keep answering with full detail.
 	if s.draining.Load() {

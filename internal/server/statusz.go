@@ -49,6 +49,7 @@ type statuszSnapshot struct {
 	Pool           statuszPool        `json:"pool"`
 	Admission      statuszAdmission   `json:"admission"`
 	Cluster        *cluster.Snapshot  `json:"cluster,omitempty"`
+	Registry       registry.Stats     `json:"registry"`
 	Models         []registry.Meta    `json:"models"`
 	SlowRequests   []obs.TraceSummary `json:"slow_requests"`
 }
@@ -86,6 +87,7 @@ func (s *Server) snapshot() statuszSnapshot {
 			Models:        s.adm.snapshotModels(),
 		},
 		Cluster:      clusterSnap,
+		Registry:     s.reg.Stats(),
 		Models:       s.reg.List(),
 		SlowRequests: s.slowRing.Snapshot(),
 	}
@@ -165,6 +167,19 @@ func renderStatuszHTML(b *bytes.Buffer, snap *statuszSnapshot) {
 			fmt.Fprintf(b, "</table>\n")
 		}
 	}
+
+	reg := snap.Registry
+	fmt.Fprintf(b, "<h2>Registry durability</h2><table>\n")
+	fmt.Fprintf(b, "<tr><th>registry ok</th><td>%v</td></tr>\n", reg.OK())
+	fmt.Fprintf(b, "<tr><th>quarantined</th><td>%d</td></tr>\n", reg.Quarantined)
+	if len(reg.QuarantinedIDs) > 0 {
+		fmt.Fprintf(b, "<tr><th>quarantined ids</th><td>%s</td></tr>\n", esc(strings.Join(reg.QuarantinedIDs, ", ")))
+	}
+	fmt.Fprintf(b, "<tr><th>corrupt / repaired (total)</th><td>%d / %d</td></tr>\n", reg.CorruptTotal, reg.RepairedTotal)
+	fmt.Fprintf(b, "<tr><th>degraded writes (pending / total / flushed)</th><td>%d / %d / %d</td></tr>\n", reg.PendingWrites, reg.DegradedWritesTotal, reg.FlushedWritesTotal)
+	fmt.Fprintf(b, "<tr><th>legacy v1 records</th><td>%d</td></tr>\n", reg.LegacyRecords)
+	fmt.Fprintf(b, "<tr><th>tmp files removed at open</th><td>%d</td></tr>\n", reg.TmpFilesRemoved)
+	fmt.Fprintf(b, "</table>\n")
 
 	fmt.Fprintf(b, "<h2>Models (%d)</h2>\n", len(snap.Models))
 	fmt.Fprintf(b, "<table><tr><th>id</th><th>dim</th><th>degree</th><th>rows</th><th>explained var</th><th>monotone</th><th>fit iters</th><th>final objective</th><th>warm-hit</th></tr>\n")
